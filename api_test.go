@@ -1,0 +1,174 @@
+package ripple
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRouteSetsExposed(t *testing.T) {
+	cases := []struct {
+		rs   RouteSet
+		name string
+	}{
+		{Route0(), "ROUTE0"},
+		{Route1(), "ROUTE1"},
+		{Route2(), "ROUTE2"},
+	}
+	for _, c := range cases {
+		if c.rs.Name != c.name {
+			t.Errorf("route set name = %q, want %q", c.rs.Name, c.name)
+		}
+		for _, p := range []Path{c.rs.Flow1, c.rs.Flow2, c.rs.Flow3} {
+			if len(p) < 2 {
+				t.Errorf("%s has degenerate path %v", c.name, p)
+			}
+		}
+	}
+	// Table II spot checks through the public API.
+	if r1 := Route1(); len(r1.Flow1) != 3 || r1.Flow1[1] != 1 {
+		t.Errorf("ROUTE1 flow1 = %v, want [0 1 3]", r1.Flow1)
+	}
+	if r2 := Route2(); r2.Flow3[1] != 1 {
+		t.Errorf("ROUTE2 flow3 = %v, want [5 1 7]", r2.Flow3)
+	}
+}
+
+func TestLineWithCrossExposed(t *testing.T) {
+	top, main, cross := LineWithCrossTopology(4)
+	if len(main) != 5 || len(cross) != 4 {
+		t.Fatalf("main %v cross %v", main, cross)
+	}
+	if len(top.Positions) != 8 {
+		t.Fatalf("stations = %d", len(top.Positions))
+	}
+}
+
+func TestScenarioMaxAggregationOverride(t *testing.T) {
+	top, path := LineTopology(2)
+	base := Scenario{
+		Topology: top,
+		Scheme:   SchemeRIPPLE,
+		Flows:    []Flow{{ID: 1, Path: path, Traffic: TrafficFTP}},
+		Duration: Second,
+		Radio:    RadioIdeal,
+	}
+	full, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := base
+	small.MaxAggregation = 2
+	limited, err := Run(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limited.TotalMbps >= full.TotalMbps {
+		t.Fatalf("agg=2 (%.1f) should underperform agg=16 (%.1f)",
+			limited.TotalMbps, full.TotalMbps)
+	}
+}
+
+func TestScenarioMultiRateAndLowRate(t *testing.T) {
+	top, path := LineTopology(2)
+	base := Scenario{
+		Topology:   top,
+		Scheme:     SchemeDCF,
+		Flows:      []Flow{{ID: 1, Path: path, Traffic: TrafficFTP}},
+		Duration:   Second,
+		LowRatePHY: true,
+	}
+	slow, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := base
+	fast.MultiRate = true
+	boosted, err := Run(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boosted.TotalMbps <= slow.TotalMbps {
+		t.Fatalf("multi-rate %.2f should beat fixed 6 Mbps %.2f",
+			boosted.TotalMbps, slow.TotalMbps)
+	}
+}
+
+func TestScenarioRTSThreshold(t *testing.T) {
+	top, path := LineTopology(1)
+	res, err := Run(Scenario{
+		Topology:     top,
+		Scheme:       SchemeAFR,
+		Flows:        []Flow{{ID: 1, Path: path, Traffic: TrafficFTP}},
+		Duration:     Second,
+		RTSThreshold: 1,
+		Radio:        RadioIdeal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMbps <= 0 {
+		t.Fatal("RTS-protected AFR delivered nothing")
+	}
+}
+
+func TestRouterAPI(t *testing.T) {
+	top := RoofnetTopology()
+	r, err := NewRouter(top, RadioDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := r.Path(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) < 2 || path[0] != 0 || path[len(path)-1] != 8 {
+		t.Fatalf("path = %v", path)
+	}
+	if etx := r.PathETX(path); etx < float64(len(path)-1) {
+		t.Fatalf("PathETX = %.2f below hop count %d", etx, len(path)-1)
+	}
+	q := r.LinkQuality(path[0], path[1])
+	if q <= 0 || q > 1 {
+		t.Fatalf("LinkQuality = %v", q)
+	}
+	if _, err := NewRouter(top, RadioProfile(99)); err == nil {
+		t.Fatal("unknown profile must error")
+	}
+	// The discovered route must actually carry traffic.
+	res, err := Run(Scenario{
+		Topology: top,
+		Scheme:   SchemeRIPPLE,
+		Flows:    []Flow{{ID: 1, Path: path, Traffic: TrafficFTP}},
+		Duration: Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMbps <= 0 {
+		t.Fatal("ETX route carried nothing")
+	}
+}
+
+func TestRouterIdealProfileMatchesGeometry(t *testing.T) {
+	top, _ := LineTopology(3)
+	r, err := NewRouter(top, RadioIdeal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With zero shadowing, adjacent 100 m links are perfect.
+	if q := r.LinkQuality(0, 1); math.Abs(q-1) > 1e-9 {
+		t.Fatalf("ideal 100m link quality = %v", q)
+	}
+	// A 300 m link is dead but a 200 m one is perfect with zero
+	// shadowing, so the minimum-ETX path takes exactly one relay.
+	p, err := r.Path(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 3 {
+		t.Fatalf("ideal-profile path = %v, want one intermediate relay", p)
+	}
+	if q := r.LinkQuality(p[1], p[2]); math.Abs(q-1) > 1e-9 {
+		t.Fatalf("chosen hop quality = %v, want 1", q)
+	}
+}

@@ -1,0 +1,280 @@
+package ripple
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (run `go test -bench=. -benchmem`). Each benchmark executes
+// the corresponding experiment end to end per iteration (short runs, one
+// seed) and reports headline metrics via b.ReportMetric so regression in
+// either speed or *result shape* is visible. The cmd/experiments binary
+// runs the same code with the paper's full 10-second, multi-seed settings.
+
+import (
+	"strings"
+	"testing"
+
+	"ripple/internal/experiments"
+	"ripple/internal/sim"
+)
+
+// benchOpt is the per-iteration budget for macro-benchmarks.
+func benchOpt() experiments.Options {
+	return experiments.Options{Seeds: []uint64{1}, Duration: sim.Second}
+}
+
+// reportCells publishes selected table cells as benchmark metrics.
+func reportCells(b *testing.B, t *experiments.Table, row string, cols ...string) {
+	b.Helper()
+	for _, c := range cols {
+		if v, ok := t.Cell(row, c); ok {
+			b.ReportMetric(v, metricName(c+"_"+t.MetricUnit()))
+		}
+	}
+}
+
+// metricName strips characters ReportMetric rejects.
+func metricName(s string) string {
+	s = strings.ReplaceAll(s, " ", "_")
+	s = strings.ReplaceAll(s, "%", "pct")
+	s = strings.ReplaceAll(s, "..", "_")
+	s = strings.ReplaceAll(s, "/", "_")
+	s = strings.ReplaceAll(s, "(", "")
+	s = strings.ReplaceAll(s, ")", "")
+	return s
+}
+
+func BenchmarkMotivation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Motivation(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, tab, "preExOR", "reorder %")
+			reportCells(b, tab, "SPR", "Mbps")
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tabs, err := experiments.Fig3(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, tabs[0], "1 flow(s)", "D", "A", "R16")
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tabs, err := experiments.Fig4(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, tabs[0], "1 flow(s)", "D", "R16")
+		}
+	}
+}
+
+func BenchmarkFig6a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Fig6a(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, tab, "10 flows", "DCF", "RIPPLE")
+		}
+	}
+}
+
+func BenchmarkFig6b(b *testing.B) {
+	opt := benchOpt()
+	opt.Duration = 700 * sim.Millisecond // saturated hidden flows are event-heavy
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Fig6b(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, tab, "0 hidden", "RIPPLE")
+			reportCells(b, tab, "9 hidden", "RIPPLE", "DCF")
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tabs, err := experiments.Fig7(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, tabs[0], "7 hops", "DCF", "RIPPLE")
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Fig8(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, tab, "flows 1..30", "DCF", "RIPPLE")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	opt := benchOpt()
+	opt.Duration = 2 * sim.Second // VoIP on-off needs a few cycles
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Table3(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, tab, "RIPPLE", "1e-06/1..30")
+			reportCells(b, tab, "DCF", "1e-06/1..30")
+		}
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tabs, err := experiments.Fig10(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, tabs[2], "1-4-6-8", "DCF", "RIPPLE")
+		}
+	}
+}
+
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tabs, err := experiments.Fig12(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, tabs[2], "5(1)", "DCF", "RIPPLE")
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+func BenchmarkAblationAggLimit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.AblationAggLimit(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, tab, "agg=1", "R")
+			reportCells(b, tab, "agg=16", "R")
+		}
+	}
+}
+
+func BenchmarkAblationForwarders(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.AblationForwarders(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, tab, "maxfwd=2", "R")
+			reportCells(b, tab, "maxfwd=6", "R")
+		}
+	}
+}
+
+func BenchmarkAblationRq(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.AblationRq(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, tab, "Rq off", "reorder %")
+			reportCells(b, tab, "Rq on", "Mbps")
+		}
+	}
+}
+
+func BenchmarkAblationTwoWay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.AblationTwoWay(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, tab, "two-way", "R")
+			reportCells(b, tab, "one-way", "R")
+		}
+	}
+}
+
+func BenchmarkAblationRelayDefer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.AblationRelayDefer(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, tab, "4 hidden", "defer", "strict")
+		}
+	}
+}
+
+func BenchmarkAblationMultiRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.AblationMultiRate(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, tab, "multi-rate", "RIPPLE")
+			reportCells(b, tab, "fixed 6 Mbps", "RIPPLE")
+		}
+	}
+}
+
+func BenchmarkAblationRTS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.AblationRTS(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, tab, "6 hidden", "DCF", "DCF+RTS", "RIPPLE")
+		}
+	}
+}
+
+// BenchmarkEngineThroughput is a micro-benchmark of the simulation core:
+// events processed per wall second for a saturated RIPPLE run.
+func BenchmarkEngineThroughput(b *testing.B) {
+	top, path := LineTopology(3)
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(Scenario{
+			Topology: top,
+			Scheme:   SchemeRIPPLE,
+			Flows:    []Flow{{ID: 1, Path: path, Traffic: TrafficFTP}},
+			Duration: Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+}

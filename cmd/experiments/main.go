@@ -1,0 +1,82 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-run name[,name...]] [-seeds n] [-dur seconds] [-quick]
+//
+// With no -run flag every experiment runs in paper order. Results print as
+// aligned text tables whose rows mirror the paper's figures; paste them
+// next to EXPERIMENTS.md for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ripple/internal/experiments"
+	"ripple/internal/sim"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		runList   = flag.String("run", "", "comma-separated experiment names (default: all)")
+		seeds     = flag.Int("seeds", 3, "number of seeds to average over")
+		durSec    = flag.Float64("dur", 10, "simulated seconds per run")
+		quick     = flag.Bool("quick", false, "1 seed, 2 simulated seconds")
+		list      = flag.Bool("list", false, "list experiment names and exit")
+		ablations = flag.Bool("ablations", false, "include the DESIGN.md §5 ablations")
+	)
+	flag.Parse()
+
+	all := experiments.All()
+	if *ablations {
+		all = append(all, experiments.Ablations()...)
+	}
+	if *list {
+		for _, r := range all {
+			fmt.Println(r.Name)
+		}
+		return 0
+	}
+
+	opt := experiments.Options{Duration: sim.Time(*durSec * float64(sim.Second))}
+	for s := 1; s <= *seeds; s++ {
+		opt.Seeds = append(opt.Seeds, uint64(s))
+	}
+	if *quick {
+		opt = experiments.Quick()
+	}
+
+	want := map[string]bool{}
+	if *runList != "" {
+		for _, name := range strings.Split(*runList, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+
+	code := 0
+	for _, r := range all {
+		if len(want) > 0 && !want[r.Name] {
+			continue
+		}
+		start := time.Now()
+		tables, err := r.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", r.Name, err)
+			code = 1
+			continue
+		}
+		for _, t := range tables {
+			fmt.Println(t.Format())
+		}
+		fmt.Printf("[%s done in %.1fs]\n\n", r.Name, time.Since(start).Seconds())
+	}
+	return code
+}

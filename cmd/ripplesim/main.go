@@ -1,0 +1,185 @@
+// Command ripplesim runs a single scenario from command-line flags and
+// prints per-flow results.
+//
+// Examples:
+//
+//	ripplesim -topo line -hops 3 -scheme ripple -traffic ftp -dur 10
+//	ripplesim -topo fig1 -scheme dcf -route 0 -flows 3
+//	ripplesim -topo hidden -hidden 5 -scheme afr
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ripple"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		topo      = flag.String("topo", "line", "topology: line|fig1|regular|hidden|wigle|roofnet")
+		hops      = flag.Int("hops", 3, "line topology hop count")
+		scheme    = flag.String("scheme", "ripple", "scheme: dcf|afr|preexor|mcexor|ripple|ripple1")
+		traffic   = flag.String("traffic", "ftp", "traffic: ftp|web|voip|cbr")
+		route     = flag.Int("route", 0, "fig1 route set (0,1,2)")
+		nFlows    = flag.Int("flows", 1, "number of flows (fig1: 1-3, regular: n)")
+		hidden    = flag.Int("hidden", 0, "hidden interferer flows (hidden topology)")
+		durSec    = flag.Float64("dur", 10, "simulated seconds")
+		seeds     = flag.Int("seeds", 1, "seeds to average over")
+		ber       = flag.Float64("ber", 1e-6, "channel bit error rate")
+		lowRate   = flag.Bool("lowrate", false, "6 Mbps PHY (Table III setting)")
+		jsonOut   = flag.Bool("json", false, "emit the result as JSON")
+		traceOut  = flag.String("trace", "", "write per-frame JSONL trace to this file")
+		multiRate = flag.Bool("multirate", false, "enable the multi-rate PHY extension")
+		rts       = flag.Int("rts", 0, "RTS/CTS threshold in bytes for DCF/AFR (0 = off)")
+	)
+	flag.Parse()
+
+	sc := ripple.Scenario{
+		Duration:     ripple.Time(*durSec * float64(ripple.Second)),
+		BitErrorRate: *ber,
+		LowRatePHY:   *lowRate,
+		MultiRate:    *multiRate,
+		RTSThreshold: *rts,
+	}
+	for s := 1; s <= *seeds; s++ {
+		sc.Seeds = append(sc.Seeds, uint64(s))
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		sc.TraceJSONL = f
+	}
+
+	switch strings.ToLower(*scheme) {
+	case "dcf", "d", "spr", "s":
+		sc.Scheme = ripple.SchemeDCF
+	case "afr", "a":
+		sc.Scheme = ripple.SchemeAFR
+	case "preexor":
+		sc.Scheme = ripple.SchemePreExOR
+	case "mcexor":
+		sc.Scheme = ripple.SchemeMCExOR
+	case "ripple", "r16":
+		sc.Scheme = ripple.SchemeRIPPLE
+	case "ripple1", "r1":
+		sc.Scheme = ripple.SchemeRIPPLENoAgg
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
+		return 2
+	}
+
+	kind := map[string]ripple.Traffic{
+		"ftp": ripple.TrafficFTP, "web": ripple.TrafficWeb,
+		"voip": ripple.TrafficVoIP, "cbr": ripple.TrafficCBR,
+	}[strings.ToLower(*traffic)]
+	if kind == 0 {
+		fmt.Fprintf(os.Stderr, "unknown traffic %q\n", *traffic)
+		return 2
+	}
+
+	switch strings.ToLower(*topo) {
+	case "line":
+		top, path := ripple.LineTopology(*hops)
+		sc.Topology = top
+		sc.Flows = []ripple.Flow{{ID: 1, Path: path, Traffic: kind}}
+	case "fig1":
+		sc.Topology = ripple.Fig1Topology()
+		var rs ripple.RouteSet
+		switch *route {
+		case 0:
+			rs = ripple.Route0()
+		case 1:
+			rs = ripple.Route1()
+		case 2:
+			rs = ripple.Route2()
+		default:
+			fmt.Fprintf(os.Stderr, "route must be 0, 1 or 2\n")
+			return 2
+		}
+		paths := []ripple.Path{rs.Flow1, rs.Flow2, rs.Flow3}
+		n := min(max(*nFlows, 1), 3)
+		for i := 0; i < n; i++ {
+			sc.Flows = append(sc.Flows, ripple.Flow{
+				ID: i + 1, Path: paths[i], Traffic: kind,
+				Start: ripple.Time(i) * 100 * ripple.Millisecond,
+			})
+		}
+	case "regular":
+		top, paths := ripple.RegularTopology(max(*nFlows, 1))
+		sc.Topology = top
+		for i, p := range paths {
+			sc.Flows = append(sc.Flows, ripple.Flow{
+				ID: i + 1, Path: p, Traffic: kind,
+				Start: ripple.Time(i) * 50 * ripple.Millisecond,
+			})
+		}
+	case "hidden":
+		top, main, interferers := ripple.HiddenTopology(*hidden)
+		sc.Topology = top
+		sc.Radio = ripple.RadioHidden
+		sc.Flows = []ripple.Flow{{ID: 1, Path: main, Traffic: kind}}
+		for i, p := range interferers {
+			sc.Flows = append(sc.Flows, ripple.Flow{
+				ID: i + 2, Path: p, Traffic: ripple.TrafficCBR,
+				Start: 50 * ripple.Millisecond,
+			})
+		}
+	case "wigle":
+		top, paths, _ := ripple.WigleTopology()
+		sc.Topology = top
+		sc.Radio = ripple.RadioHidden
+		n := min(max(*nFlows, 1), len(paths))
+		for i := 0; i < n; i++ {
+			sc.Flows = append(sc.Flows, ripple.Flow{
+				ID: i + 1, Path: paths[i], Traffic: kind,
+				Start: ripple.Time(i) * 50 * ripple.Millisecond,
+			})
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topo)
+		return 2
+	}
+
+	res, err := ripple.Run(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if *jsonOut {
+		out := struct {
+			Scheme string         `json:"scheme"`
+			Topo   string         `json:"topology"`
+			Result *ripple.Result `json:"result"`
+		}{sc.Scheme.String(), *topo, res}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Printf("scheme=%s topo=%s dur=%.0fs seeds=%d\n", sc.Scheme, *topo, *durSec, *seeds)
+	for _, f := range res.Flows {
+		line := fmt.Sprintf("flow %2d: %8.3f Mbps  delay %-10v reorder %5.2f%%",
+			f.ID, f.ThroughputMbps, f.MeanDelay, 100*f.ReorderRate)
+		if f.MoS > 0 {
+			line += fmt.Sprintf("  MoS %.2f loss %.1f%%", f.MoS, 100*f.LossRate)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("total: %.3f Mbps\n", res.TotalMbps)
+	return 0
+}

@@ -1,0 +1,74 @@
+// Sitesurvey: plan routes over a mesh deployment before running traffic.
+// Uses the ETX router to inspect link qualities and pick paths over the
+// Roofnet-like topology, then validates the chosen route with a short
+// simulation and an airtime trace — the workflow a mesh operator would use
+// with this library.
+//
+//	go run ./examples/sitesurvey
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ripple"
+)
+
+func main() {
+	top := ripple.RoofnetTopology()
+	router, err := ripple.NewRouter(top, ripple.RadioDefault)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Survey: candidate gateway pairs across the mesh.
+	pairs := [][2]int{{0, 8}, {0, 12}, {0, 16}, {1, 21}}
+	fmt.Println("ETX route survey:")
+	var best ripple.Path
+	bestETX := 1e18
+	for _, pr := range pairs {
+		path, err := router.Path(pr[0], pr[1])
+		if err != nil {
+			fmt.Printf("  %d→%d: unreachable (%v)\n", pr[0], pr[1], err)
+			continue
+		}
+		etx := router.PathETX(path)
+		fmt.Printf("  %d→%d: path %v, %d hops, ETX %.2f\n",
+			pr[0], pr[1], path, len(path)-1, etx)
+		for i := 0; i+1 < len(path); i++ {
+			q := router.LinkQuality(path[i], path[i+1])
+			fmt.Printf("      link %d→%d delivery %.1f%%\n", path[i], path[i+1], 100*q)
+		}
+		if etx < bestETX {
+			bestETX, best = etx, path
+		}
+	}
+	if best == nil {
+		log.Fatal("no usable route found")
+	}
+
+	// Validate the best route with traffic and capture an airtime trace.
+	traceFile, err := os.CreateTemp("", "sitesurvey-*.jsonl")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.Remove(traceFile.Name())
+	res, err := ripple.Run(ripple.Scenario{
+		Topology:   top,
+		Scheme:     ripple.SchemeRIPPLE,
+		Flows:      []ripple.Flow{{ID: 1, Path: best, Traffic: ripple.TrafficFTP}},
+		Duration:   2 * ripple.Second,
+		TraceJSONL: traceFile,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nvalidation run on %v: %.2f Mbps, channel busy %.0f%%\n",
+		best, res.TotalMbps, 100*res.BusyFraction)
+	fmt.Println("airtime per station:")
+	for _, n := range best {
+		fmt.Printf("  node %2d: %v\n", n, res.AirtimePerNode[n])
+	}
+	fmt.Printf("full trace written to %s (inspect with cmd/rippletrace)\n", traceFile.Name())
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"ripple/internal/pkt"
+	"ripple/internal/sim"
+)
+
+// reseq is the receive queue Rq of the paper's Remark 6: with aggregation,
+// packets of one frame can be partially corrupted, so a correct packet with
+// a higher sequence number may arrive before the retransmission of a
+// corrupted lower one. Rq holds such packets and delivers in order. A hold
+// timeout bounds head-of-line blocking when the source permanently dropped
+// a packet (retry limit), in which case Rq skips the gap.
+type reseq struct {
+	expected int64
+	buf      map[int64]*pkt.Packet
+	holdEv   *sim.Event
+}
+
+func newReseq() *reseq { return &reseq{buf: make(map[int64]*pkt.Packet)} }
+
+// deliver routes a received packet through Rq (when enabled) to transport.
+func (r *Ripple) deliver(p *pkt.Packet) {
+	if !r.opt.RqEnabled {
+		r.env.Deliver(p)
+		return
+	}
+	key := streamKey{flow: p.FlowID, src: p.Src}
+	q, ok := r.rq[key]
+	if !ok {
+		q = newReseq()
+		r.rq[key] = q
+	}
+	switch {
+	case p.MacSeq < q.expected:
+		r.env.C.Duplicates++
+		return
+	case p.MacSeq == q.expected:
+		q.expected++
+		r.env.Deliver(p)
+		r.drain(q)
+	default: // gap: buffer and wait for the end-to-end retransmission
+		if _, dup := q.buf[p.MacSeq]; dup {
+			r.env.C.Duplicates++
+			return
+		}
+		if len(q.buf) >= r.opt.RqCap {
+			r.skipGap(q)
+		}
+		q.buf[p.MacSeq] = p
+		r.armHold(q)
+	}
+}
+
+// drain delivers consecutively buffered packets and manages the hold timer.
+func (r *Ripple) drain(q *reseq) {
+	for {
+		p, ok := q.buf[q.expected]
+		if !ok {
+			break
+		}
+		delete(q.buf, q.expected)
+		q.expected++
+		r.env.Deliver(p)
+	}
+	if len(q.buf) == 0 {
+		r.env.Eng.Cancel(q.holdEv)
+		q.holdEv = nil
+	} else {
+		r.rearmHold(q)
+	}
+}
+
+func (r *Ripple) armHold(q *reseq) {
+	if q.holdEv != nil && !q.holdEv.Canceled() {
+		return
+	}
+	r.rearmHold(q)
+}
+
+func (r *Ripple) rearmHold(q *reseq) {
+	r.env.Eng.Cancel(q.holdEv)
+	q.holdEv = r.env.Eng.After(r.opt.RqHold, func() {
+		q.holdEv = nil
+		r.skipGap(q)
+	})
+}
+
+// skipGap advances expected to the lowest buffered sequence number (the
+// missing packets were abandoned by the source) and drains from there.
+func (r *Ripple) skipGap(q *reseq) {
+	if len(q.buf) == 0 {
+		return
+	}
+	low := int64(-1)
+	for seq := range q.buf {
+		if low < 0 || seq < low {
+			low = seq
+		}
+	}
+	q.expected = low
+	r.drain(q)
+}

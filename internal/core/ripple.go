@@ -1,0 +1,639 @@
+// Package core implements RIPPLE, the paper's contribution: an opportunistic
+// forwarding scheme for interactive traffic built from two mechanisms.
+//
+// Multi-hop transmission opportunity (mTXOP): after the source wins one DCF
+// transmission opportunity, the frame ripples to the destination without
+// further contention. The destination acknowledges after SIFS; forwarder of
+// rank i (1 = closest to the destination) relays a data frame after sensing
+// the channel idle for i·Slot + SIFS, and relays a MAC ACK after
+// (i−1)·Slot + SIFS with ranks counted toward the source. Forwarders never
+// cache: an overheard frame is relayed at most once, immediately, or
+// discarded, and retransmission is end-to-end from the source — so relaying
+// can never reorder packets.
+//
+// Two-way packet aggregation: up to MaxAgg (16) packets, each with its own
+// CRC, ride in one frame; the MAC ACK carries a reception bitmap and only
+// corrupted packets are retransmitted. Both endpoints aggregate (TCP data
+// one way, TCP ACKs the other). The send queue Sq retains unacknowledged
+// packets; the receive queue Rq resequences packets broken by partial frame
+// corruption before delivery to the upper layer.
+package core
+
+import (
+	"ripple/internal/forward"
+	"ripple/internal/mac"
+	"ripple/internal/phys"
+	"ripple/internal/pkt"
+	"ripple/internal/sim"
+)
+
+// Options tunes RIPPLE behaviour; DefaultOptions matches the paper.
+type Options struct {
+	// MaxAgg is the aggregation limit (paper: 16; 1 disables aggregation,
+	// which is the "R1" configuration of Figs. 3-4).
+	MaxAgg int
+	// RqEnabled enables the destination resequencing queue (Remark 6).
+	RqEnabled bool
+	// RqHold bounds how long Rq withholds out-of-order packets waiting for
+	// an end-to-end retransmission to fill a gap. Needed because a packet
+	// dropped at the source after the retry limit would otherwise stall
+	// the stream forever.
+	RqHold sim.Time
+	// RqCap bounds the resequencing buffer per stream.
+	RqCap int
+	// RelayDefer selects how a forwarder's "channel idle for T" relay rule
+	// treats unrelated carrier. When false (strict), any sensed carrier
+	// during the wait discards the overheard frame — the letter of §III-A.
+	// When true (default), the forwarder pauses while busy and restarts
+	// the T wait at the next idle, discarding only on evidence that a
+	// higher-priority station already covered the frame (a decoded relay
+	// or ACK of the same mTXOP) or when the defer deadline passes. Without
+	// deferral, any background traffic breaks every mTXOP, contradicting
+	// the paper's Remark 3 that broken mTXOPs "are likely to be
+	// insignificant"; see DESIGN.md.
+	RelayDefer bool
+	// RelayDeferLimit bounds how long a deferred relay may wait before the
+	// frame is discarded (the source's retry supersedes it anyway).
+	RelayDeferLimit sim.Time
+	// LocalAggOnRelay lets a forwarder top up a relayed frame with its own
+	// queued packets bound for the same destination ("a forwarder
+	// aggregates local packets (if the frame is not large enough) so that
+	// both multi-hop and local packets are sent in one transmission",
+	// Remark 3). Piggybacked packets are acknowledged by the same bitmap
+	// ACK; unacknowledged ones return to the local queue.
+	LocalAggOnRelay bool
+}
+
+// DefaultOptions returns the paper's configuration (aggregation 16, Rq on,
+// relay deferral bounded at 2 ms).
+func DefaultOptions() Options {
+	return Options{
+		MaxAgg:          16,
+		RqEnabled:       true,
+		RqHold:          25 * sim.Millisecond,
+		RqCap:           128,
+		RelayDefer:      true,
+		RelayDeferLimit: 2 * sim.Millisecond,
+	}
+}
+
+// Ripple is the per-station RIPPLE agent.
+type Ripple struct {
+	env forward.Env
+	opt Options
+
+	queue *mac.Queue // Sq: pending packets not yet in service
+	cont  *mac.Contender
+
+	// Source-side exchange state (one outstanding mTXOP per station).
+	inService  []*pkt.Packet
+	svcFlow    int
+	svcDst     pkt.NodeID
+	exchanging bool
+	curTxop    uint64
+	txopSeq    uint64
+	attempts   int
+	ackTimer   *sim.Event
+
+	// Forwarder relay state: armed idle-timers (paused and resumed around
+	// busy periods in deferral mode). Kept as an ordered slice — map
+	// iteration order would randomise event scheduling and break run
+	// determinism.
+	relays   []*pendingRelay
+	seenData map[uint64]bool // TxopIDs whose data we already relayed
+	seenAck  map[uint64]bool // TxopIDs whose ACK we already relayed
+
+	// Destination-side resequencing (Rq), one per incoming stream.
+	rq map[streamKey]*reseq
+	// macSeq assigns MAC-stream sequence numbers to locally originated
+	// packets, one counter per outgoing stream.
+	macSeq map[streamKey]int64
+	// piggy tracks local packets riding on relayed frames (LocalAggOnRelay),
+	// keyed by the mTXOP they joined, until the bitmap ACK covers them.
+	piggy map[uint64][]*pkt.Packet
+}
+
+type streamKey struct {
+	flow int
+	src  pkt.NodeID
+}
+
+var _ forward.Scheme = (*Ripple)(nil)
+
+// New creates the RIPPLE agent for one station.
+func New(env forward.Env, opt Options) *Ripple {
+	if opt.MaxAgg < 1 {
+		opt.MaxAgg = 1
+	}
+	r := &Ripple{
+		env:      env,
+		opt:      opt,
+		queue:    mac.NewQueue(env.P.QueueLimit),
+		seenData: make(map[uint64]bool),
+		seenAck:  make(map[uint64]bool),
+		rq:       make(map[streamKey]*reseq),
+		macSeq:   make(map[streamKey]int64),
+		piggy:    make(map[uint64][]*pkt.Packet),
+	}
+	r.cont = env.NewContender(r.onGrant)
+	return r
+}
+
+// Send implements forward.Scheme: a locally originated packet enters Sq
+// and is stamped with its MAC-stream sequence number (what Rq orders by).
+func (r *Ripple) Send(p *pkt.Packet) bool {
+	p.EnqueuedAt = r.env.Eng.Now()
+	key := streamKey{flow: p.FlowID, src: p.Src}
+	if !r.queue.Push(p) {
+		r.env.C.QueueDrops++
+		return false
+	}
+	p.MacSeq = r.macSeq[key]
+	r.macSeq[key]++
+	r.maybeRequest()
+	return true
+}
+
+// QueueLen implements forward.Scheme.
+func (r *Ripple) QueueLen() int { return r.queue.Len() + len(r.inService) }
+
+func (r *Ripple) maybeRequest() {
+	if r.exchanging {
+		return
+	}
+	if len(r.inService) == 0 && r.queue.Len() == 0 {
+		return
+	}
+	r.cont.Request()
+}
+
+// onGrant: the station won a DCF transmission opportunity — launch an mTXOP.
+func (r *Ripple) onGrant() {
+	if len(r.inService) > 0 {
+		// Retransmitting: top up the batch with fresh packets of the same
+		// stream ("when the source (re)transmits, we allow multiple
+		// packets to be aggregated in the (re)transmitted frame").
+		if len(r.inService) < r.opt.MaxAgg {
+			extra := r.queue.PopNWhere(r.opt.MaxAgg-len(r.inService), func(p *pkt.Packet) bool {
+				return p.FlowID == r.svcFlow && p.Dst == r.svcDst
+			})
+			r.inService = append(r.inService, extra...)
+		}
+	} else {
+		head := r.queue.Peek()
+		if head == nil {
+			return
+		}
+		r.svcFlow = head.FlowID
+		r.svcDst = head.Dst
+		r.inService = r.queue.PopNWhere(r.opt.MaxAgg, func(p *pkt.Packet) bool {
+			return p.FlowID == head.FlowID && p.Dst == head.Dst
+		})
+	}
+	if len(r.inService) == 0 {
+		return
+	}
+	fwd := r.env.Routes.FwdList(r.svcFlow, r.env.ID, r.svcDst)
+	if len(fwd) == 0 {
+		r.env.C.MACDrops += uint64(len(r.inService))
+		r.inService = nil
+		r.maybeRequest()
+		return
+	}
+	r.txopSeq++
+	r.curTxop = uint64(r.env.ID)<<32 | r.txopSeq
+	f := &pkt.Frame{
+		Kind:     pkt.Data,
+		Tx:       r.env.ID,
+		Rx:       pkt.Broadcast,
+		Origin:   r.env.ID,
+		FinalDst: r.svcDst,
+		FwdList:  append([]pkt.NodeID(nil), fwd...),
+		TxopID:   r.curTxop,
+		Packets:  append([]*pkt.Packet(nil), r.inService...),
+		FlowID:   r.svcFlow,
+		// Multi-rate extension: pick the rate for the most probable first
+		// hop (the forwarder nearest the source); farther forwarders and
+		// the destination may then decode opportunistically or not.
+		RateBps: r.env.Rate(fwd[len(fwd)-1]),
+	}
+	f.Duration = r.dataDuration(f)
+	for _, p := range f.Packets {
+		p.Retries++
+	}
+	r.exchanging = true
+	r.env.C.TxFrames++
+	r.env.C.TxData++
+	r.env.C.TxPackets += uint64(len(f.Packets))
+	if r.attempts > 0 {
+		r.env.C.Retries++
+	}
+	r.env.Med.Transmit(f)
+}
+
+func (r *Ripple) dataDuration(f *pkt.Frame) sim.Time {
+	perPkt := phys.PerPacketCRCBytes
+	if r.opt.MaxAgg == 1 {
+		perPkt = 0
+	}
+	payload := f.PayloadBytes(phys.MACHeaderBytes, perPkt, phys.ForwarderEntryBytes)
+	return r.env.P.DataTimeAt(payload, f.RateBps)
+}
+
+func (r *Ripple) ackDuration(fwdEntries int) sim.Time {
+	bytes := phys.ACKFrameBytes + phys.BitmapACKBytes + fwdEntries*phys.ForwarderEntryBytes
+	return r.env.P.PHYHdr + sim.Time(float64(bytes*8)/r.env.P.BasicBps*1e9)
+}
+
+// TxDone implements radio.MAC: after the source's own data frame ends, arm
+// the end-to-end ACK timeout covering the worst-case mTXOP duration.
+func (r *Ripple) TxDone(f *pkt.Frame) {
+	if f.Kind != pkt.Data || f.Origin != r.env.ID || f.TxopID != r.curTxop || !r.exchanging {
+		return
+	}
+	m := len(f.FwdList) - 1 // forwarders (list includes the destination)
+	hopGap := r.env.P.SIFS + sim.Time(m)*r.env.P.Slot
+	dataPath := sim.Time(m) * (hopGap + f.Duration)
+	ackPath := sim.Time(m+1) * (hopGap + r.ackDuration(len(f.FwdList)))
+	timeout := dataPath + ackPath + 4*sim.Microsecond
+	r.ackTimer = r.env.Eng.After(timeout, r.onAckTimeout)
+}
+
+func (r *Ripple) onAckTimeout() {
+	if !r.exchanging {
+		return
+	}
+	r.exchanging = false
+	r.attempts++
+	r.env.C.AckTimeouts++
+	r.dropExpired()
+	if len(r.inService) == 0 {
+		r.attempts = 0
+		r.cont.Success()
+	} else {
+		r.cont.Failure()
+	}
+	r.maybeRequest()
+}
+
+// dropExpired discards in-service packets past the retry limit.
+func (r *Ripple) dropExpired() {
+	kept := r.inService[:0]
+	for _, p := range r.inService {
+		if p.Retries > r.env.P.RetryLimit {
+			r.env.C.MACDrops++
+			continue
+		}
+		kept = append(kept, p)
+	}
+	r.inService = kept
+}
+
+// FrameReceived implements radio.MAC.
+func (r *Ripple) FrameReceived(f *pkt.Frame, pktOK []bool) {
+	switch f.Kind {
+	case pkt.Ack:
+		r.handleAck(f)
+	case pkt.Data:
+		r.handleData(f, pktOK)
+	}
+}
+
+// handleAck covers both roles: the mTXOP source consuming its end-to-end
+// MAC ACK, and a forwarder relaying the ACK back toward the source.
+func (r *Ripple) handleAck(f *pkt.Frame) {
+	if pending, ok := r.piggy[f.TxopID]; ok {
+		// The bitmap covers packets we piggybacked onto this mTXOP's
+		// relay; acknowledged ones are done, the rest await reclaim.
+		acked := make(map[uint64]struct{}, len(f.AckedUIDs))
+		for _, id := range f.AckedUIDs {
+			acked[id] = struct{}{}
+		}
+		kept := pending[:0]
+		for _, p := range pending {
+			if _, ok := acked[p.UID]; !ok {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) == 0 {
+			delete(r.piggy, f.TxopID)
+		} else {
+			r.piggy[f.TxopID] = kept
+		}
+	}
+	if r.exchanging && f.Origin == r.env.ID {
+		acked := make(map[uint64]struct{}, len(f.AckedUIDs))
+		for _, id := range f.AckedUIDs {
+			acked[id] = struct{}{}
+		}
+		matched := f.TxopID == r.curTxop
+		kept := r.inService[:0]
+		for _, p := range r.inService {
+			if _, ok := acked[p.UID]; ok {
+				matched = true
+				continue
+			}
+			kept = append(kept, p)
+		}
+		r.inService = kept
+		if matched {
+			r.env.Eng.Cancel(r.ackTimer)
+			r.exchanging = false
+			r.attempts = 0
+			r.cont.Success()
+			r.maybeRequest()
+		}
+		return
+	}
+
+	// Forwarder: relay the MAC ACK toward the source after (i−1)·Slot+SIFS
+	// idle, where i ranks stations by proximity to the source.
+	myData := f.RankOf(r.env.ID)
+	if myData < 0 || f.Origin == r.env.ID {
+		return
+	}
+	n := len(f.FwdList)
+	myAck := n - myData
+	txAck := n // the destination (ACK originator) outranks every relay
+	if tr := f.RankOf(f.Tx); tr > 0 {
+		txAck = n - tr
+	}
+	// A decoded ACK proves the destination received the data frame: any
+	// pending data relay of this mTXOP is obsolete. A relayed ACK from a
+	// station nearer the source also covers our pending ACK relay.
+	r.suppressRelay(f.TxopID^dataRelayTag, 0)
+	r.suppressRelay(f.TxopID, txAck)
+	if myAck >= txAck || r.seenAck[f.TxopID] {
+		return
+	}
+	r.armRelay(f.TxopID, f.TxopID, false, myAck,
+		sim.Time(myAck-1)*r.env.P.Slot+r.env.P.SIFS, func() {
+			r.seenAck[f.TxopID] = true
+			relay := f.Clone()
+			relay.Tx = r.env.ID
+			relay.Duration = r.ackDuration(len(relay.FwdList))
+			r.env.C.TxFrames++
+			r.env.C.Relays++
+			r.env.Med.Transmit(relay)
+		})
+}
+
+// handleData covers the destination (ACK + deliver) and forwarder (relay)
+// roles for an opportunistic data frame.
+func (r *Ripple) handleData(f *pkt.Frame, pktOK []bool) {
+	myRank := f.RankOf(r.env.ID)
+	if myRank < 0 || f.Origin == r.env.ID {
+		return
+	}
+	var okPkts []*pkt.Packet
+	var okUIDs []uint64
+	for i, p := range f.Packets {
+		if i < len(pktOK) && pktOK[i] {
+			okPkts = append(okPkts, p)
+			okUIDs = append(okUIDs, p.UID)
+		}
+	}
+	if len(okPkts) == 0 {
+		// Header decodable but every sub-packet corrupted: stay silent so
+		// a forwarder that fared better can relay; EIFS applies.
+		r.cont.NoteCorrupted()
+		return
+	}
+
+	if myRank == 0 {
+		// Destination: bitmap-ACK after SIFS, deliver through Rq.
+		r.env.C.RxData++
+		ack := &pkt.Frame{
+			Kind:      pkt.Ack,
+			Tx:        r.env.ID,
+			Rx:        f.Origin,
+			Origin:    f.Origin,
+			FinalDst:  f.Origin,
+			FwdList:   append([]pkt.NodeID(nil), f.FwdList...),
+			TxopID:    f.TxopID,
+			AckedUIDs: okUIDs,
+			Acker:     r.env.ID,
+			AckerRank: 0,
+			FlowID:    f.FlowID,
+		}
+		ack.Duration = r.ackDuration(len(ack.FwdList))
+		r.env.Eng.After(r.env.P.SIFS, func() {
+			if r.env.Med.Transmitting(r.env.ID) {
+				return
+			}
+			r.env.C.TxFrames++
+			r.env.Med.Transmit(ack)
+		})
+		for _, p := range okPkts {
+			r.deliver(p)
+		}
+		return
+	}
+
+	// Forwarder of rank i: relay after i·Slot + SIFS of idle channel. Only
+	// relay frames moving toward the destination (transmitter ranked
+	// farther from it than we are), and at most once per mTXOP.
+	txRank := len(f.FwdList) // the origin outranks the whole list
+	if tr := f.RankOf(f.Tx); tr >= 0 {
+		txRank = tr
+	}
+	// A decoded relay from a station nearer the destination covers any
+	// relay we still have pending for this mTXOP.
+	r.suppressRelay(f.TxopID^dataRelayTag, txRank)
+	if myRank >= txRank || r.seenData[f.TxopID] {
+		return
+	}
+	r.armRelay(f.TxopID^dataRelayTag, f.TxopID, true, myRank,
+		sim.Time(myRank)*r.env.P.Slot+r.env.P.SIFS, func() {
+			r.seenData[f.TxopID] = true
+			relay := f.Clone()
+			relay.Tx = r.env.ID
+			relay.Packets = okPkts
+			if r.opt.LocalAggOnRelay && len(relay.Packets) < r.opt.MaxAgg {
+				r.piggyback(relay)
+			}
+			relay.Duration = r.dataDuration(relay)
+			r.env.C.TxFrames++
+			r.env.C.Relays++
+			r.env.Med.Transmit(relay)
+		})
+}
+
+// piggyback tops a relayed frame up with local packets bound for the same
+// destination (Remark 3). They are reclaimed on ACK or timeout.
+func (r *Ripple) piggyback(relay *pkt.Frame) {
+	room := r.opt.MaxAgg - len(relay.Packets)
+	local := r.queue.PopNWhere(room, func(p *pkt.Packet) bool {
+		return p.Dst == relay.FinalDst
+	})
+	if len(local) == 0 {
+		return
+	}
+	relay.Packets = append(relay.Packets, local...)
+	r.piggy[relay.TxopID] = append(r.piggy[relay.TxopID], local...)
+	// If the mTXOP's ACK never comes back through us, reclaim the packets
+	// so they are retransmitted in our own transmission opportunity.
+	deadline := 4 * (r.env.P.SIFS + 5*r.env.P.Slot + r.dataDuration(relay))
+	r.env.Eng.After(deadline, func() { r.reclaimPiggy(relay.TxopID) })
+}
+
+// reclaimPiggy returns unacknowledged piggybacked packets to the queue.
+func (r *Ripple) reclaimPiggy(txop uint64) {
+	pending := r.piggy[txop]
+	if len(pending) == 0 {
+		return
+	}
+	delete(r.piggy, txop)
+	for i := len(pending) - 1; i >= 0; i-- {
+		r.queue.PushFront(pending[i])
+	}
+	r.maybeRequest()
+}
+
+// dataRelayTag disambiguates data-relay timers from ACK-relay timers for
+// the same mTXOP in the relays map.
+const dataRelayTag = 0x8000000000000000
+
+// pendingRelay is a forwarder's armed (or deferred) relay of one frame.
+type pendingRelay struct {
+	key      uint64
+	txop     uint64
+	isData   bool
+	rank     int // my relay rank in the frame's direction
+	wait     sim.Time
+	deadline sim.Time
+	fire     func()
+	ev       *sim.Event
+}
+
+// findRelay returns the pending relay with the given key, or nil.
+func (r *Ripple) findRelay(key uint64) *pendingRelay {
+	for _, p := range r.relays {
+		if p.key == key {
+			return p
+		}
+	}
+	return nil
+}
+
+// dropRelay removes a pending relay from the ordered list.
+func (r *Ripple) dropRelay(p *pendingRelay) {
+	for i, q := range r.relays {
+		if q == p {
+			r.relays = append(r.relays[:i], r.relays[i+1:]...)
+			return
+		}
+	}
+}
+
+// armRelay schedules an opportunistic relay that fires once the channel has
+// been idle for `wait`. In strict mode any sensed carrier discards the
+// frame; in deferral mode the wait restarts at the next idle period until
+// the defer deadline, and decoded evidence of higher-priority coverage
+// (suppressRelay) discards it.
+func (r *Ripple) armRelay(key, txop uint64, isData bool, rank int, wait sim.Time, fire func()) {
+	busy := r.env.Med.CarrierBusy(r.env.ID)
+	if busy && !r.opt.RelayDefer {
+		r.env.C.RelayCancels++
+		return
+	}
+	if old := r.findRelay(key); old != nil {
+		r.env.Eng.Cancel(old.ev)
+		r.dropRelay(old)
+	}
+	p := &pendingRelay{
+		key: key, txop: txop, isData: isData, rank: rank,
+		wait:     wait,
+		deadline: r.env.Eng.Now() + r.opt.RelayDeferLimit,
+		fire:     fire,
+	}
+	r.relays = append(r.relays, p)
+	if !busy {
+		r.schedule(p)
+	}
+}
+
+func (r *Ripple) schedule(p *pendingRelay) {
+	p.ev = r.env.Eng.After(p.wait, func() {
+		if r.env.Med.CarrierBusy(r.env.ID) || r.env.Med.Transmitting(r.env.ID) {
+			// Raced with a carrier transition in the same instant; the
+			// busy handler keeps or discards the pending state.
+			if !r.opt.RelayDefer {
+				r.dropRelay(p)
+				r.env.C.RelayCancels++
+			}
+			return
+		}
+		r.dropRelay(p)
+		p.fire()
+	})
+}
+
+// onCarrierBusy pauses (deferral) or discards (strict) every armed relay.
+func (r *Ripple) onCarrierBusy() {
+	if !r.opt.RelayDefer {
+		for _, p := range r.relays {
+			r.env.Eng.Cancel(p.ev)
+			r.env.C.RelayCancels++
+		}
+		r.relays = r.relays[:0]
+		return
+	}
+	for _, p := range r.relays {
+		r.env.Eng.Cancel(p.ev)
+		p.ev = nil
+	}
+}
+
+// onCarrierIdle restarts deferred relay waits in arm order, expiring stale
+// ones.
+func (r *Ripple) onCarrierIdle() {
+	if !r.opt.RelayDefer {
+		return
+	}
+	now := r.env.Eng.Now()
+	kept := r.relays[:0]
+	for _, p := range r.relays {
+		if p.ev != nil && !p.ev.Canceled() {
+			kept = append(kept, p)
+			continue
+		}
+		if now >= p.deadline {
+			r.env.C.RelayCancels++
+			continue
+		}
+		kept = append(kept, p)
+		r.schedule(p)
+	}
+	r.relays = kept
+}
+
+// suppressRelay discards pending relays covered by a decoded transmission:
+// a data frame or ACK of the same mTXOP from a station ranked ahead of us.
+func (r *Ripple) suppressRelay(key uint64, coveringRank int) {
+	p := r.findRelay(key)
+	if p == nil {
+		return
+	}
+	if coveringRank < p.rank {
+		r.env.Eng.Cancel(p.ev)
+		r.dropRelay(p)
+		r.env.C.RelayCancels++
+	}
+}
+
+// FrameCorrupted implements radio.MAC.
+func (r *Ripple) FrameCorrupted() { r.cont.NoteCorrupted() }
+
+// ChannelBusy implements radio.MAC: carrier pauses (or, in strict mode,
+// discards) pending relays and freezes the contender.
+func (r *Ripple) ChannelBusy() {
+	r.onCarrierBusy()
+	r.cont.OnBusy()
+}
+
+// ChannelIdle implements radio.MAC: deferred relays restart their wait.
+func (r *Ripple) ChannelIdle() {
+	r.onCarrierIdle()
+	r.cont.OnIdle()
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ripple/internal/network"
+	"ripple/internal/pkt"
+	"ripple/internal/radio"
+	"ripple/internal/routing"
+	"ripple/internal/sim"
+	"ripple/internal/topology"
+)
+
+// AblationETXRoutes compares the Table II predetermined routes against
+// ETX-discovered routes on the Fig. 1 topology (§III-B1: forwarder
+// selection is orthogonal to RIPPLE; ExOR/MORE use ETX). Both DCF and
+// RIPPLE run all three flows.
+func AblationETXRoutes(opt Options) (*Table, error) {
+	opt = opt.normalize()
+	top := topology.Fig1()
+	rc := radio.DefaultConfig()
+	rc.BitErrorRate = 1e-6
+
+	// Discover ETX routes for the three flow endpoint pairs.
+	tab := routing.NewTable(len(top.Positions), func(a, b pkt.NodeID) float64 {
+		return 1 - rc.LossProb(radio.Dist(top.Positions[a], top.Positions[b]))
+	}, 0.1)
+	pairs := [][2]pkt.NodeID{{0, 3}, {0, 4}, {5, 7}}
+	etxPaths := make([]routing.Path, 0, len(pairs))
+	for _, pr := range pairs {
+		p, err := tab.ShortestPath(pr[0], pr[1])
+		if err != nil {
+			return nil, fmt.Errorf("ablation-etx: %w", err)
+		}
+		etxPaths = append(etxPaths, p)
+	}
+
+	out := &Table{
+		ID:      "ablation-etx",
+		Title:   "Table II fixed routes vs ETX-discovered routes, 3 TCP flows",
+		Unit:    "Mbps total",
+		Columns: []string{"DCF", "RIPPLE"},
+	}
+	for _, variant := range []struct {
+		label string
+		paths []routing.Path
+	}{
+		{"ROUTE0 (fixed)", routing.Route0().Flows()},
+		{"ETX-discovered", etxPaths},
+	} {
+		row := Row{Label: variant.label}
+		for _, kind := range []network.SchemeKind{network.DCF, network.Ripple} {
+			flows := make([]network.FlowSpec, 0, 3)
+			for i, p := range variant.paths {
+				flows = append(flows, network.FlowSpec{
+					ID: i + 1, Path: p, Kind: network.FTP,
+					Start: sim.Time(i) * 100 * sim.Millisecond,
+				})
+			}
+			cfg := network.Config{
+				Positions: top.Positions,
+				Radio:     rc,
+				Scheme:    kind,
+				Flows:     flows,
+			}
+			res, err := runAvg(cfg, opt)
+			if err != nil {
+				return nil, fmt.Errorf("ablation-etx %s: %w", variant.label, err)
+			}
+			row.Cells = append(row.Cells, totalTCP(res))
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,161 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§II motivation numbers, Figs. 3-8 and 10/12, Tables I-III).
+// Each experiment builds network.Config scenarios, runs them over several
+// seeds (concurrently), and returns a formatted Table whose rows mirror
+// what the paper plots.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ripple/internal/network"
+	"ripple/internal/sim"
+)
+
+// Options controls experiment execution.
+type Options struct {
+	// Seeds to average over (paper: "averages over multiple runs").
+	Seeds []uint64
+	// Duration of each run (Table I: 10 s).
+	Duration sim.Time
+}
+
+// Defaults returns the paper's settings: 10-second runs over three seeds.
+func Defaults() Options {
+	return Options{Seeds: []uint64{1, 2, 3}, Duration: 10 * sim.Second}
+}
+
+// Quick returns reduced settings for tests and iteration: one seed, 2 s.
+func Quick() Options {
+	return Options{Seeds: []uint64{1}, Duration: 2 * sim.Second}
+}
+
+func (o Options) normalize() Options {
+	if len(o.Seeds) == 0 {
+		o.Seeds = []uint64{1, 2, 3}
+	}
+	if o.Duration == 0 {
+		o.Duration = 10 * sim.Second
+	}
+	return o
+}
+
+// Table is one regenerated figure or table.
+type Table struct {
+	ID      string // e.g. "fig3a"
+	Title   string
+	Unit    string
+	Columns []string
+	Rows    []Row
+}
+
+// Row is one line of a Table.
+type Row struct {
+	Label string
+	Cells []float64
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s", t.ID, t.Title)
+	if t.Unit != "" {
+		fmt.Fprintf(&b, " (%s)", t.Unit)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-16s", "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%12s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-16s", r.Label)
+		for _, v := range r.Cells {
+			fmt.Fprintf(&b, "%12.2f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MetricUnit returns the table's unit as a benchmark-metric-safe token
+// (lowercase, no spaces), e.g. "Mbps total" → "mbps_total".
+func (t *Table) MetricUnit() string {
+	u := strings.ToLower(t.Unit)
+	u = strings.ReplaceAll(u, " ", "_")
+	u = strings.ReplaceAll(u, "(", "")
+	u = strings.ReplaceAll(u, ")", "")
+	if u == "" {
+		u = "value"
+	}
+	return u
+}
+
+// Cell returns the value at (rowLabel, column), with ok=false when absent.
+func (t *Table) Cell(rowLabel, column string) (float64, bool) {
+	ci := -1
+	for i, c := range t.Columns {
+		if c == column {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return 0, false
+	}
+	for _, r := range t.Rows {
+		if r.Label == rowLabel && ci < len(r.Cells) {
+			return r.Cells[ci], true
+		}
+	}
+	return 0, false
+}
+
+// runAvg executes a scenario over the option seeds and returns the
+// seed-averaged result.
+func runAvg(cfg network.Config, opt Options) (*network.Result, error) {
+	cfg.Duration = opt.Duration
+	_, avg, err := network.RunSeeds(cfg, opt.Seeds)
+	return avg, err
+}
+
+// totalTCP sums throughput over all TCP flows in a result.
+func totalTCP(res *network.Result) float64 {
+	var sum float64
+	for _, f := range res.Flows {
+		if f.Kind == network.FTP || f.Kind == network.Web {
+			sum += f.ThroughputMbps
+		}
+	}
+	return sum
+}
+
+// Runner is a named experiment.
+type Runner struct {
+	Name string
+	Run  func(Options) ([]*Table, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Runner {
+	return []Runner{
+		{"motivation", func(o Options) ([]*Table, error) { t, err := Motivation(o); return wrap(t, err) }},
+		{"fig3", Fig3},
+		{"fig4", Fig4},
+		{"fig6a", func(o Options) ([]*Table, error) { t, err := Fig6a(o); return wrap(t, err) }},
+		{"fig6b", func(o Options) ([]*Table, error) { t, err := Fig6b(o); return wrap(t, err) }},
+		{"fig7", Fig7},
+		{"fig8", func(o Options) ([]*Table, error) { t, err := Fig8(o); return wrap(t, err) }},
+		{"table3", func(o Options) ([]*Table, error) { t, err := Table3(o); return wrap(t, err) }},
+		{"fig10", Fig10},
+		{"fig12", Fig12},
+	}
+}
+
+func wrap(t *Table, err error) ([]*Table, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ripple/internal/network"
+	"ripple/internal/phys"
+	"ripple/internal/sim"
+	"ripple/internal/topology"
+)
+
+// Fig10 regenerates Fig. 10: per-flow TCP throughput for eight station
+// pairs of the Wigle topology, at 6 and 216 Mbps PHY rates, with and
+// without the hidden S→R TCP flow. Each station pair runs on its own, as in
+// the paper's per-flow bars.
+func Fig10(opt Options) ([]*Table, error) {
+	opt = opt.normalize()
+	top, flows, hiddenPath := topology.Wigle()
+
+	variant := func(id string, lowRate, hidden bool) (*Table, error) {
+		title := "Wigle topology per-flow TCP throughput, "
+		if lowRate {
+			title += "6 Mbps"
+		} else {
+			title += "216 Mbps"
+		}
+		if hidden {
+			title += ", with hidden terminals"
+		}
+		tab := &Table{ID: id, Title: title, Unit: "Mbps"}
+		for _, c := range loadColumns() {
+			tab.Columns = append(tab.Columns, c.label)
+		}
+		rc := topology.HiddenRadio()
+		rc.BitErrorRate = 1e-6
+		for _, p := range flows {
+			row := Row{Label: topology.WigleFlowLabel(p)}
+			for _, c := range loadColumns() {
+				specs := []network.FlowSpec{{ID: 1, Path: p, Kind: network.FTP}}
+				if hidden {
+					specs = append(specs, network.FlowSpec{
+						ID: 2, Path: hiddenPath, Kind: network.FTP,
+						Start: 30 * sim.Millisecond,
+					})
+				}
+				cfg := network.Config{
+					Positions: top.Positions,
+					Radio:     rc,
+					Scheme:    c.kind,
+					Flows:     specs,
+				}
+				if lowRate {
+					cfg.Phy = phys.LowRate()
+				}
+				res, err := runAvg(cfg, opt)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s %s: %w", id, c.label, row.Label, err)
+				}
+				row.Cells = append(row.Cells, res.Flows[0].ThroughputMbps)
+			}
+			tab.Rows = append(tab.Rows, row)
+		}
+		return tab, nil
+	}
+
+	var out []*Table
+	for _, v := range []struct {
+		id      string
+		lowRate bool
+		hidden  bool
+	}{
+		{"fig10a", true, false},
+		{"fig10b", true, true},
+		{"fig10c", false, false},
+		{"fig10d", false, true},
+	} {
+		t, err := variant(v.id, v.lowRate, v.hidden)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

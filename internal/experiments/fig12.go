@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ripple/internal/network"
+	"ripple/internal/phys"
+	"ripple/internal/pkt"
+	"ripple/internal/radio"
+	"ripple/internal/routing"
+	"ripple/internal/sim"
+	"ripple/internal/topology"
+)
+
+// Fig12 regenerates Fig. 12: per-flow TCP throughput for ETX-selected 3-5
+// hop station pairs of the Roofnet topology, at 6 and 216 Mbps, with and
+// without a hidden-terminal pair near the mesh. Flows run one at a time as
+// in Fig. 10.
+func Fig12(opt Options) ([]*Table, error) {
+	opt = opt.normalize()
+	rc := topology.HiddenRadio()
+	rc.BitErrorRate = 1e-6
+
+	// Build the ETX table over the base mesh to select the paper's flows.
+	base := topology.Roofnet()
+	etx := routing.NewTable(len(base.Positions), func(a, b pkt.NodeID) float64 {
+		return 1 - rc.LossProb(radioDist(base, a, b))
+	}, 0.1)
+	flows, err := topology.RoofnetFlows(etx)
+	if err != nil {
+		return nil, err
+	}
+
+	// The hidden pair is appended to a copy of the topology.
+	withHidden := topology.Roofnet()
+	hiddenPath := topology.RoofnetHiddenPair(&withHidden)
+
+	variant := func(id string, lowRate, hidden bool) (*Table, error) {
+		title := "Roofnet topology per-flow TCP throughput, "
+		if lowRate {
+			title += "6 Mbps"
+		} else {
+			title += "216 Mbps"
+		}
+		if hidden {
+			title += ", with hidden terminals"
+		}
+		tab := &Table{ID: id, Title: title, Unit: "Mbps"}
+		for _, c := range loadColumns() {
+			tab.Columns = append(tab.Columns, c.label)
+		}
+		top := base
+		if hidden {
+			top = withHidden
+		}
+		for _, f := range flows {
+			row := Row{Label: f.Label}
+			for _, c := range loadColumns() {
+				specs := []network.FlowSpec{{ID: 1, Path: f.Path, Kind: network.FTP}}
+				if hidden {
+					specs = append(specs, network.FlowSpec{
+						ID: 2, Path: hiddenPath, Kind: network.FTP,
+						Start: 30 * sim.Millisecond,
+					})
+				}
+				cfg := network.Config{
+					Positions: top.Positions,
+					Radio:     rc,
+					Scheme:    c.kind,
+					Flows:     specs,
+					// Fig. 12 paths reach 5 hops; allow the §IV-C cap.
+					MaxForwarders: 7,
+				}
+				if lowRate {
+					cfg.Phy = phys.LowRate()
+				}
+				res, err := runAvg(cfg, opt)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s %s: %w", id, c.label, f.Label, err)
+				}
+				row.Cells = append(row.Cells, res.Flows[0].ThroughputMbps)
+			}
+			tab.Rows = append(tab.Rows, row)
+		}
+		return tab, nil
+	}
+
+	var out []*Table
+	for _, v := range []struct {
+		id      string
+		lowRate bool
+		hidden  bool
+	}{
+		{"fig12a", true, false},
+		{"fig12b", true, true},
+		{"fig12c", false, false},
+		{"fig12d", false, true},
+	} {
+		t, err := variant(v.id, v.lowRate, v.hidden)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// radioDist returns the distance between two stations of a topology.
+func radioDist(t topology.Topology, a, b pkt.NodeID) float64 {
+	return radio.Dist(t.Positions[a], t.Positions[b])
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ripple/internal/network"
+	"ripple/internal/radio"
+	"ripple/internal/routing"
+	"ripple/internal/sim"
+	"ripple/internal/topology"
+)
+
+// schemeColumn is one bar group of Figs. 3/4: the paper's label plus how to
+// build the scenario (scheme kind and whether routes are direct SPR paths).
+type schemeColumn struct {
+	label  string
+	kind   network.SchemeKind
+	direct bool
+}
+
+// figColumns are the five bars of Figs. 3 and 4: S, D, R1, A, R16.
+func figColumns() []schemeColumn {
+	return []schemeColumn{
+		{"S", network.DCF, true},
+		{"D", network.DCF, false},
+		{"R1", network.RippleNoAgg, false},
+		{"A", network.AFR, false},
+		{"R16", network.Ripple, false},
+	}
+}
+
+// fig1Flows builds the FTP flow specs for the first n flows of the Fig. 1
+// topology under the given route set; direct selects SPR source→destination
+// paths instead of the predetermined routes.
+func fig1Flows(rs routing.RouteSet, n int, direct bool, stagger sim.Time) []network.FlowSpec {
+	flows := make([]network.FlowSpec, 0, n)
+	for i, p := range rs.Flows()[:n] {
+		path := p
+		if direct {
+			path = routing.Path{p.Src(), p.Dst()}
+		}
+		flows = append(flows, network.FlowSpec{
+			ID:    i + 1,
+			Path:  path,
+			Kind:  network.FTP,
+			Start: sim.Time(i) * stagger,
+		})
+	}
+	return flows
+}
+
+// fig34 generates one subfigure of Fig. 3 (BER 1e-6) or Fig. 4 (BER 1e-5):
+// total long-lived TCP throughput on the Fig. 1 topology for 1, 2 and 3
+// concurrent flows under every scheme.
+func fig34(id string, rs routing.RouteSet, ber float64, opt Options) (*Table, error) {
+	opt = opt.normalize()
+	top := topology.Fig1()
+	rc := radio.DefaultConfig()
+	rc.BitErrorRate = ber
+	tab := &Table{
+		ID:    id,
+		Title: fmt.Sprintf("Long-lived TCP on Fig.1 topology, %s, BER %.0e", rs.Name, ber),
+		Unit:  "Mbps total",
+	}
+	for _, c := range figColumns() {
+		tab.Columns = append(tab.Columns, c.label)
+	}
+	for n := 1; n <= 3; n++ {
+		row := Row{Label: fmt.Sprintf("%d flow(s)", n)}
+		for _, c := range figColumns() {
+			cfg := network.Config{
+				Positions: top.Positions,
+				Radio:     rc,
+				Scheme:    c.kind,
+				Flows:     fig1Flows(rs, n, c.direct, 100*sim.Millisecond),
+			}
+			res, err := runAvg(cfg, opt)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s n=%d: %w", id, c.label, n, err)
+			}
+			row.Cells = append(row.Cells, totalTCP(res))
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	return tab, nil
+}
+
+// Fig3 regenerates Fig. 3(a-c): BER 1e-6 over ROUTE0/1/2.
+func Fig3(opt Options) ([]*Table, error) {
+	var out []*Table
+	for i, rs := range routing.RouteSets() {
+		t, err := fig34(fmt.Sprintf("fig3%c", 'a'+i), rs, 1e-6, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Fig4 regenerates Fig. 4(a-c): BER 1e-5 over ROUTE0/1/2.
+func Fig4(opt Options) ([]*Table, error) {
+	var out []*Table
+	for i, rs := range routing.RouteSets() {
+		t, err := fig34(fmt.Sprintf("fig4%c", 'a'+i), rs, 1e-5, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ripple/internal/network"
+	"ripple/internal/radio"
+	"ripple/internal/sim"
+	"ripple/internal/topology"
+)
+
+// loadColumns are the three schemes compared in Figs. 6-8 and Table III.
+func loadColumns() []schemeColumn {
+	return []schemeColumn{
+		{"DCF", network.DCF, false},
+		{"AFR", network.AFR, false},
+		{"RIPPLE", network.Ripple, false},
+	}
+}
+
+// Fig6a regenerates Fig. 6(a): total throughput versus the number of
+// parallel 3-hop TCP flows when every station is within carrier-sense range
+// (regular collisions only). BER 1e-6.
+func Fig6a(opt Options) (*Table, error) {
+	opt = opt.normalize()
+	rc := radio.DefaultConfig()
+	rc.BitErrorRate = 1e-6
+	tab := &Table{
+		ID:    "fig6a",
+		Title: "Regular collisions: total TCP throughput vs number of flows",
+		Unit:  "Mbps total",
+	}
+	for _, c := range loadColumns() {
+		tab.Columns = append(tab.Columns, c.label)
+	}
+	for _, n := range []int{1, 2, 4, 6, 8, 10} {
+		top, paths := topology.Regular(n)
+		row := Row{Label: fmt.Sprintf("%d flows", n)}
+		for _, c := range loadColumns() {
+			flows := make([]network.FlowSpec, 0, n)
+			for i, p := range paths {
+				flows = append(flows, network.FlowSpec{
+					ID: i + 1, Path: p, Kind: network.FTP,
+					Start: sim.Time(i) * 50 * sim.Millisecond,
+				})
+			}
+			cfg := network.Config{
+				Positions: top.Positions,
+				Radio:     rc,
+				Scheme:    c.kind,
+				Flows:     flows,
+			}
+			res, err := runAvg(cfg, opt)
+			if err != nil {
+				return nil, fmt.Errorf("fig6a %s n=%d: %w", c.label, n, err)
+			}
+			row.Cells = append(row.Cells, totalTCP(res))
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	return tab, nil
+}
+
+// Fig6b regenerates Fig. 6(b): flow 1's throughput as 0-9 hidden saturated
+// flows are added whose sources cannot be carrier-sensed by flow 1's source
+// but do interfere at its forwarders and destination. BER 1e-6.
+func Fig6b(opt Options) (*Table, error) {
+	opt = opt.normalize()
+	rc := topology.HiddenRadio()
+	rc.BitErrorRate = 1e-6
+	tab := &Table{
+		ID:    "fig6b",
+		Title: "Hidden collisions: flow-1 TCP throughput vs number of hidden flows",
+		Unit:  "Mbps",
+	}
+	for _, c := range loadColumns() {
+		tab.Columns = append(tab.Columns, c.label)
+	}
+	for n := 0; n <= 9; n++ {
+		top, main, hidden := topology.Hidden(n)
+		row := Row{Label: fmt.Sprintf("%d hidden", n)}
+		for _, c := range loadColumns() {
+			flows := []network.FlowSpec{{ID: 1, Path: main, Kind: network.FTP}}
+			for i, p := range hidden {
+				flows = append(flows, network.FlowSpec{
+					ID: i + 2, Path: p, Kind: network.CBRTraffic,
+					Start: 50 * sim.Millisecond,
+				})
+			}
+			cfg := network.Config{
+				Positions: top.Positions,
+				Radio:     rc,
+				Scheme:    c.kind,
+				Flows:     flows,
+			}
+			res, err := runAvg(cfg, opt)
+			if err != nil {
+				return nil, fmt.Errorf("fig6b %s n=%d: %w", c.label, n, err)
+			}
+			row.Cells = append(row.Cells, res.Flows[0].ThroughputMbps)
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	return tab, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ripple/internal/network"
+	"ripple/internal/radio"
+	"ripple/internal/sim"
+	"ripple/internal/topology"
+)
+
+// Fig7 regenerates Fig. 7: a single long-lived TCP flow over a line
+// topology of 2-7 hops, (a) alone and (b) with a 3-hop cross flow
+// intersecting the line at its middle station. Up to 7 hops means up to 6
+// forwarders, so the forwarder cap is raised to 7 as in §IV-C. BER 1e-6.
+func Fig7(opt Options) ([]*Table, error) {
+	opt = opt.normalize()
+	rc := radio.DefaultConfig()
+	rc.BitErrorRate = 1e-6
+
+	mk := func(id, title string, withCross bool) (*Table, error) {
+		tab := &Table{ID: id, Title: title, Unit: "Mbps (main flow)"}
+		for _, c := range loadColumns() {
+			tab.Columns = append(tab.Columns, c.label)
+		}
+		for hops := 2; hops <= 7; hops++ {
+			row := Row{Label: fmt.Sprintf("%d hops", hops)}
+			for _, c := range loadColumns() {
+				var cfg network.Config
+				if withCross {
+					top, main, cross := topology.LineWithCross(hops)
+					cfg = network.Config{
+						Positions: top.Positions,
+						Flows: []network.FlowSpec{
+							{ID: 1, Path: main, Kind: network.FTP},
+							{ID: 2, Path: cross, Kind: network.FTP, Start: 50 * sim.Millisecond},
+						},
+					}
+				} else {
+					top, main := topology.Line(hops)
+					cfg = network.Config{
+						Positions: top.Positions,
+						Flows:     []network.FlowSpec{{ID: 1, Path: main, Kind: network.FTP}},
+					}
+				}
+				cfg.Radio = rc
+				cfg.Scheme = c.kind
+				cfg.MaxForwarders = 7
+				res, err := runAvg(cfg, opt)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s hops=%d: %w", id, c.label, hops, err)
+				}
+				row.Cells = append(row.Cells, res.Flows[0].ThroughputMbps)
+			}
+			tab.Rows = append(tab.Rows, row)
+		}
+		return tab, nil
+	}
+
+	a, err := mk("fig7a", "Line topology 2-7 hops, no cross traffic", false)
+	if err != nil {
+		return nil, err
+	}
+	b, err := mk("fig7b", "Line topology 2-7 hops, with 3-hop cross flow", true)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{a, b}, nil
+}

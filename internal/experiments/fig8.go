@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ripple/internal/network"
+	"ripple/internal/radio"
+	"ripple/internal/routing"
+	"ripple/internal/sim"
+	"ripple/internal/topology"
+)
+
+// webFlows builds the §IV-D workload: ten short-transfer web connections
+// per source/destination pair of the Fig. 1 topology (flows 1-10 between 0
+// and 3, 11-20 between 0 and 4, 21-30 between 5 and 7), using the ROUTE0
+// paths. nGroups selects how many of the three pair groups are active.
+func webFlows(nGroups int) []network.FlowSpec {
+	rs := routing.Route0()
+	var flows []network.FlowSpec
+	for g, p := range rs.Flows()[:nGroups] {
+		for k := 0; k < 10; k++ {
+			id := g*10 + k + 1
+			flows = append(flows, network.FlowSpec{
+				ID:    id,
+				Path:  p,
+				Kind:  network.Web,
+				Start: sim.Time(k) * 20 * sim.Millisecond,
+			})
+		}
+	}
+	return flows
+}
+
+// Fig8 regenerates Fig. 8: total throughput of all active web flows on the
+// Fig. 1 topology under DCF, AFR and RIPPLE.
+func Fig8(opt Options) (*Table, error) {
+	opt = opt.normalize()
+	top := topology.Fig1()
+	rc := radio.DefaultConfig()
+	rc.BitErrorRate = 1e-6
+	tab := &Table{
+		ID:    "fig8",
+		Title: "Web traffic (Pareto 80KB transfers): total throughput of active flows",
+		Unit:  "Mbps total",
+	}
+	for _, c := range loadColumns() {
+		tab.Columns = append(tab.Columns, c.label)
+	}
+	for _, groups := range []int{1, 2, 3} {
+		row := Row{Label: fmt.Sprintf("flows 1..%d", groups*10)}
+		for _, c := range loadColumns() {
+			cfg := network.Config{
+				Positions: top.Positions,
+				Radio:     rc,
+				Scheme:    c.kind,
+				Flows:     webFlows(groups),
+			}
+			res, err := runAvg(cfg, opt)
+			if err != nil {
+				return nil, fmt.Errorf("fig8 %s groups=%d: %w", c.label, groups, err)
+			}
+			row.Cells = append(row.Cells, totalTCP(res))
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	return tab, nil
+}

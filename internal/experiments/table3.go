@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ripple/internal/network"
+	"ripple/internal/phys"
+	"ripple/internal/radio"
+	"ripple/internal/routing"
+	"ripple/internal/sim"
+	"ripple/internal/topology"
+)
+
+// voipFlows builds Table III's workload: ten 96 kbps on-off VoIP calls per
+// source/destination pair of the Fig. 1 topology over the ROUTE0 paths.
+func voipFlows(nGroups int) []network.FlowSpec {
+	rs := routing.Route0()
+	var flows []network.FlowSpec
+	for g, p := range rs.Flows()[:nGroups] {
+		for k := 0; k < 10; k++ {
+			id := g*10 + k + 1
+			flows = append(flows, network.FlowSpec{
+				ID:    id,
+				Path:  p,
+				Kind:  network.VoIPTraffic,
+				Start: sim.Time(k) * 30 * sim.Millisecond,
+			})
+		}
+	}
+	return flows
+}
+
+// Table3 regenerates Table III: mean VoIP MoS for 10/20/30 calls at BER
+// 1e-5 and 1e-6, with both PHY data and basic rates at 6 Mbps.
+func Table3(opt Options) (*Table, error) {
+	opt = opt.normalize()
+	top := topology.Fig1()
+	tab := &Table{
+		ID:    "table3",
+		Title: "VoIP MoS on Fig.1 topology, 6 Mbps PHY",
+		Unit:  "mean MoS (1-5)",
+	}
+	type cell struct {
+		ber    float64
+		groups int
+	}
+	var cells []cell
+	for _, ber := range []float64{1e-5, 1e-6} {
+		for _, g := range []int{1, 2, 3} {
+			cells = append(cells, cell{ber, g})
+			tab.Columns = append(tab.Columns, fmt.Sprintf("%.0e/1..%d", ber, g*10))
+		}
+	}
+	for _, c := range loadColumns() {
+		row := Row{Label: c.label}
+		for _, cl := range cells {
+			rc := radio.DefaultConfig()
+			rc.BitErrorRate = cl.ber
+			cfg := network.Config{
+				Positions: top.Positions,
+				Radio:     rc,
+				Phy:       phys.LowRate(),
+				Scheme:    c.kind,
+				Flows:     voipFlows(cl.groups),
+			}
+			res, err := runAvg(cfg, opt)
+			if err != nil {
+				return nil, fmt.Errorf("table3 %s ber=%.0e g=%d: %w", c.label, cl.ber, cl.groups, err)
+			}
+			var mos float64
+			for _, f := range res.Flows {
+				mos += f.MoS
+			}
+			mos /= float64(len(res.Flows))
+			row.Cells = append(row.Cells, mos)
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	return tab, nil
+}

@@ -1,0 +1,153 @@
+// Package forward implements the packet-forwarding schemes the paper
+// compares RIPPLE against: predetermined unicast routing over plain DCF
+// ("D"), direct single-hop SPR ("S"), the AFR single-hop aggregation scheme
+// ("A"), and the opportunistic preExOR and MCExOR schemes from §II. The
+// RIPPLE scheme itself lives in internal/core and shares this package's
+// plumbing.
+package forward
+
+import (
+	"ripple/internal/mac"
+	"ripple/internal/phys"
+	"ripple/internal/pkt"
+	"ripple/internal/radio"
+	"ripple/internal/routing"
+	"ripple/internal/sim"
+)
+
+// Scheme is one station's forwarding agent: it owns the station's MAC
+// behaviour (it is the radio.MAC upcall target) and accepts locally
+// originated packets from the transport layer.
+type Scheme interface {
+	radio.MAC
+	// Send hands a locally originated packet to the MAC send queue;
+	// it reports false when the queue is full and the packet was dropped.
+	Send(p *pkt.Packet) bool
+	// QueueLen returns the current MAC send-queue depth, including any
+	// in-service (transmitted but unacknowledged) batch.
+	QueueLen() int
+}
+
+// Counters tallies per-station MAC-level events for a run.
+type Counters struct {
+	TxFrames     uint64 // frames transmitted (including relays and ACKs)
+	TxData       uint64 // data frames transmitted
+	TxPackets    uint64 // upper-layer packets transmitted (incl. retx)
+	RxData       uint64 // data frames decoded and addressed to us
+	AckTimeouts  uint64 // exchanges that ended in timeout
+	Retries      uint64 // frame retransmissions
+	MACDrops     uint64 // packets dropped after exceeding the retry limit
+	QueueDrops   uint64 // packets rejected by a full interface queue
+	Relays       uint64 // opportunistic relays transmitted
+	RelayCancels uint64 // relay timers cancelled by sensed carrier
+	Duplicates   uint64 // duplicate receptions suppressed
+}
+
+// RouteBook holds the per-flow routes for a run and answers the two
+// questions schemes ask: "who is my next hop" (predetermined) and "what is
+// the prioritised forwarder list from here" (opportunistic). Forwarder
+// lists are capped at MaxForwarders intermediate stations (paper Remark 4).
+type RouteBook struct {
+	paths         map[int]routing.Path
+	maxForwarders int
+}
+
+// NewRouteBook creates a route book; maxForwarders caps forwarder lists
+// (the paper's default is 5).
+func NewRouteBook(maxForwarders int) *RouteBook {
+	return &RouteBook{paths: make(map[int]routing.Path), maxForwarders: maxForwarders}
+}
+
+// Add registers the path for a flow (source to destination order). The
+// forwarder cap follows the paper's convention: the destination counts as
+// the highest-priority forwarder, so a cap of 5 allows the destination plus
+// four intermediate stations.
+func (b *RouteBook) Add(flow int, p routing.Path) {
+	b.paths[flow] = p.Limit(b.maxForwarders - 1)
+}
+
+// Path returns the registered path for a flow (nil if unknown).
+func (b *RouteBook) Path(flow int) routing.Path { return b.paths[flow] }
+
+// NextHop returns the next hop for a packet of the given flow currently at
+// `from` and ultimately bound for endpoint `dst`.
+func (b *RouteBook) NextHop(flow int, from, dst pkt.NodeID) (pkt.NodeID, bool) {
+	p, ok := b.paths[flow]
+	if !ok {
+		return 0, false
+	}
+	return p.NextHop(from, dst)
+}
+
+// FwdList returns the destination-first prioritised forwarder list for a
+// transmission by `from` toward endpoint `dst` on the given flow.
+func (b *RouteBook) FwdList(flow int, from, dst pkt.NodeID) []pkt.NodeID {
+	p, ok := b.paths[flow]
+	if !ok {
+		return nil
+	}
+	return p.FwdList(from, dst)
+}
+
+// OnPath reports whether node n participates in the flow's path.
+func (b *RouteBook) OnPath(flow int, n pkt.NodeID) bool {
+	p, ok := b.paths[flow]
+	return ok && p.Contains(n)
+}
+
+// Env bundles the per-station dependencies a scheme instance needs.
+type Env struct {
+	Eng     *sim.Engine
+	Med     *radio.Medium
+	P       phys.Params
+	ID      pkt.NodeID
+	RNG     *sim.RNG
+	Routes  *RouteBook
+	Deliver func(*pkt.Packet) // hand packet to the local transport layer
+	C       *Counters
+	// RateFor, when non-nil, enables the multi-rate extension: it returns
+	// the PHY data rate to use toward a receiver (paper §V future work).
+	RateFor func(to pkt.NodeID) float64
+}
+
+// Rate returns the PHY rate toward `to`, or 0 (base rate) when the
+// multi-rate extension is off.
+func (e *Env) Rate(to pkt.NodeID) float64 {
+	if e.RateFor == nil {
+		return 0
+	}
+	return e.RateFor(to)
+}
+
+// NewContender builds the DCF contender for this station, routing grants to
+// the given callback.
+func (e *Env) NewContender(grant func()) *mac.Contender {
+	return mac.NewContender(e.Eng, e.P, e.RNG, grant)
+}
+
+// dedupe is a bounded set of recently seen identifiers, used to suppress
+// duplicate receptions and duplicate relays.
+type dedupe struct {
+	seen  map[uint64]struct{}
+	order []uint64
+	cap   int
+}
+
+func newDedupe(capacity int) *dedupe {
+	return &dedupe{seen: make(map[uint64]struct{}, capacity), cap: capacity}
+}
+
+// Seen reports whether id was seen before, inserting it either way.
+func (d *dedupe) Seen(id uint64) bool {
+	if _, ok := d.seen[id]; ok {
+		return true
+	}
+	d.seen[id] = struct{}{}
+	d.order = append(d.order, id)
+	if len(d.order) > d.cap {
+		old := d.order[0]
+		d.order = d.order[1:]
+		delete(d.seen, old)
+	}
+	return false
+}

@@ -1,0 +1,252 @@
+package forward
+
+import (
+	"testing"
+
+	"ripple/internal/phys"
+	"ripple/internal/pkt"
+	"ripple/internal/radio"
+	"ripple/internal/routing"
+	"ripple/internal/sim"
+)
+
+// harness wires a real engine + ideal medium + one scheme per station, with
+// per-station delivery capture — a miniature network without transports.
+type harness struct {
+	eng       *sim.Engine
+	med       *radio.Medium
+	schemes   []Scheme
+	counters  []Counters
+	delivered [][]*pkt.Packet
+	nextUID   uint64
+	nextSeq   map[int]int64
+}
+
+func idealRadio() radio.Config {
+	c := radio.DefaultConfig()
+	c.ShadowSigmaDB = 0
+	c.BitErrorRate = 0
+	return c
+}
+
+func newHarness(t *testing.T, positions []radio.Pos, rc radio.Config,
+	paths map[int]routing.Path, mk func(Env) Scheme) *harness {
+	t.Helper()
+	h := &harness{eng: sim.NewEngine()}
+	h.med = radio.NewMedium(h.eng, rc, phys.Default(), positions, sim.NewRNG(1, 1))
+	routes := NewRouteBook(5)
+	for id, p := range paths {
+		routes.Add(id, p)
+	}
+	h.schemes = make([]Scheme, len(positions))
+	h.counters = make([]Counters, len(positions))
+	h.delivered = make([][]*pkt.Packet, len(positions))
+	for i := range positions {
+		i := i
+		env := Env{
+			Eng:    h.eng,
+			Med:    h.med,
+			P:      phys.Default(),
+			ID:     pkt.NodeID(i),
+			RNG:    sim.NewRNG(7, 100+uint64(i)),
+			Routes: routes,
+			C:      &h.counters[i],
+			Deliver: func(p *pkt.Packet) {
+				h.delivered[i] = append(h.delivered[i], p)
+			},
+		}
+		h.schemes[i] = mk(env)
+		h.med.Attach(pkt.NodeID(i), h.schemes[i])
+	}
+	return h
+}
+
+func (h *harness) inject(from pkt.NodeID, flow int, n int, dst pkt.NodeID) {
+	if h.nextSeq == nil {
+		h.nextSeq = make(map[int]int64)
+	}
+	for k := 0; k < n; k++ {
+		h.nextUID++
+		seq := h.nextSeq[flow]
+		h.nextSeq[flow]++
+		p := &pkt.Packet{
+			UID: uint64(flow)<<32 | h.nextUID, FlowID: flow,
+			Seq: seq, Bytes: 1000, Src: from, Dst: dst,
+			Created: h.eng.Now(),
+		}
+		h.schemes[from].Send(p)
+	}
+}
+
+func linePositions(n int) []radio.Pos {
+	out := make([]radio.Pos, n)
+	for i := range out {
+		out[i] = radio.Pos{X: float64(i * 100)}
+	}
+	return out
+}
+
+func TestUnicastSingleHopExchange(t *testing.T) {
+	paths := map[int]routing.Path{1: {0, 1}}
+	h := newHarness(t, linePositions(2), idealRadio(), paths, func(e Env) Scheme {
+		return NewUnicast(e, 1)
+	})
+	h.inject(0, 1, 5, 1)
+	h.eng.Run(50 * sim.Millisecond)
+	if got := len(h.delivered[1]); got != 5 {
+		t.Fatalf("delivered %d packets, want 5", got)
+	}
+	if h.counters[0].AckTimeouts != 0 {
+		t.Fatalf("unexpected timeouts on a clean link: %d", h.counters[0].AckTimeouts)
+	}
+	// Order preserved.
+	for i, p := range h.delivered[1] {
+		if p.Seq != int64(i) {
+			t.Fatalf("delivery order broken: %v", h.delivered[1])
+		}
+	}
+}
+
+func TestUnicastMultiHopRelay(t *testing.T) {
+	paths := map[int]routing.Path{1: {0, 1, 2, 3}}
+	h := newHarness(t, linePositions(4), idealRadio(), paths, func(e Env) Scheme {
+		return NewUnicast(e, 1)
+	})
+	h.inject(0, 1, 10, 3)
+	h.eng.Run(100 * sim.Millisecond)
+	if got := len(h.delivered[3]); got != 10 {
+		t.Fatalf("destination got %d packets, want 10", got)
+	}
+	if len(h.delivered[1]) != 0 || len(h.delivered[2]) != 0 {
+		t.Fatal("forwarders must not deliver to their own transport")
+	}
+}
+
+func TestAFRAggregatesIntoOneFrame(t *testing.T) {
+	paths := map[int]routing.Path{1: {0, 1}}
+	h := newHarness(t, linePositions(2), idealRadio(), paths, func(e Env) Scheme {
+		return NewUnicast(e, 16)
+	})
+	h.inject(0, 1, 16, 1)
+	h.eng.Run(50 * sim.Millisecond)
+	if got := len(h.delivered[1]); got != 16 {
+		t.Fatalf("delivered %d, want 16", got)
+	}
+	if h.counters[0].TxData != 1 {
+		t.Fatalf("AFR sent %d data frames for 16 packets, want 1 aggregate", h.counters[0].TxData)
+	}
+}
+
+func TestDCFSendsOneFramePerPacket(t *testing.T) {
+	paths := map[int]routing.Path{1: {0, 1}}
+	h := newHarness(t, linePositions(2), idealRadio(), paths, func(e Env) Scheme {
+		return NewUnicast(e, 1)
+	})
+	h.inject(0, 1, 8, 1)
+	h.eng.Run(50 * sim.Millisecond)
+	if h.counters[0].TxData != 8 {
+		t.Fatalf("DCF sent %d data frames for 8 packets, want 8", h.counters[0].TxData)
+	}
+}
+
+func TestUnicastRetryAndDropWhenPeerSilent(t *testing.T) {
+	// Destination beyond decode range: every frame times out, and the
+	// packet is dropped after the retry limit.
+	paths := map[int]routing.Path{1: {0, 1}}
+	positions := []radio.Pos{{X: 0}, {X: 600}} // beyond CS and RX
+	h := newHarness(t, positions, idealRadio(), paths, func(e Env) Scheme {
+		return NewUnicast(e, 1)
+	})
+	h.inject(0, 1, 1, 1)
+	h.eng.Run(sim.Second)
+	p := phys.Default()
+	if got := h.counters[0].AckTimeouts; got != uint64(p.RetryLimit)+1 {
+		t.Fatalf("timeouts = %d, want %d", got, p.RetryLimit+1)
+	}
+	if h.counters[0].MACDrops != 1 {
+		t.Fatalf("MACDrops = %d, want 1", h.counters[0].MACDrops)
+	}
+	if h.schemes[0].QueueLen() != 0 {
+		t.Fatal("dropped packet must leave the queue")
+	}
+}
+
+func TestUnicastQueueOverflowDrops(t *testing.T) {
+	paths := map[int]routing.Path{1: {0, 1}}
+	h := newHarness(t, linePositions(2), idealRadio(), paths, func(e Env) Scheme {
+		return NewUnicast(e, 1)
+	})
+	h.inject(0, 1, 60, 1) // queue limit is 50
+	if h.counters[0].QueueDrops != 10 {
+		t.Fatalf("QueueDrops = %d, want 10", h.counters[0].QueueDrops)
+	}
+}
+
+func TestPreExOROpportunisticDelivery(t *testing.T) {
+	paths := map[int]routing.Path{1: {0, 1, 2, 3}}
+	h := newHarness(t, linePositions(4), idealRadio(), paths, func(e Env) Scheme {
+		return NewPreExOR(e)
+	})
+	h.inject(0, 1, 10, 3)
+	h.eng.Run(200 * sim.Millisecond)
+	if got := len(h.delivered[3]); got != 10 {
+		t.Fatalf("delivered %d packets, want 10", got)
+	}
+	// With zero shadowing the frame reaches station 2 (200 m) directly:
+	// station 2 should take custody (skipping 1), so station 1 relays
+	// nothing and the total data transmissions per packet are 2.
+	if h.counters[1].TxData != 0 {
+		t.Fatalf("station 1 transmitted %d data frames; custody should skip it", h.counters[1].TxData)
+	}
+	if h.counters[2].TxData != 10 {
+		t.Fatalf("station 2 transmitted %d data frames, want 10", h.counters[2].TxData)
+	}
+}
+
+func TestMCExORSingleCompressedAck(t *testing.T) {
+	paths := map[int]routing.Path{1: {0, 1, 2, 3}}
+	h := newHarness(t, linePositions(4), idealRadio(), paths, func(e Env) Scheme {
+		return NewMCExOR(e)
+	})
+	h.inject(0, 1, 10, 3)
+	h.eng.Run(200 * sim.Millisecond)
+	if got := len(h.delivered[3]); got != 10 {
+		t.Fatalf("delivered %d packets, want 10", got)
+	}
+	// Compressed acking: for each data transmission exactly one ACK from
+	// the best receiver. Total frames = data frames + 1 ACK each.
+	var data, all uint64
+	for i := range h.counters {
+		data += h.counters[i].TxData
+		all += h.counters[i].TxFrames
+	}
+	if all != 2*data {
+		t.Fatalf("frames = %d for %d data transmissions: compressed acking should yield exactly one ACK each", all, data)
+	}
+}
+
+func TestRouteBookLimitsForwarders(t *testing.T) {
+	b := NewRouteBook(2)
+	long := routing.Path{0, 1, 2, 3, 4, 5}
+	b.Add(1, long)
+	got := b.FwdList(1, 0, 5)
+	if len(got) > 3 { // destination + at most 2 forwarders
+		t.Fatalf("FwdList = %v, want ≤3 entries", got)
+	}
+}
+
+func TestDedupe(t *testing.T) {
+	d := newDedupe(3)
+	if d.Seen(1) {
+		t.Fatal("fresh id reported seen")
+	}
+	if !d.Seen(1) {
+		t.Fatal("repeat id not detected")
+	}
+	d.Seen(2)
+	d.Seen(3)
+	d.Seen(4) // evicts 1
+	if d.Seen(1) {
+		t.Fatal("evicted id should read as fresh again")
+	}
+}

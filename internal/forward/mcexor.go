@@ -1,0 +1,248 @@
+package forward
+
+import (
+	"ripple/internal/mac"
+	"ripple/internal/phys"
+	"ripple/internal/pkt"
+	"ripple/internal/sim"
+)
+
+// MCExOR reproduces the compressed-acknowledgement scheme of Zubow et al.
+// (European Wireless 2007) as described in §II: a forwarder of rank i waits
+// i+1 SIFS intervals after the data frame and transmits a MAC ACK only if
+// it detected no ACK (no carrier) during its wait — so exactly one ACK is
+// sent by the best actual receiver, which then takes custody of the packet
+// and contends to forward it. Like preExOR, custody caching causes packet
+// reordering; unlike preExOR, the ACK schedule collapses to a single ACK.
+type MCExOR struct {
+	env   Env
+	queue *mac.Queue
+	cont  *mac.Contender
+
+	exchanging bool
+	cur        *pkt.Packet
+	curTxop    uint64
+	txopSeq    uint64
+	attempts   int
+	heardAck   bool
+	collectEv  *sim.Event
+
+	rxSeen *dedupe
+	pend   map[uint64]*mcRx
+}
+
+type mcRx struct {
+	packet     *pkt.Packet
+	myRank     int
+	suppressed bool // carrier or ACK observed during the compressed wait
+}
+
+var _ Scheme = (*MCExOR)(nil)
+
+// NewMCExOR creates the per-station MCExOR agent.
+func NewMCExOR(env Env) *MCExOR {
+	x := &MCExOR{
+		env:    env,
+		queue:  mac.NewQueue(env.P.QueueLimit),
+		rxSeen: newDedupe(4096),
+		pend:   make(map[uint64]*mcRx),
+	}
+	x.cont = env.NewContender(x.onGrant)
+	return x
+}
+
+// Send implements Scheme.
+func (x *MCExOR) Send(p *pkt.Packet) bool {
+	p.EnqueuedAt = x.env.Eng.Now()
+	if !x.queue.Push(p) {
+		x.env.C.QueueDrops++
+		return false
+	}
+	x.maybeRequest()
+	return true
+}
+
+// QueueLen implements Scheme.
+func (x *MCExOR) QueueLen() int {
+	n := x.queue.Len()
+	if x.cur != nil {
+		n++
+	}
+	return n
+}
+
+func (x *MCExOR) maybeRequest() {
+	if x.exchanging {
+		return
+	}
+	if x.cur == nil && x.queue.Len() == 0 {
+		return
+	}
+	x.cont.Request()
+}
+
+func (x *MCExOR) onGrant() {
+	if x.cur == nil {
+		x.cur = x.queue.Pop()
+		x.attempts = 0
+	}
+	if x.cur == nil {
+		return
+	}
+	fwd := x.env.Routes.FwdList(x.cur.FlowID, x.env.ID, x.cur.Dst)
+	if len(fwd) == 0 {
+		x.env.C.MACDrops++
+		x.cur = nil
+		x.maybeRequest()
+		return
+	}
+	x.txopSeq++
+	x.curTxop = uint64(x.env.ID)<<32 | x.txopSeq
+	x.heardAck = false
+	f := &pkt.Frame{
+		Kind:     pkt.Data,
+		Tx:       x.env.ID,
+		Rx:       pkt.Broadcast,
+		Origin:   x.env.ID,
+		FinalDst: x.cur.Dst,
+		FwdList:  append([]pkt.NodeID(nil), fwd...),
+		TxopID:   x.curTxop,
+		Packets:  []*pkt.Packet{x.cur},
+		FlowID:   x.cur.FlowID,
+	}
+	f.Duration = x.env.P.DataTime(f.PayloadBytes(phys.MACHeaderBytes, 0, phys.ForwarderEntryBytes))
+	x.cur.Retries++
+	x.exchanging = true
+	x.env.C.TxFrames++
+	x.env.C.TxData++
+	x.env.C.TxPackets++
+	if x.attempts > 0 {
+		x.env.C.Retries++
+	}
+	x.env.Med.Transmit(f)
+}
+
+// TxDone implements radio.MAC.
+func (x *MCExOR) TxDone(f *pkt.Frame) {
+	if f.Kind != pkt.Data || f.TxopID != x.curTxop || !x.exchanging {
+		return
+	}
+	// The compressed schedule: the last possible ACK starts after
+	// (n+1)·SIFS; wait for it plus the ACK airtime.
+	n := len(f.FwdList)
+	timeout := sim.Time(n+1)*x.env.P.SIFS + x.env.P.ACKTime() + 2*sim.Microsecond
+	x.collectEv = x.env.Eng.After(timeout, x.collectDone)
+}
+
+func (x *MCExOR) collectDone() {
+	if !x.exchanging {
+		return
+	}
+	x.exchanging = false
+	if x.heardAck {
+		x.cur = nil
+		x.attempts = 0
+		x.cont.Success()
+	} else {
+		x.attempts++
+		x.env.C.AckTimeouts++
+		if x.attempts > x.env.P.RetryLimit {
+			x.env.C.MACDrops++
+			x.cur = nil
+			x.attempts = 0
+			x.cont.Success()
+		} else {
+			x.cont.Failure()
+		}
+	}
+	x.maybeRequest()
+}
+
+// FrameReceived implements radio.MAC.
+func (x *MCExOR) FrameReceived(f *pkt.Frame, pktOK []bool) {
+	switch f.Kind {
+	case pkt.Ack:
+		if x.exchanging && f.TxopID == x.curTxop {
+			x.heardAck = true
+		}
+		if rx, ok := x.pend[f.TxopID]; ok && f.AckerRank < rx.myRank {
+			rx.suppressed = true
+		}
+	case pkt.Data:
+		x.handleData(f, pktOK)
+	}
+}
+
+func (x *MCExOR) handleData(f *pkt.Frame, pktOK []bool) {
+	rank := f.RankOf(x.env.ID)
+	if rank < 0 {
+		return
+	}
+	if len(pktOK) == 0 || !pktOK[0] {
+		x.cont.NoteCorrupted()
+		return
+	}
+	x.env.C.RxData++
+	p := f.Packets[0]
+	rx := &mcRx{packet: p, myRank: rank}
+	x.pend[f.TxopID] = rx
+	// Rank r transmits its ACK after (r+1)·SIFS unless it detected an ACK
+	// (any carrier) during the wait.
+	wait := sim.Time(rank+1) * x.env.P.SIFS
+	x.env.Eng.After(wait, func() {
+		delete(x.pend, f.TxopID)
+		if rx.suppressed || x.env.Med.CarrierBusy(x.env.ID) {
+			return // a higher-priority station acknowledged first
+		}
+		ack := &pkt.Frame{
+			Kind:      pkt.Ack,
+			Tx:        x.env.ID,
+			Rx:        f.Tx,
+			Origin:    x.env.ID,
+			FinalDst:  f.Tx,
+			TxopID:    f.TxopID,
+			AckedUIDs: []uint64{p.UID},
+			Acker:     x.env.ID,
+			AckerRank: rank,
+			FlowID:    f.FlowID,
+			Duration:  x.env.P.ACKTime(),
+		}
+		x.env.C.TxFrames++
+		x.env.Med.Transmit(ack)
+		// The acknowledging station takes custody.
+		if rank == 0 {
+			if x.rxSeen.Seen(p.UID) {
+				x.env.C.Duplicates++
+				return
+			}
+			x.env.Deliver(p)
+			return
+		}
+		if x.rxSeen.Seen(p.UID) {
+			x.env.C.Duplicates++
+			return
+		}
+		p.EnqueuedAt = x.env.Eng.Now()
+		if !x.queue.Push(p) {
+			x.env.C.QueueDrops++
+			return
+		}
+		x.maybeRequest()
+	})
+}
+
+// FrameCorrupted implements radio.MAC.
+func (x *MCExOR) FrameCorrupted() { x.cont.NoteCorrupted() }
+
+// ChannelBusy implements radio.MAC. Any carrier detected during a
+// compressed-ACK wait suppresses the pending ACK ("if it detects an ACK
+// transmission during its waiting period, it will not transmit").
+func (x *MCExOR) ChannelBusy() {
+	for _, rx := range x.pend {
+		rx.suppressed = true
+	}
+	x.cont.OnBusy()
+}
+
+// ChannelIdle implements radio.MAC.
+func (x *MCExOR) ChannelIdle() { x.cont.OnIdle() }

@@ -1,0 +1,267 @@
+package forward
+
+import (
+	"ripple/internal/mac"
+	"ripple/internal/phys"
+	"ripple/internal/pkt"
+	"ripple/internal/sim"
+)
+
+// PreExOR reproduces the early version of ExOR (Biswas & Morris, HotNets
+// 2003) as described in §II of the paper: the source broadcasts a data
+// packet with a prioritised forwarder list; every forwarder that received
+// it transmits a MAC ACK in its own reserved, sequential slot (slots of
+// silent "shadowed" ACKs are still waited out); the highest-priority
+// receiver takes custody of the packet, caches it, and contends to forward
+// it. Caching at forwarders plus independent contention is what produces
+// the ~26% packet reordering the paper measures.
+type PreExOR struct {
+	env   Env
+	queue *mac.Queue
+	cont  *mac.Contender
+
+	exchanging bool
+	cur        *pkt.Packet
+	curTxop    uint64
+	txopSeq    uint64
+	attempts   int
+	heardRank  int // lowest acker rank heard for curTxop; -1 = none
+	collectEv  *sim.Event
+
+	rxSeen *dedupe            // packet UIDs delivered or taken into custody
+	pend   map[uint64]*exorRx // pending receptions by TxopID
+}
+
+type exorRx struct {
+	frame       *pkt.Frame
+	packet      *pkt.Packet
+	myRank      int
+	heardHigher bool
+}
+
+var _ Scheme = (*PreExOR)(nil)
+
+// NewPreExOR creates the per-station preExOR agent.
+func NewPreExOR(env Env) *PreExOR {
+	x := &PreExOR{
+		env:    env,
+		queue:  mac.NewQueue(env.P.QueueLimit),
+		rxSeen: newDedupe(4096),
+		pend:   make(map[uint64]*exorRx),
+	}
+	x.cont = env.NewContender(x.onGrant)
+	return x
+}
+
+// Send implements Scheme.
+func (x *PreExOR) Send(p *pkt.Packet) bool {
+	p.EnqueuedAt = x.env.Eng.Now()
+	if !x.queue.Push(p) {
+		x.env.C.QueueDrops++
+		return false
+	}
+	x.maybeRequest()
+	return true
+}
+
+// QueueLen implements Scheme.
+func (x *PreExOR) QueueLen() int {
+	n := x.queue.Len()
+	if x.cur != nil {
+		n++
+	}
+	return n
+}
+
+func (x *PreExOR) maybeRequest() {
+	if x.exchanging {
+		return
+	}
+	if x.cur == nil && x.queue.Len() == 0 {
+		return
+	}
+	x.cont.Request()
+}
+
+func (x *PreExOR) onGrant() {
+	if x.cur == nil {
+		x.cur = x.queue.Pop()
+		x.attempts = 0
+	}
+	if x.cur == nil {
+		return
+	}
+	fwd := x.env.Routes.FwdList(x.cur.FlowID, x.env.ID, x.cur.Dst)
+	if len(fwd) == 0 {
+		x.env.C.MACDrops++
+		x.cur = nil
+		x.maybeRequest()
+		return
+	}
+	x.txopSeq++
+	x.curTxop = uint64(x.env.ID)<<32 | x.txopSeq
+	x.heardRank = -1
+	f := &pkt.Frame{
+		Kind:     pkt.Data,
+		Tx:       x.env.ID,
+		Rx:       pkt.Broadcast,
+		Origin:   x.env.ID,
+		FinalDst: x.cur.Dst,
+		FwdList:  append([]pkt.NodeID(nil), fwd...),
+		TxopID:   x.curTxop,
+		Packets:  []*pkt.Packet{x.cur},
+		FlowID:   x.cur.FlowID,
+	}
+	f.Duration = x.env.P.DataTime(f.PayloadBytes(phys.MACHeaderBytes, 0, phys.ForwarderEntryBytes))
+	x.cur.Retries++
+	x.exchanging = true
+	x.env.C.TxFrames++
+	x.env.C.TxData++
+	x.env.C.TxPackets++
+	if x.attempts > 0 {
+		x.env.C.Retries++
+	}
+	x.env.Med.Transmit(f)
+}
+
+// ackSlot returns the start offset of rank r's ACK slot after the data
+// frame ends: SIFS, then r preceding slots of (ACK airtime + SIFS).
+func (x *PreExOR) ackSlot(r int) sim.Time {
+	return x.env.P.SIFS + sim.Time(r)*(x.env.P.ACKTime()+x.env.P.SIFS)
+}
+
+// scheduleEnd returns when the whole n-slot ACK schedule is over.
+func (x *PreExOR) scheduleEnd(n int) sim.Time {
+	return x.ackSlot(n) + 2*sim.Microsecond
+}
+
+// TxDone implements radio.MAC.
+func (x *PreExOR) TxDone(f *pkt.Frame) {
+	if f.Kind != pkt.Data || f.TxopID != x.curTxop || !x.exchanging {
+		return
+	}
+	// Wait out the full sequential ACK schedule, shadowed slots included.
+	x.collectEv = x.env.Eng.After(x.scheduleEnd(len(f.FwdList)), x.collectDone)
+}
+
+func (x *PreExOR) collectDone() {
+	if !x.exchanging {
+		return
+	}
+	x.exchanging = false
+	if x.heardRank >= 0 {
+		// Custody transferred to a closer station (or delivered).
+		x.cur = nil
+		x.attempts = 0
+		x.cont.Success()
+	} else {
+		x.attempts++
+		x.env.C.AckTimeouts++
+		if x.attempts > x.env.P.RetryLimit {
+			x.env.C.MACDrops++
+			x.cur = nil
+			x.attempts = 0
+			x.cont.Success()
+		} else {
+			x.cont.Failure()
+		}
+	}
+	x.maybeRequest()
+}
+
+// FrameReceived implements radio.MAC.
+func (x *PreExOR) FrameReceived(f *pkt.Frame, pktOK []bool) {
+	switch f.Kind {
+	case pkt.Ack:
+		x.handleAck(f)
+	case pkt.Data:
+		x.handleData(f, pktOK)
+	}
+}
+
+func (x *PreExOR) handleAck(f *pkt.Frame) {
+	// Source collecting ACKs for its in-flight packet.
+	if x.exchanging && f.TxopID == x.curTxop {
+		if x.heardRank < 0 || f.AckerRank < x.heardRank {
+			x.heardRank = f.AckerRank
+		}
+	}
+	// Forwarder overhearing a higher-priority ACK for a pending reception.
+	if rx, ok := x.pend[f.TxopID]; ok && f.AckerRank < rx.myRank {
+		rx.heardHigher = true
+	}
+}
+
+func (x *PreExOR) handleData(f *pkt.Frame, pktOK []bool) {
+	rank := f.RankOf(x.env.ID)
+	if rank < 0 {
+		return // not for us
+	}
+	if len(pktOK) == 0 || !pktOK[0] {
+		x.cont.NoteCorrupted()
+		return
+	}
+	x.env.C.RxData++
+	p := f.Packets[0]
+
+	// Every receiving forwarder ACKs in its reserved slot.
+	ack := &pkt.Frame{
+		Kind:      pkt.Ack,
+		Tx:        x.env.ID,
+		Rx:        f.Tx,
+		Origin:    x.env.ID,
+		FinalDst:  f.Tx,
+		TxopID:    f.TxopID,
+		AckedUIDs: []uint64{p.UID},
+		Acker:     x.env.ID,
+		AckerRank: rank,
+		FlowID:    f.FlowID,
+		Duration:  x.env.P.ACKTime(),
+	}
+	x.env.Eng.After(x.ackSlot(rank), func() {
+		if x.env.Med.Transmitting(x.env.ID) {
+			return
+		}
+		x.env.C.TxFrames++
+		x.env.Med.Transmit(ack)
+	})
+
+	if rank == 0 {
+		// Destination: deliver immediately (dedupe retransmissions).
+		if x.rxSeen.Seen(p.UID) {
+			x.env.C.Duplicates++
+			return
+		}
+		x.env.Deliver(p)
+		return
+	}
+
+	// Forwarder: decide custody at the end of the ACK schedule.
+	rx := &exorRx{frame: f, packet: p, myRank: rank}
+	x.pend[f.TxopID] = rx
+	x.env.Eng.After(x.scheduleEnd(len(f.FwdList)), func() {
+		delete(x.pend, f.TxopID)
+		if rx.heardHigher {
+			return // a closer station has it
+		}
+		if x.rxSeen.Seen(p.UID) {
+			x.env.C.Duplicates++
+			return // already took custody of this packet earlier
+		}
+		p.EnqueuedAt = x.env.Eng.Now()
+		if !x.queue.Push(p) {
+			x.env.C.QueueDrops++
+			return
+		}
+		x.maybeRequest()
+	})
+}
+
+// FrameCorrupted implements radio.MAC.
+func (x *PreExOR) FrameCorrupted() { x.cont.NoteCorrupted() }
+
+// ChannelBusy implements radio.MAC.
+func (x *PreExOR) ChannelBusy() { x.cont.OnBusy() }
+
+// ChannelIdle implements radio.MAC.
+func (x *PreExOR) ChannelIdle() { x.cont.OnIdle() }

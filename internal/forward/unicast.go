@@ -1,0 +1,441 @@
+package forward
+
+import (
+	"ripple/internal/mac"
+	"ripple/internal/phys"
+	"ripple/internal/pkt"
+	"ripple/internal/sim"
+)
+
+// Unicast is the predetermined-route family of schemes: each transmission
+// has exactly one intended receiver (the next hop), acknowledged per hop.
+//
+//   - MaxAgg == 1 reproduces plain IEEE 802.11 DCF ("D" in the paper's
+//     figures); with a direct source→destination route it is SPR ("S").
+//   - MaxAgg > 1 reproduces AFR ("A"): up to MaxAgg packets aggregated into
+//     one frame, each protected by its own CRC, with a bitmap ACK and
+//     partial (per-packet) retransmission.
+type Unicast struct {
+	env       Env
+	maxAgg    int
+	rtsThresh int // payload bytes above which RTS/CTS protects the exchange; 0 = off
+
+	queue *mac.Queue
+	cont  *mac.Contender
+
+	// exchange in progress
+	inService  []*pkt.Packet
+	svcNext    pkt.NodeID // next hop of the in-service batch
+	svcFlow    int
+	svcDst     pkt.NodeID // end-to-end direction endpoint of the batch
+	exchanging bool
+	awaitCTS   bool
+	dataFrame  *pkt.Frame // built at grant; sent after CTS when RTS/CTS is on
+	attempts   int
+	curTxop    uint64
+	txopSeq    uint64
+	ackTimer   *sim.Event
+	ctsTimer   *sim.Event
+
+	// NAV: virtual carrier sense set by overheard RTS/CTS.
+	navUntil sim.Time
+	navBusy  bool
+
+	rxSeen *dedupe
+}
+
+var _ Scheme = (*Unicast)(nil)
+
+// NewUnicast creates the scheme instance for one station. maxAgg is the
+// aggregation limit (1 = plain DCF, 16 = AFR as in the paper).
+func NewUnicast(env Env, maxAgg int) *Unicast {
+	return NewUnicastRTS(env, maxAgg, 0)
+}
+
+// NewUnicastRTS creates a unicast scheme with the 802.11 RTS/CTS option:
+// data frames whose MAC payload is at least rtsThreshold bytes are preceded
+// by an RTS/CTS handshake, and overhearing stations honour the carried NAV.
+func NewUnicastRTS(env Env, maxAgg, rtsThreshold int) *Unicast {
+	if maxAgg < 1 {
+		maxAgg = 1
+	}
+	u := &Unicast{
+		env:       env,
+		maxAgg:    maxAgg,
+		rtsThresh: rtsThreshold,
+		queue:     mac.NewQueue(env.P.QueueLimit),
+		rxSeen:    newDedupe(4096),
+	}
+	u.cont = env.NewContender(u.onGrant)
+	return u
+}
+
+// Send implements Scheme.
+func (u *Unicast) Send(p *pkt.Packet) bool {
+	p.EnqueuedAt = u.env.Eng.Now()
+	if !u.queue.Push(p) {
+		u.env.C.QueueDrops++
+		return false
+	}
+	u.maybeRequest()
+	return true
+}
+
+// QueueLen implements Scheme.
+func (u *Unicast) QueueLen() int { return u.queue.Len() + len(u.inService) }
+
+func (u *Unicast) maybeRequest() {
+	if u.exchanging {
+		return
+	}
+	if len(u.inService) == 0 && u.queue.Len() == 0 {
+		return
+	}
+	u.cont.Request()
+}
+
+// onGrant fires when the contender wins a transmission opportunity.
+func (u *Unicast) onGrant() {
+	if len(u.inService) == 0 {
+		u.buildBatch()
+	}
+	if len(u.inService) == 0 {
+		return // everything expired while contending
+	}
+	u.transmitBatch()
+}
+
+// buildBatch pops up to maxAgg packets sharing the head packet's next hop.
+func (u *Unicast) buildBatch() {
+	for {
+		head := u.queue.Peek()
+		if head == nil {
+			return
+		}
+		next, ok := u.env.Routes.NextHop(head.FlowID, u.env.ID, head.Dst)
+		if !ok {
+			// No route from here: drop and try the next packet.
+			u.queue.Pop()
+			u.env.C.MACDrops++
+			continue
+		}
+		u.svcNext = next
+		u.svcFlow = head.FlowID
+		u.svcDst = head.Dst
+		u.inService = u.queue.PopNWhere(u.maxAgg, func(p *pkt.Packet) bool {
+			nh, ok := u.env.Routes.NextHop(p.FlowID, u.env.ID, p.Dst)
+			return ok && nh == next
+		})
+		return
+	}
+}
+
+func (u *Unicast) transmitBatch() {
+	u.txopSeq++
+	u.curTxop = uint64(u.env.ID)<<32 | u.txopSeq
+	perPkt := 0
+	if u.maxAgg > 1 {
+		perPkt = phys.PerPacketCRCBytes
+	}
+	f := &pkt.Frame{
+		Kind:     pkt.Data,
+		Tx:       u.env.ID,
+		Rx:       u.svcNext,
+		Origin:   u.env.ID,
+		FinalDst: u.svcNext,
+		TxopID:   u.curTxop,
+		Packets:  append([]*pkt.Packet(nil), u.inService...),
+		FlowID:   u.svcFlow,
+		RateBps:  u.env.Rate(u.svcNext),
+	}
+	payload := f.PayloadBytes(phys.MACHeaderBytes, perPkt, 0)
+	f.Duration = u.env.P.DataTimeAt(payload, f.RateBps)
+	for _, p := range f.Packets {
+		p.Retries++
+	}
+	u.exchanging = true
+	if u.attempts > 0 {
+		u.env.C.Retries++
+	}
+	if u.rtsThresh > 0 && payload >= u.rtsThresh {
+		u.dataFrame = f
+		u.sendRTS(f)
+		return
+	}
+	u.transmitData(f)
+}
+
+// sendRTS opens the protected exchange: RTS, then CTS from the peer, then
+// the data frame. The RTS announces the remaining exchange duration so
+// overhearing stations set their NAV.
+func (u *Unicast) sendRTS(data *pkt.Frame) {
+	p := u.env.P
+	rts := &pkt.Frame{
+		Kind:     pkt.Rts,
+		Tx:       u.env.ID,
+		Rx:       u.svcNext,
+		Origin:   u.env.ID,
+		FinalDst: u.svcNext,
+		TxopID:   u.curTxop,
+		FlowID:   u.svcFlow,
+		Duration: p.RTSTime(),
+		NavDur:   p.SIFS + p.CTSTime() + p.SIFS + data.Duration + p.SIFS + u.ackDuration(),
+	}
+	u.awaitCTS = true
+	u.env.C.TxFrames++
+	u.env.Med.Transmit(rts)
+}
+
+func (u *Unicast) transmitData(f *pkt.Frame) {
+	u.env.C.TxFrames++
+	u.env.C.TxData++
+	u.env.C.TxPackets += uint64(len(f.Packets))
+	u.env.Med.Transmit(f)
+}
+
+// TxDone implements radio.MAC: arm the CTS timeout after our RTS, or the
+// ACK timeout after our data frame; other transmissions need no follow-up.
+func (u *Unicast) TxDone(f *pkt.Frame) {
+	if f.TxopID != u.curTxop || !u.exchanging {
+		return
+	}
+	switch f.Kind {
+	case pkt.Rts:
+		if u.awaitCTS {
+			timeout := u.env.P.SIFS + u.env.P.Slot + u.env.P.CTSTime() + 2*sim.Microsecond
+			u.ctsTimer = u.env.Eng.After(timeout, u.onCtsTimeout)
+		}
+	case pkt.Data:
+		timeout := u.env.P.SIFS + u.env.P.Slot + u.ackDuration() + 2*sim.Microsecond
+		u.ackTimer = u.env.Eng.After(timeout, u.onAckTimeout)
+	}
+}
+
+func (u *Unicast) onCtsTimeout() {
+	if !u.awaitCTS || !u.exchanging {
+		return
+	}
+	u.awaitCTS = false
+	u.dataFrame = nil
+	u.failExchange()
+}
+
+func (u *Unicast) ackDuration() sim.Time {
+	if u.maxAgg > 1 {
+		return u.env.P.BitmapACKTime()
+	}
+	return u.env.P.ACKTime()
+}
+
+func (u *Unicast) onAckTimeout() {
+	if !u.exchanging {
+		return
+	}
+	u.failExchange()
+}
+
+// failExchange ends the current exchange in failure: back off and retry, or
+// drop the batch past the retry limit.
+func (u *Unicast) failExchange() {
+	u.exchanging = false
+	u.attempts++
+	u.env.C.AckTimeouts++
+	if u.attempts > u.env.P.RetryLimit {
+		// Retry limit exceeded: drop the whole batch, reset the window.
+		u.env.C.MACDrops += uint64(len(u.inService))
+		u.inService = nil
+		u.attempts = 0
+		u.cont.Success() // CW resets after a drop per 802.11
+	} else {
+		u.cont.Failure()
+	}
+	u.maybeRequest()
+}
+
+// FrameReceived implements radio.MAC.
+func (u *Unicast) FrameReceived(f *pkt.Frame, pktOK []bool) {
+	switch f.Kind {
+	case pkt.Ack:
+		u.handleAck(f)
+	case pkt.Data:
+		u.handleData(f, pktOK)
+	case pkt.Rts:
+		u.handleRts(f)
+	case pkt.Cts:
+		u.handleCts(f)
+	}
+}
+
+func (u *Unicast) handleRts(f *pkt.Frame) {
+	if f.Rx != u.env.ID {
+		// Overheard: honour the announced exchange duration.
+		u.setNAV(u.env.Eng.Now() + f.NavDur)
+		return
+	}
+	if u.navBusy {
+		return // our own NAV forbids responding (802.11 §9.2.5.7)
+	}
+	p := u.env.P
+	cts := &pkt.Frame{
+		Kind:     pkt.Cts,
+		Tx:       u.env.ID,
+		Rx:       f.Tx,
+		Origin:   u.env.ID,
+		FinalDst: f.Tx,
+		TxopID:   f.TxopID,
+		FlowID:   f.FlowID,
+		Duration: p.CTSTime(),
+		NavDur:   f.NavDur - p.SIFS - p.CTSTime(),
+	}
+	u.env.Eng.After(p.SIFS, func() {
+		if u.env.Med.Transmitting(u.env.ID) {
+			return
+		}
+		u.env.C.TxFrames++
+		u.env.Med.Transmit(cts)
+	})
+}
+
+func (u *Unicast) handleCts(f *pkt.Frame) {
+	if f.Rx != u.env.ID {
+		u.setNAV(u.env.Eng.Now() + f.NavDur)
+		return
+	}
+	if !u.awaitCTS || !u.exchanging || f.TxopID != u.curTxop {
+		return
+	}
+	u.env.Eng.Cancel(u.ctsTimer)
+	u.awaitCTS = false
+	data := u.dataFrame
+	u.dataFrame = nil
+	u.env.Eng.After(u.env.P.SIFS, func() {
+		if !u.exchanging || u.env.Med.Transmitting(u.env.ID) {
+			return
+		}
+		u.transmitData(data)
+	})
+}
+
+// setNAV extends the virtual carrier sense; the contender treats the NAV
+// period as busy even when the physical channel is idle.
+func (u *Unicast) setNAV(until sim.Time) {
+	if until <= u.navUntil {
+		return
+	}
+	u.navUntil = until
+	if !u.navBusy {
+		u.navBusy = true
+		u.cont.OnBusy()
+	}
+	u.env.Eng.At(until, u.navExpire)
+}
+
+func (u *Unicast) navExpire() {
+	if !u.navBusy || u.env.Eng.Now() < u.navUntil {
+		return
+	}
+	u.navBusy = false
+	if !u.env.Med.CarrierBusy(u.env.ID) {
+		u.cont.OnIdle()
+	}
+}
+
+func (u *Unicast) handleAck(f *pkt.Frame) {
+	if f.Rx != u.env.ID || !u.exchanging || f.TxopID != u.curTxop {
+		return
+	}
+	u.env.Eng.Cancel(u.ackTimer)
+	u.exchanging = false
+	acked := make(map[uint64]struct{}, len(f.AckedUIDs))
+	for _, id := range f.AckedUIDs {
+		acked[id] = struct{}{}
+	}
+	remaining := u.inService[:0]
+	for _, p := range u.inService {
+		if _, ok := acked[p.UID]; ok {
+			continue
+		}
+		if p.Retries > u.env.P.RetryLimit {
+			u.env.C.MACDrops++
+			continue
+		}
+		remaining = append(remaining, p)
+	}
+	u.inService = remaining
+	u.attempts = 0
+	u.cont.Success()
+	u.maybeRequest()
+}
+
+func (u *Unicast) handleData(f *pkt.Frame, pktOK []bool) {
+	if f.Rx != u.env.ID {
+		return
+	}
+	u.env.C.RxData++
+	if u.maxAgg == 1 && (len(pktOK) == 0 || !pktOK[0]) {
+		// Plain DCF: the FCS covers the whole frame; a corrupted body is a
+		// corrupted frame — no ACK, and EIFS applies.
+		u.cont.NoteCorrupted()
+		return
+	}
+	// Acknowledge after SIFS. The bitmap lists packets that passed CRC.
+	var ackUIDs []uint64
+	for i, p := range f.Packets {
+		if i < len(pktOK) && pktOK[i] {
+			ackUIDs = append(ackUIDs, p.UID)
+		}
+	}
+	ack := &pkt.Frame{
+		Kind:      pkt.Ack,
+		Tx:        u.env.ID,
+		Rx:        f.Tx,
+		Origin:    u.env.ID,
+		FinalDst:  f.Tx,
+		TxopID:    f.TxopID,
+		AckedUIDs: ackUIDs,
+		FlowID:    f.FlowID,
+		Duration:  u.ackDuration(),
+	}
+	u.env.Eng.After(u.env.P.SIFS, func() {
+		if u.env.Med.Transmitting(u.env.ID) {
+			return // pathological overlap: skip the ACK, sender times out
+		}
+		u.env.C.TxFrames++
+		u.env.Med.Transmit(ack)
+	})
+	// Process the successfully received packets.
+	for i, p := range f.Packets {
+		if i >= len(pktOK) || !pktOK[i] {
+			continue
+		}
+		if u.rxSeen.Seen(p.UID) {
+			u.env.C.Duplicates++
+			continue
+		}
+		if p.Dst == u.env.ID {
+			u.env.Deliver(p)
+			continue
+		}
+		// Relay toward the destination via our own queue.
+		p.EnqueuedAt = u.env.Eng.Now()
+		if !u.queue.Push(p) {
+			u.env.C.QueueDrops++
+		}
+	}
+	u.maybeRequest()
+}
+
+// FrameCorrupted implements radio.MAC.
+func (u *Unicast) FrameCorrupted() { u.cont.NoteCorrupted() }
+
+// ChannelBusy implements radio.MAC.
+func (u *Unicast) ChannelBusy() { u.cont.OnBusy() }
+
+// ChannelIdle implements radio.MAC: a set NAV keeps the contender frozen
+// even when the physical channel goes quiet.
+func (u *Unicast) ChannelIdle() {
+	if u.navBusy {
+		return
+	}
+	u.cont.OnIdle()
+}

@@ -1,0 +1,152 @@
+// Package mac implements the IEEE 802.11 DCF channel-access machinery shared
+// by every forwarding scheme: DIFS/EIFS deferral, slotted binary-exponential
+// backoff, and the drop-tail interface queue (Table I: 50 packets).
+package mac
+
+import (
+	"ripple/internal/phys"
+	"ripple/internal/sim"
+)
+
+// Contender runs the DCF contention procedure for one station. The owning
+// scheme forwards carrier transitions to OnBusy/OnIdle, requests a
+// transmission opportunity with Request, and is called back via grant when
+// it may transmit. Every grant is preceded by a DIFS (or EIFS) idle period
+// plus a fresh random backoff, matching the paper's per-packet
+// T_backoff + T_DIFS accounting.
+type Contender struct {
+	eng   *sim.Engine
+	p     phys.Params
+	rng   *sim.RNG
+	grant func()
+
+	cw      int // current contention window
+	pending bool
+	slots   int // remaining backoff slots; -1 when no backoff drawn
+	busy    bool
+	eifs    bool // apply EIFS instead of DIFS on the next deferral
+
+	deferEv   *sim.Event
+	slotEv    *sim.Event
+	slotStart sim.Time
+	idleAt    sim.Time
+}
+
+// NewContender creates a contender. busyNow seeds the initial carrier state
+// (normally false at t=0); grant is invoked exactly once per Request.
+func NewContender(eng *sim.Engine, p phys.Params, rng *sim.RNG, grant func()) *Contender {
+	return &Contender{eng: eng, p: p, rng: rng, grant: grant, cw: p.CWMin, slots: -1}
+}
+
+// Request asks for one transmission opportunity. It is idempotent while a
+// request is outstanding. The grant callback fires after the channel has
+// been idle for DIFS/EIFS plus the drawn backoff.
+func (c *Contender) Request() {
+	if c.pending {
+		return
+	}
+	c.pending = true
+	if c.slots < 0 {
+		c.slots = c.rng.IntN(c.cw + 1)
+	}
+	if !c.busy {
+		c.startDefer()
+	}
+}
+
+// Cancel withdraws an outstanding request (e.g. the queue drained another
+// way). Safe to call at any time.
+func (c *Contender) Cancel() {
+	c.pending = false
+	c.eng.Cancel(c.deferEv)
+	c.stopSlots()
+}
+
+// Success resets the contention window after an acknowledged exchange.
+func (c *Contender) Success() {
+	c.cw = c.p.CWMin
+	c.slots = -1
+}
+
+// Failure doubles the contention window after a failed exchange, up to
+// CWMax, and discards any leftover backoff so the retry draws a fresh one.
+func (c *Contender) Failure() {
+	c.cw = min(2*(c.cw+1)-1, c.p.CWMax)
+	c.slots = -1
+}
+
+// ResetWindow restores the minimum contention window without touching any
+// in-progress countdown (used when a packet is abandoned).
+func (c *Contender) ResetWindow() { c.cw = c.p.CWMin }
+
+// NoteCorrupted records that the station just received an undecodable
+// frame, so its next deferral must use EIFS instead of DIFS.
+func (c *Contender) NoteCorrupted() { c.eifs = true }
+
+// OnBusy must be called on every idle→busy carrier transition.
+func (c *Contender) OnBusy() {
+	if c.busy {
+		return
+	}
+	c.busy = true
+	c.eng.Cancel(c.deferEv)
+	if c.slotEv != nil && !c.slotEv.Canceled() {
+		// Freeze the countdown: credit only whole elapsed slots.
+		elapsed := int((c.eng.Now() - c.slotStart) / c.p.Slot)
+		c.slots -= elapsed
+		if c.slots < 0 {
+			c.slots = 0
+		}
+	}
+	c.stopSlots()
+}
+
+// OnIdle must be called on every busy→idle carrier transition.
+func (c *Contender) OnIdle() {
+	if !c.busy {
+		return
+	}
+	c.busy = false
+	c.idleAt = c.eng.Now()
+	if c.pending {
+		c.startDefer()
+	}
+}
+
+// Busy reports the carrier state as last seen by the contender.
+func (c *Contender) Busy() bool { return c.busy }
+
+func (c *Contender) startDefer() {
+	ifs := c.p.DIFS()
+	if c.eifs {
+		ifs = c.p.EIFS()
+	}
+	c.eng.Cancel(c.deferEv)
+	c.deferEv = c.eng.At(c.idleAt+ifs, c.deferDone)
+}
+
+func (c *Contender) deferDone() {
+	c.eifs = false
+	if c.slots <= 0 {
+		c.doGrant()
+		return
+	}
+	c.slotStart = c.eng.Now()
+	c.slotEv = c.eng.After(sim.Time(c.slots)*c.p.Slot, func() {
+		c.slots = 0
+		c.doGrant()
+	})
+}
+
+func (c *Contender) doGrant() {
+	c.pending = false
+	c.slots = -1
+	c.grant()
+}
+
+func (c *Contender) stopSlots() {
+	if c.slotEv != nil {
+		c.eng.Cancel(c.slotEv)
+		c.slotEv = nil
+	}
+}

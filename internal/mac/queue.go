@@ -1,0 +1,105 @@
+package mac
+
+import "ripple/internal/pkt"
+
+// Queue is the drop-tail MAC interface queue (Sq in the paper). The zero
+// value is unusable; create with NewQueue.
+type Queue struct {
+	limit   int
+	items   []*pkt.Packet
+	drops   uint64
+	maxSeen int
+}
+
+// NewQueue creates a queue holding at most limit packets.
+func NewQueue(limit int) *Queue {
+	return &Queue{limit: limit, items: make([]*pkt.Packet, 0, limit)}
+}
+
+// Push appends a packet; it reports false (and counts a drop) if full.
+func (q *Queue) Push(p *pkt.Packet) bool {
+	if len(q.items) >= q.limit {
+		q.drops++
+		return false
+	}
+	q.items = append(q.items, p)
+	if len(q.items) > q.maxSeen {
+		q.maxSeen = len(q.items)
+	}
+	return true
+}
+
+// PushFront reinserts a packet at the head (retransmission priority).
+// Front insertions are allowed to exceed the limit by the in-service batch
+// so that partial retransmission never loses custody of unacked packets.
+func (q *Queue) PushFront(p *pkt.Packet) {
+	q.items = append([]*pkt.Packet{p}, q.items...)
+}
+
+// Pop removes and returns the head packet, or nil when empty.
+func (q *Queue) Pop() *pkt.Packet {
+	if len(q.items) == 0 {
+		return nil
+	}
+	p := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return p
+}
+
+// PopN removes and returns up to n head packets.
+func (q *Queue) PopN(n int) []*pkt.Packet {
+	if n > len(q.items) {
+		n = len(q.items)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]*pkt.Packet, n)
+	copy(out, q.items[:n])
+	for i := 0; i < n; i++ {
+		q.items[i] = nil
+	}
+	q.items = q.items[n:]
+	return out
+}
+
+// PopNWhere removes and returns up to n head-most packets satisfying keep,
+// preserving the order of the remainder. Used by relays that aggregate only
+// packets bound for the same next hop.
+func (q *Queue) PopNWhere(n int, keep func(*pkt.Packet) bool) []*pkt.Packet {
+	if n == 0 || len(q.items) == 0 {
+		return nil
+	}
+	out := make([]*pkt.Packet, 0, n)
+	rest := q.items[:0]
+	for _, p := range q.items {
+		if len(out) < n && keep(p) {
+			out = append(out, p)
+		} else {
+			rest = append(rest, p)
+		}
+	}
+	for i := len(rest); i < len(q.items); i++ {
+		q.items[i] = nil
+	}
+	q.items = rest
+	return out
+}
+
+// Peek returns the head packet without removing it, or nil when empty.
+func (q *Queue) Peek() *pkt.Packet {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
+// Len returns the number of queued packets.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Drops returns the number of packets rejected because the queue was full.
+func (q *Queue) Drops() uint64 { return q.drops }
+
+// MaxDepth returns the high-water mark of the queue depth.
+func (q *Queue) MaxDepth() int { return q.maxSeen }

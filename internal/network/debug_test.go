@@ -1,0 +1,41 @@
+package network
+
+import (
+	"fmt"
+	"testing"
+
+	"ripple/internal/pkt"
+	"ripple/internal/sim"
+	"ripple/internal/topology"
+)
+
+func TestDebugRippleCounters(t *testing.T) {
+	top, path := topology.Line(3)
+	var traces []string
+	cfg := Config{
+		Positions: top.Positions,
+		Radio:     noLossRadio(),
+		Scheme:    Ripple,
+		Flows:     []FlowSpec{{ID: 1, Path: path, Kind: FTP}},
+		Duration:  2 * sim.Second,
+		Seed:      3,
+		Trace: func(at sim.Time, ev string, node pkt.NodeID, f *pkt.Frame) {
+			if len(traces) < 400 {
+				traces = append(traces, fmt.Sprintf("%v %-3s n%d %s tx=%d txop=%x pkts=%d acked=%d",
+					at, ev, node, f.Kind, f.Tx, f.TxopID, len(f.Packets), len(f.AckedUIDs)))
+			}
+		},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("tput=%.3f Mbps delivered=%d reorder=%.2f%%",
+		res.Flows[0].ThroughputMbps, res.Flows[0].PktsDelivered, 100*res.Flows[0].ReorderRate)
+	t.Logf("MAC: %+v", res.MAC)
+	t.Logf("Medium: %+v", res.Medium)
+	t.Logf("events=%d pending=%d", res.Events, res.PendingAtEnd)
+	for _, tr := range traces[len(traces)-min(60, len(traces)):] {
+		t.Log(tr)
+	}
+}

@@ -1,0 +1,395 @@
+// Package network assembles a complete simulation run: topology positions,
+// the radio medium, one forwarding-scheme agent per station, transports and
+// traffic generators per flow, and result collection. It is the layer the
+// experiment harness and the public API drive.
+package network
+
+import (
+	"fmt"
+
+	"ripple/internal/core"
+	"ripple/internal/forward"
+	"ripple/internal/phys"
+	"ripple/internal/pkt"
+	"ripple/internal/radio"
+	"ripple/internal/rateadapt"
+	"ripple/internal/routing"
+	"ripple/internal/sim"
+	"ripple/internal/stats"
+	"ripple/internal/traffic"
+	"ripple/internal/transport"
+)
+
+// SchemeKind selects the forwarding scheme for a run, using the labels of
+// the paper's figures.
+type SchemeKind int
+
+const (
+	// DCF is predetermined routing over plain IEEE 802.11 ("D"; with a
+	// direct route it is SPR, "S").
+	DCF SchemeKind = iota + 1
+	// AFR is predetermined routing with 16-packet aggregation ("A").
+	AFR
+	// PreExOR is the early ExOR with sequential per-forwarder ACKs.
+	PreExOR
+	// MCExOR is the compressed-acknowledgement opportunistic scheme.
+	MCExOR
+	// Ripple is RIPPLE with two-way aggregation ("R16").
+	Ripple
+	// RippleNoAgg is RIPPLE with aggregation disabled ("R1").
+	RippleNoAgg
+)
+
+// String returns the paper's label for the scheme.
+func (k SchemeKind) String() string {
+	switch k {
+	case DCF:
+		return "DCF"
+	case AFR:
+		return "AFR"
+	case PreExOR:
+		return "preExOR"
+	case MCExOR:
+		return "MCExOR"
+	case Ripple:
+		return "RIPPLE"
+	case RippleNoAgg:
+		return "RIPPLE-noagg"
+	default:
+		return fmt.Sprintf("SchemeKind(%d)", int(k))
+	}
+}
+
+// TrafficKind selects a flow's workload.
+type TrafficKind int
+
+const (
+	// FTP is a long-lived, persistently backlogged TCP transfer.
+	FTP TrafficKind = iota + 1
+	// Web is the ON/OFF Pareto short-transfer TCP workload.
+	Web
+	// VoIPTraffic is the 96 kbps on-off voice stream.
+	VoIPTraffic
+	// CBRTraffic is a saturated constant-bit-rate datagram stream.
+	CBRTraffic
+)
+
+// FlowSpec describes one flow of a scenario.
+type FlowSpec struct {
+	ID    int
+	Path  routing.Path // source..destination; also the forwarder list
+	Kind  TrafficKind
+	Start sim.Time
+	// CBRInterval overrides the CBR emission interval (0 = saturating).
+	CBRInterval sim.Time
+}
+
+// Config is a complete scenario description.
+type Config struct {
+	Positions     []radio.Pos
+	Radio         radio.Config
+	Phy           phys.Params
+	Scheme        SchemeKind
+	MaxForwarders int // cap on forwarder-list length (paper default 5)
+	Flows         []FlowSpec
+	Duration      sim.Time
+	Seed          uint64
+	TCP           transport.TCPConfig
+	VoIP          transport.VoIPConfig
+	Web           traffic.WebConfig
+	RippleOpts    core.Options // used by Ripple/RippleNoAgg
+	UnicastMaxAgg int          // aggregation for AFR (default 16)
+	// MultiRate enables the paper's §V future-work extension: per-link PHY
+	// rate selection.
+	MultiRate MultiRateSpec
+	// NodeMaxAgg overrides the aggregation limit for individual stations
+	// (used by the two-way-aggregation ablation: setting a flow's
+	// destination to 1 disables reverse-direction aggregation).
+	NodeMaxAgg map[pkt.NodeID]int
+	// RTSThreshold enables 802.11 RTS/CTS for the predetermined schemes
+	// (DCF/AFR): data frames with MAC payload of at least this many bytes
+	// are protected by an RTS/CTS handshake. 0 disables the option.
+	RTSThreshold int
+	// Trace, when non-nil, receives low-level medium events with their
+	// simulation time (tests, debugging, trace.Recorder). When tracing a
+	// multi-seed run, install it on a single-seed Run: seeds execute
+	// concurrently and the hook is not synchronised.
+	Trace func(at sim.Time, event string, node pkt.NodeID, f *pkt.Frame)
+}
+
+// MultiRateSpec configures the multi-rate extension.
+type MultiRateSpec struct {
+	Enabled bool
+	// Rates is the available rate ladder; empty selects Set80211a for
+	// low-rate configurations and SetWideband above 100 Mbps.
+	Rates rateadapt.RateSet
+	// MinProb is the oracle's delivery-probability target (default 0.9).
+	MinProb float64
+}
+
+// Normalize fills zero-valued fields with paper defaults.
+func (c *Config) Normalize() {
+	if c.MaxForwarders == 0 {
+		c.MaxForwarders = 5
+	}
+	if c.Duration == 0 {
+		c.Duration = 10 * sim.Second
+	}
+	if c.TCP.MSS == 0 {
+		c.TCP = transport.DefaultTCPConfig()
+	}
+	if c.VoIP.BitsPerSecond == 0 {
+		c.VoIP = transport.DefaultVoIPConfig()
+	}
+	if c.Web.MeanTransferBytes == 0 {
+		c.Web = traffic.DefaultWebConfig()
+	}
+	if c.RippleOpts.MaxAgg == 0 {
+		c.RippleOpts = core.DefaultOptions()
+	}
+	if c.UnicastMaxAgg == 0 {
+		c.UnicastMaxAgg = 16
+	}
+	if c.Phy.SIFS == 0 {
+		c.Phy = phys.Default()
+	}
+	if c.Radio.PathLossExp == 0 {
+		c.Radio = radio.DefaultConfig()
+	}
+}
+
+// FlowResult summarises one flow after a run.
+type FlowResult struct {
+	ID             int
+	Kind           TrafficKind
+	ThroughputMbps float64
+	MeanDelay      sim.Time
+	ReorderRate    float64
+	PktsDelivered  int64
+	Transfers      int64
+	MoS            float64 // VoIP flows only
+	LossRate       float64 // VoIP flows only
+}
+
+// Result is a completed run.
+type Result struct {
+	Flows     []FlowResult
+	TotalMbps float64
+	Medium    radio.Counters
+	MAC       forward.Counters
+	// Events is the number of simulation events processed; PendingAtEnd is
+	// the number still queued when the clock ran out (0 means the network
+	// went fully quiescent, which for backlogged traffic indicates a stall).
+	Events       uint64
+	PendingAtEnd int
+	Duration     sim.Time
+	// Fairness is Jain's index over the per-flow throughputs.
+	Fairness float64
+}
+
+// endpointKey routes delivered packets to the right transport endpoint.
+type endpointKey struct {
+	flow int
+	node pkt.NodeID
+}
+
+type receiver interface {
+	Receive(at pkt.NodeID, p *pkt.Packet)
+}
+
+// Run executes one scenario to completion and returns its results.
+func Run(cfg Config) (*Result, error) {
+	cfg.Normalize()
+	if err := validate(&cfg); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	medium := radio.NewMedium(eng, cfg.Radio, cfg.Phy, cfg.Positions, sim.NewRNG(cfg.Seed, 1))
+	medium.Trace = cfg.Trace
+
+	routes := forward.NewRouteBook(cfg.MaxForwarders)
+	for _, f := range cfg.Flows {
+		routes.Add(f.ID, f.Path)
+	}
+
+	var rateOracle *rateadapt.OracleSelector
+	if cfg.MultiRate.Enabled {
+		rates := cfg.MultiRate.Rates
+		if len(rates) == 0 {
+			if cfg.Phy.DataBps > 100e6 {
+				rates = rateadapt.SetWideband()
+			} else {
+				rates = rateadapt.Set80211a()
+			}
+		}
+		rateOracle = rateadapt.NewOracle(rates, cfg.Phy.DataBps)
+		if cfg.Radio.ShadowSigmaDB > 0 {
+			rateOracle.SigmaDB = cfg.Radio.ShadowSigmaDB
+		}
+		if cfg.MultiRate.MinProb > 0 {
+			rateOracle.MinProb = cfg.MultiRate.MinProb
+		}
+	}
+
+	endpoints := make(map[endpointKey]receiver)
+	counters := make([]forward.Counters, len(cfg.Positions))
+	schemes := make([]forward.Scheme, len(cfg.Positions))
+	for i := range cfg.Positions {
+		id := pkt.NodeID(i)
+		env := forward.Env{
+			Eng:    eng,
+			Med:    medium,
+			P:      cfg.Phy,
+			ID:     id,
+			RNG:    sim.NewRNG(cfg.Seed, 100+uint64(i)),
+			Routes: routes,
+			C:      &counters[i],
+		}
+		if rateOracle != nil {
+			env.RateFor = func(to pkt.NodeID) float64 {
+				return rateOracle.Rate(1 - cfg.Radio.LossProb(medium.Distance(id, to)))
+			}
+		}
+		env.Deliver = func(p *pkt.Packet) {
+			if ep, ok := endpoints[endpointKey{flow: p.FlowID, node: id}]; ok {
+				ep.Receive(id, p)
+			}
+		}
+		schemes[i] = newScheme(cfg, env)
+		medium.Attach(id, schemes[i])
+	}
+
+	flowStats := make([]*stats.Flow, len(cfg.Flows))
+	for i, f := range cfg.Flows {
+		fs := &stats.Flow{ID: f.ID}
+		flowStats[i] = fs
+		src, dst := f.Path.Src(), f.Path.Dst()
+		sendSrc := schemes[src].Send
+		sendDst := schemes[dst].Send
+		switch f.Kind {
+		case FTP, Web:
+			conn := transport.NewTCP(eng, cfg.TCP, f.ID, src, dst, sendSrc, sendDst, fs)
+			endpoints[endpointKey{f.ID, src}] = conn
+			endpoints[endpointKey{f.ID, dst}] = conn
+			if f.Kind == FTP {
+				start := f.Start
+				eng.At(start, conn.Start)
+			} else {
+				web := traffic.NewWeb(eng, cfg.Web, conn, cfg.TCP.MSS, sim.NewRNG(cfg.Seed, 10000+uint64(f.ID)))
+				eng.At(f.Start, web.Start)
+			}
+		case VoIPTraffic:
+			v := transport.NewVoIP(eng, cfg.VoIP, f.ID, src, dst, sendSrc, fs,
+				sim.NewRNG(cfg.Seed, 10000+uint64(f.ID)))
+			endpoints[endpointKey{f.ID, dst}] = v
+			eng.At(f.Start, v.Start)
+		case CBRTraffic:
+			// CBRInterval zero selects backlogged (saturating) mode.
+			c := transport.NewCBR(eng, f.ID, src, dst, cfg.Phy.PacketBytes, f.CBRInterval, sendSrc, fs)
+			endpoints[endpointKey{f.ID, dst}] = c
+			eng.At(f.Start, c.Start)
+		default:
+			return nil, fmt.Errorf("network: flow %d has unknown traffic kind %d", f.ID, f.Kind)
+		}
+	}
+
+	eng.Run(cfg.Duration)
+
+	res := &Result{Duration: cfg.Duration, Events: eng.Processed(),
+		PendingAtEnd: eng.Pending(), Medium: medium.Counters}
+	for i := range counters {
+		res.MAC = addCounters(res.MAC, counters[i])
+	}
+	tputs := make([]float64, 0, len(cfg.Flows))
+	for i, f := range cfg.Flows {
+		fs := flowStats[i]
+		fr := FlowResult{
+			ID:             f.ID,
+			Kind:           f.Kind,
+			ThroughputMbps: fs.ThroughputMbps(cfg.Duration),
+			MeanDelay:      fs.MeanDelay(),
+			ReorderRate:    fs.ReorderRate(),
+			PktsDelivered:  fs.PktsDelivered,
+			Transfers:      fs.TransfersCompleted,
+		}
+		if f.Kind == VoIPTraffic {
+			fr.LossRate = fs.VoIPLossRate()
+			fr.MoS = stats.MoSFrom(fs.MeanDelay().Milliseconds(), fr.LossRate)
+		}
+		res.TotalMbps += fr.ThroughputMbps
+		res.Flows = append(res.Flows, fr)
+		tputs = append(tputs, fr.ThroughputMbps)
+	}
+	res.Fairness = stats.JainIndex(tputs)
+	return res, nil
+}
+
+func validate(cfg *Config) error {
+	if len(cfg.Positions) == 0 {
+		return fmt.Errorf("network: no station positions")
+	}
+	if len(cfg.Flows) == 0 {
+		return fmt.Errorf("network: no flows")
+	}
+	seen := make(map[int]bool, len(cfg.Flows))
+	for _, f := range cfg.Flows {
+		if err := f.Path.Validate(); err != nil {
+			return fmt.Errorf("network: flow %d: %w", f.ID, err)
+		}
+		if seen[f.ID] {
+			return fmt.Errorf("network: duplicate flow id %d", f.ID)
+		}
+		seen[f.ID] = true
+		for _, n := range f.Path {
+			if int(n) < 0 || int(n) >= len(cfg.Positions) {
+				return fmt.Errorf("network: flow %d references station %d outside topology", f.ID, n)
+			}
+		}
+	}
+	return nil
+}
+
+func newScheme(cfg Config, env forward.Env) forward.Scheme {
+	switch cfg.Scheme {
+	case DCF:
+		return forward.NewUnicastRTS(env, 1, cfg.RTSThreshold)
+	case AFR:
+		agg := cfg.UnicastMaxAgg
+		if v, ok := cfg.NodeMaxAgg[env.ID]; ok {
+			agg = v
+		}
+		return forward.NewUnicastRTS(env, agg, cfg.RTSThreshold)
+	case PreExOR:
+		return forward.NewPreExOR(env)
+	case MCExOR:
+		return forward.NewMCExOR(env)
+	case Ripple:
+		opt := cfg.RippleOpts
+		if v, ok := cfg.NodeMaxAgg[env.ID]; ok {
+			opt.MaxAgg = v
+		}
+		return core.New(env, opt)
+	case RippleNoAgg:
+		opt := cfg.RippleOpts
+		opt.MaxAgg = 1
+		return core.New(env, opt)
+	default:
+		// validate() runs first; reaching this is a programming error.
+		panic(fmt.Sprintf("network: unknown scheme %d", int(cfg.Scheme)))
+	}
+}
+
+func addCounters(a, b forward.Counters) forward.Counters {
+	a.TxFrames += b.TxFrames
+	a.TxData += b.TxData
+	a.TxPackets += b.TxPackets
+	a.RxData += b.RxData
+	a.AckTimeouts += b.AckTimeouts
+	a.Retries += b.Retries
+	a.MACDrops += b.MACDrops
+	a.QueueDrops += b.QueueDrops
+	a.Relays += b.Relays
+	a.RelayCancels += b.RelayCancels
+	a.Duplicates += b.Duplicates
+	return a
+}

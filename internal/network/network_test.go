@@ -1,0 +1,125 @@
+package network
+
+import (
+	"testing"
+
+	"ripple/internal/radio"
+	"ripple/internal/routing"
+	"ripple/internal/sim"
+	"ripple/internal/topology"
+)
+
+// noLossRadio returns a radio config with shadowing disabled and generous
+// thresholds so short links are perfect — isolates MAC behaviour.
+func noLossRadio() radio.Config {
+	c := radio.DefaultConfig()
+	c.ShadowSigmaDB = 0
+	c.BitErrorRate = 0
+	return c
+}
+
+func TestSingleHopDCFSaturatedCBR(t *testing.T) {
+	top, path := topology.Line(1)
+	cfg := Config{
+		Positions: top.Positions,
+		Radio:     noLossRadio(),
+		Scheme:    DCF,
+		Flows:     []FlowSpec{{ID: 1, Path: path, Kind: CBRTraffic}},
+		Duration:  2 * sim.Second,
+		Seed:      1,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Flows[0].ThroughputMbps
+	// Analytic saturation throughput for one 1000-byte packet per TXOP at
+	// 216 Mbps: DIFS(34) + E[backoff](7.5*9=67.5) + PHY(20) +
+	// (34+1000)*8/216 (≈38.3) + SIFS(16) + ACK(20+2.1) ≈ 198 µs
+	// → ≈ 40 Mbps. Allow a wide band.
+	if got < 30 || got > 50 {
+		t.Fatalf("single-hop DCF saturated throughput = %.2f Mbps, want ≈40", got)
+	}
+}
+
+func TestThreeHopDCFLongTCP(t *testing.T) {
+	top, path := topology.Line(3)
+	cfg := Config{
+		Positions: top.Positions,
+		Radio:     noLossRadio(),
+		Scheme:    DCF,
+		Flows:     []FlowSpec{{ID: 1, Path: path, Kind: FTP}},
+		Duration:  5 * sim.Second,
+		Seed:      1,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Flows[0].ThroughputMbps
+	// The paper's §IV-A reference point: ≈7 Mbps for a 3-hop TCP flow on a
+	// clean channel (data+ACK contention shared by 4 stations).
+	if got < 4 || got > 12 {
+		t.Fatalf("3-hop DCF TCP throughput = %.2f Mbps, want ≈7", got)
+	}
+	if res.Flows[0].ReorderRate > 0.001 {
+		t.Fatalf("DCF should not reorder, got %.2f%%", 100*res.Flows[0].ReorderRate)
+	}
+}
+
+func TestThreeHopSchemesOrdering(t *testing.T) {
+	top, path := topology.Line(3)
+	run := func(k SchemeKind) float64 {
+		cfg := Config{
+			Positions: top.Positions,
+			Radio:     noLossRadio(),
+			Scheme:    k,
+			Flows:     []FlowSpec{{ID: 1, Path: path, Kind: FTP}},
+			Duration:  5 * sim.Second,
+			Seed:      7,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		t.Logf("%-12v %6.2f Mbps (reorder %.2f%%)", k,
+			res.Flows[0].ThroughputMbps, 100*res.Flows[0].ReorderRate)
+		return res.Flows[0].ThroughputMbps
+	}
+	d := run(DCF)
+	a := run(AFR)
+	r1 := run(RippleNoAgg)
+	r16 := run(Ripple)
+	if a < d {
+		t.Errorf("AFR (%.2f) should beat DCF (%.2f) via aggregation", a, d)
+	}
+	if r1 < d*0.9 {
+		t.Errorf("RIPPLE-noagg (%.2f) should be at least comparable to DCF (%.2f)", r1, d)
+	}
+	if r16 < a {
+		t.Errorf("RIPPLE (%.2f) should beat AFR (%.2f): mTXOP + aggregation", r16, a)
+	}
+}
+
+func TestOpportunisticSchemesDeliver(t *testing.T) {
+	top := topology.Fig1()
+	route := routing.Route0()
+	for _, k := range []SchemeKind{PreExOR, MCExOR, Ripple} {
+		cfg := Config{
+			Positions: top.Positions,
+			Radio:     noLossRadio(),
+			Scheme:    k,
+			Flows:     []FlowSpec{{ID: 1, Path: route.Flow1, Kind: FTP}},
+			Duration:  2 * sim.Second,
+			Seed:      3,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if res.Flows[0].ThroughputMbps < 1 {
+			t.Errorf("%v delivered only %.3f Mbps on a clean 3-hop path",
+				k, res.Flows[0].ThroughputMbps)
+		}
+	}
+}

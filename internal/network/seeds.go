@@ -1,0 +1,66 @@
+package network
+
+import (
+	"fmt"
+	"sync"
+
+	"ripple/internal/sim"
+)
+
+// RunSeeds executes the same scenario under several seeds concurrently (one
+// goroutine per seed; engines are independent) and returns the per-seed
+// results plus the seed-averaged summary, which is how the paper reports
+// every figure ("All results presented are averages over multiple runs").
+func RunSeeds(cfg Config, seeds []uint64) ([]*Result, *Result, error) {
+	if len(seeds) == 0 {
+		return nil, nil, fmt.Errorf("network: no seeds")
+	}
+	results := make([]*Result, len(seeds))
+	errs := make([]error, len(seeds))
+	var wg sync.WaitGroup
+	for i, seed := range seeds {
+		wg.Add(1)
+		go func(i int, seed uint64) {
+			defer wg.Done()
+			c := cfg
+			c.Seed = seed
+			results[i], errs[i] = Run(c)
+		}(i, seed)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return results, Average(results), nil
+}
+
+// Average combines per-seed results into mean per-flow and total metrics.
+func Average(results []*Result) *Result {
+	if len(results) == 0 {
+		return nil
+	}
+	avg := &Result{Duration: results[0].Duration}
+	n := float64(len(results))
+	avg.Flows = make([]FlowResult, len(results[0].Flows))
+	for i := range avg.Flows {
+		avg.Flows[i].ID = results[0].Flows[i].ID
+		avg.Flows[i].Kind = results[0].Flows[i].Kind
+	}
+	for _, r := range results {
+		avg.TotalMbps += r.TotalMbps / n
+		avg.Fairness += r.Fairness / n
+		avg.Events += r.Events
+		for i, f := range r.Flows {
+			avg.Flows[i].ThroughputMbps += f.ThroughputMbps / n
+			avg.Flows[i].MeanDelay += f.MeanDelay / sim.Time(len(results))
+			avg.Flows[i].ReorderRate += f.ReorderRate / n
+			avg.Flows[i].PktsDelivered += f.PktsDelivered
+			avg.Flows[i].Transfers += f.Transfers
+			avg.Flows[i].MoS += f.MoS / n
+			avg.Flows[i].LossRate += f.LossRate / n
+		}
+	}
+	return avg
+}

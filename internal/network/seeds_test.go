@@ -1,0 +1,119 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"ripple/internal/routing"
+	"ripple/internal/sim"
+	"ripple/internal/topology"
+)
+
+func smokeConfig(seed uint64) Config {
+	top, path := topology.Line(3)
+	return Config{
+		Positions: top.Positions,
+		Scheme:    Ripple,
+		Flows:     []FlowSpec{{ID: 1, Path: path, Kind: FTP}},
+		Duration:  sim.Second,
+		Seed:      seed,
+	}
+}
+
+func TestRunIsDeterministicPerSeed(t *testing.T) {
+	a, err := Run(smokeConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smokeConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalMbps != b.TotalMbps || a.Events != b.Events {
+		t.Fatalf("same seed diverged: %.4f/%d vs %.4f/%d",
+			a.TotalMbps, a.Events, b.TotalMbps, b.Events)
+	}
+}
+
+func TestRunDiffersAcrossSeeds(t *testing.T) {
+	a, _ := Run(smokeConfig(1))
+	b, _ := Run(smokeConfig(2))
+	if a.Events == b.Events && a.TotalMbps == b.TotalMbps {
+		t.Fatal("different seeds produced identical runs (RNG not wired?)")
+	}
+}
+
+func TestRunSeedsAveragesConcurrently(t *testing.T) {
+	results, avg, err := RunSeeds(smokeConfig(0), []uint64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	var want float64
+	for _, r := range results {
+		want += r.TotalMbps / 4
+	}
+	if math.Abs(avg.TotalMbps-want) > 1e-9 {
+		t.Fatalf("average = %v, want %v", avg.TotalMbps, want)
+	}
+}
+
+func TestRunSeedsRequiresSeeds(t *testing.T) {
+	if _, _, err := RunSeeds(smokeConfig(0), nil); err == nil {
+		t.Fatal("empty seed list must error")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	top, path := topology.Line(2)
+	base := Config{
+		Positions: top.Positions,
+		Scheme:    DCF,
+		Flows:     []FlowSpec{{ID: 1, Path: path, Kind: FTP}},
+		Duration:  sim.Second,
+	}
+
+	bad := base
+	bad.Positions = nil
+	if _, err := Run(bad); err == nil {
+		t.Error("no positions must error")
+	}
+
+	bad = base
+	bad.Flows = nil
+	if _, err := Run(bad); err == nil {
+		t.Error("no flows must error")
+	}
+
+	bad = base
+	bad.Flows = []FlowSpec{{ID: 1, Path: path, Kind: FTP}, {ID: 1, Path: path, Kind: FTP}}
+	if _, err := Run(bad); err == nil {
+		t.Error("duplicate flow ids must error")
+	}
+
+	bad = base
+	bad.Flows = []FlowSpec{{ID: 1, Path: routing.Path{0, 9}, Kind: FTP}}
+	if _, err := Run(bad); err == nil {
+		t.Error("out-of-range station must error")
+	}
+
+	bad = base
+	bad.Flows = []FlowSpec{{ID: 1, Path: path, Kind: 99}}
+	if _, err := Run(bad); err == nil {
+		t.Error("unknown traffic kind must error")
+	}
+}
+
+func TestSchemeKindString(t *testing.T) {
+	names := map[SchemeKind]string{
+		DCF: "DCF", AFR: "AFR", PreExOR: "preExOR",
+		MCExOR: "MCExOR", Ripple: "RIPPLE", RippleNoAgg: "RIPPLE-noagg",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package phys
+
+import (
+	"testing"
+
+	"ripple/internal/sim"
+)
+
+func TestDefaultMatchesTableI(t *testing.T) {
+	p := Default()
+	if p.SIFS != 16*sim.Microsecond {
+		t.Errorf("SIFS = %v, want 16µs", p.SIFS)
+	}
+	if p.Slot != 9*sim.Microsecond {
+		t.Errorf("Slot = %v, want 9µs", p.Slot)
+	}
+	if p.PHYHdr != 20*sim.Microsecond {
+		t.Errorf("PHYHdr = %v, want 20µs", p.PHYHdr)
+	}
+	if p.DataBps != 216e6 {
+		t.Errorf("DataBps = %v, want 216e6", p.DataBps)
+	}
+	if p.BasicBps != 54e6 {
+		t.Errorf("BasicBps = %v, want 54e6", p.BasicBps)
+	}
+	if p.QueueLimit != 50 {
+		t.Errorf("QueueLimit = %d, want 50", p.QueueLimit)
+	}
+	if p.PacketBytes != 1000 {
+		t.Errorf("PacketBytes = %d, want 1000", p.PacketBytes)
+	}
+	if p.CWMin != 15 || p.CWMax != 1023 {
+		t.Errorf("CW = %d/%d, want 15/1023", p.CWMin, p.CWMax)
+	}
+}
+
+func TestLowRateIs6Mbps(t *testing.T) {
+	p := LowRate()
+	if p.DataBps != 6e6 || p.BasicBps != 6e6 {
+		t.Fatalf("LowRate rates = %v/%v, want 6e6/6e6", p.DataBps, p.BasicBps)
+	}
+}
+
+func TestDIFSIsSIFSPlusTwoSlots(t *testing.T) {
+	p := Default()
+	if p.DIFS() != 34*sim.Microsecond {
+		t.Fatalf("DIFS = %v, want 34µs", p.DIFS())
+	}
+}
+
+func TestEIFSExceedsDIFS(t *testing.T) {
+	p := Default()
+	if p.EIFS() <= p.DIFS() {
+		t.Fatalf("EIFS %v must exceed DIFS %v", p.EIFS(), p.DIFS())
+	}
+	want := p.SIFS + p.ACKTime() + p.DIFS()
+	if p.EIFS() != want {
+		t.Fatalf("EIFS = %v, want %v", p.EIFS(), want)
+	}
+}
+
+func TestDataTimeArithmetic(t *testing.T) {
+	p := Default()
+	// 1034 bytes at 216 Mbps = 8272 bits / 216e6 ≈ 38.296 µs, + 20 µs PLCP.
+	got := p.DataTime(1034)
+	bits := 1034 * 8
+	want := p.PHYHdr + sim.Time(float64(bits)/216e6*1e9) + 1 // rounded up
+	if diff := got - want; diff < -1 || diff > 1 {
+		t.Fatalf("DataTime(1034) = %v, want ≈%v", got, want)
+	}
+	if got < 58*sim.Microsecond || got > 59*sim.Microsecond {
+		t.Fatalf("DataTime(1034) = %v, want ≈58.3µs", got)
+	}
+}
+
+func TestACKTimeAtBasicRate(t *testing.T) {
+	p := Default()
+	// 14 bytes at 54 Mbps ≈ 2.07 µs + 20 µs PLCP.
+	got := p.ACKTime()
+	if got < 22*sim.Microsecond || got > 23*sim.Microsecond {
+		t.Fatalf("ACKTime = %v, want ≈22.1µs", got)
+	}
+	if p.BitmapACKTime() <= p.ACKTime() {
+		t.Fatal("bitmap ACK must be longer than plain ACK")
+	}
+}
+
+func TestACKTimeoutCoversACK(t *testing.T) {
+	p := Default()
+	if p.ACKTimeout() <= p.SIFS+p.ACKTime() {
+		t.Fatalf("ACKTimeout %v must cover SIFS+ACK %v", p.ACKTimeout(), p.SIFS+p.ACKTime())
+	}
+}
+
+func TestAirtimeMonotoneInSize(t *testing.T) {
+	p := Default()
+	prev := sim.Time(0)
+	for bytes := 40; bytes <= 17000; bytes += 500 {
+		d := p.DataTime(bytes)
+		if d <= prev {
+			t.Fatalf("DataTime(%d) = %v not increasing", bytes, d)
+		}
+		prev = d
+	}
+}
+
+func TestLowRateAirtimeScales(t *testing.T) {
+	hi, lo := Default(), LowRate()
+	// Same payload takes 36× longer at 6 Mbps than at 216 Mbps.
+	dHi := hi.DataTime(1000) - hi.PHYHdr
+	dLo := lo.DataTime(1000) - lo.PHYHdr
+	ratio := float64(dLo) / float64(dHi)
+	if ratio < 35.9 || ratio > 36.1 {
+		t.Fatalf("airtime ratio = %.2f, want 36", ratio)
+	}
+}

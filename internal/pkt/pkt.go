@@ -1,0 +1,188 @@
+// Package pkt defines the units that move through the simulated network:
+// upper-layer Packets and MAC-layer Frames (possibly aggregating several
+// packets, as in AFR and RIPPLE).
+package pkt
+
+import (
+	"fmt"
+
+	"ripple/internal/sim"
+)
+
+// NodeID identifies a station in the topology. IDs are dense indices.
+type NodeID int
+
+// Broadcast is the pseudo-receiver of frames without a single intended
+// recipient (opportunistic data frames).
+const Broadcast NodeID = -1
+
+// Packet is one upper-layer packet (what the paper calls a "packet", as
+// opposed to the MAC "frame" that may carry several of them).
+type Packet struct {
+	// UID is unique across the whole simulation run; used for duplicate
+	// suppression and ACK bookkeeping.
+	UID uint64
+	// FlowID identifies the end-to-end flow the packet belongs to.
+	FlowID int
+	// Seq is the flow-local sequence number (0-based, per direction),
+	// assigned by the transport layer. Transport retransmissions reuse it.
+	Seq int64
+	// MacSeq is the MAC-layer stream sequence number assigned when the
+	// packet first enters a send queue (Sq). Unlike Seq it is unique per
+	// MAC transmission stream — a transport retransmission gets a fresh
+	// MacSeq — which is what the RIPPLE resequencing queue (Rq) orders by.
+	MacSeq int64
+	// Bytes is the upper-layer size (TCP data: 1000, TCP ACK: 40, ...).
+	Bytes int
+	// Src and Dst are the end-to-end endpoints.
+	Src, Dst NodeID
+	// Created is when the packet entered the sender's queue (for delay).
+	Created sim.Time
+	// Transport carries the protocol header as a typed value (e.g.
+	// *transport.Segment); the simulator never serialises it.
+	Transport any
+	// EnqueuedAt records when the packet most recently entered a MAC
+	// queue, for queueing-delay statistics.
+	EnqueuedAt sim.Time
+	// Retries counts MAC-layer (re)transmissions of this packet so far.
+	Retries int
+}
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt{flow=%d seq=%d %d->%d %dB}", p.FlowID, p.Seq, p.Src, p.Dst, p.Bytes)
+}
+
+// FrameKind distinguishes the MAC frame types the schemes exchange.
+type FrameKind int
+
+const (
+	// Data is a (possibly aggregated) data frame.
+	Data FrameKind = iota + 1
+	// Ack is a MAC acknowledgement (plain or bitmap).
+	Ack
+	// Rts is a request-to-send control frame (802.11 RTS/CTS option).
+	Rts
+	// Cts is a clear-to-send control frame.
+	Cts
+)
+
+func (k FrameKind) String() string {
+	switch k {
+	case Data:
+		return "DATA"
+	case Ack:
+		return "ACK"
+	case Rts:
+		return "RTS"
+	case Cts:
+		return "CTS"
+	default:
+		return fmt.Sprintf("FrameKind(%d)", int(k))
+	}
+}
+
+// Frame is one MAC-to-PHY transmission.
+type Frame struct {
+	Kind FrameKind
+	// Tx is the transmitting station of this emission (for relayed frames,
+	// the relay, not the original source).
+	Tx NodeID
+	// Rx is the intended receiver for unicast exchanges, or Broadcast for
+	// opportunistic data frames addressed to a forwarder list.
+	Rx NodeID
+	// Origin is the station that initiated the transmission opportunity
+	// this frame belongs to (the mTXOP source for RIPPLE relays; equals Tx
+	// for non-relayed frames).
+	Origin NodeID
+	// FinalDst is the end-to-end destination of the TXOP (the highest
+	// priority "forwarder").
+	FinalDst NodeID
+
+	// FwdList is the prioritised forwarder list carried by opportunistic
+	// frames, ordered destination-first: FwdList[0] is the final
+	// destination, FwdList[1] the forwarder closest to it, and so on up to
+	// the source's neighbour. Empty for predetermined schemes.
+	FwdList []NodeID
+
+	// TxopID identifies the transmission opportunity (source-assigned);
+	// relays preserve it so stations can suppress duplicate relays.
+	TxopID uint64
+
+	// Packets are the aggregated upper-layer packets in a Data frame.
+	Packets []*Packet
+	// PktOK, set by the PHY on reception, records which sub-packets
+	// survived the bit-error process. len == len(Packets).
+	PktOK []bool
+
+	// AckedUIDs lists the packet UIDs acknowledged by a bitmap Ack frame.
+	AckedUIDs []uint64
+	// Acker is the station that generated an Ack frame (opportunistic
+	// schemes need to distinguish which forwarder acknowledged).
+	Acker NodeID
+	// AckerRank is the acker's priority rank in the forwarder list of the
+	// acknowledged data frame (0 = destination).
+	AckerRank int
+
+	// FlowID tags the frame with the flow whose TXOP this is (stats).
+	FlowID int
+
+	// Duration is the airtime, filled by the sender from phys.Params.
+	Duration sim.Time
+
+	// RateBps is the PHY data rate of the frame body when the multi-rate
+	// extension is active; 0 means the configuration's base data rate.
+	// Faster rates shrink Duration but raise the decode threshold.
+	RateBps float64
+
+	// NavDur, on RTS/CTS frames, announces how long the remaining exchange
+	// will occupy the channel; overhearing stations set their network
+	// allocation vector (virtual carrier sense) accordingly.
+	NavDur sim.Time
+}
+
+// PayloadBytes returns the MAC payload size of a data frame: MAC header,
+// forwarder list, and each sub-packet with its per-packet CRC header when
+// aggregated. The caller converts this to airtime via phys.Params.
+func (f *Frame) PayloadBytes(macHeader, perPktHdr, fwdEntry int) int {
+	n := macHeader + len(f.FwdList)*fwdEntry
+	for _, p := range f.Packets {
+		n += p.Bytes
+		if len(f.Packets) > 1 || perPktHdr > 0 {
+			n += perPktHdr
+		}
+	}
+	return n
+}
+
+// AllOK reports whether every sub-packet survived reception.
+func (f *Frame) AllOK() bool {
+	for _, ok := range f.PktOK {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// RankOf returns the position of node in the forwarder list (0 = final
+// destination, 1 = forwarder closest to it, ...), or -1 if absent.
+func (f *Frame) RankOf(node NodeID) int {
+	for i, id := range f.FwdList {
+		if id == node {
+			return i
+		}
+	}
+	return -1
+}
+
+// Clone returns a shallow copy suitable for relaying: the packet pointers
+// are shared (contents are immutable in flight), but the slices holding
+// per-reception state are fresh.
+func (f *Frame) Clone() *Frame {
+	g := *f
+	g.Packets = append([]*Packet(nil), f.Packets...)
+	g.PktOK = nil
+	g.AckedUIDs = append([]uint64(nil), f.AckedUIDs...)
+	g.FwdList = append([]NodeID(nil), f.FwdList...)
+	return &g
+}

@@ -1,0 +1,117 @@
+package pkt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPayloadBytesSinglePacket(t *testing.T) {
+	f := &Frame{
+		Kind:    Data,
+		Packets: []*Packet{{Bytes: 1000}},
+	}
+	// Plain DCF framing: MAC header + body, no per-packet header.
+	if got := f.PayloadBytes(34, 0, 0); got != 1034 {
+		t.Fatalf("PayloadBytes = %d, want 1034", got)
+	}
+}
+
+func TestPayloadBytesAggregated(t *testing.T) {
+	f := &Frame{Kind: Data}
+	for i := 0; i < 16; i++ {
+		f.Packets = append(f.Packets, &Packet{Bytes: 1000})
+	}
+	// 34 header + 16*(1000+8) per-packet.
+	if got := f.PayloadBytes(34, 8, 0); got != 34+16*1008 {
+		t.Fatalf("PayloadBytes = %d", got)
+	}
+}
+
+func TestPayloadBytesForwarderList(t *testing.T) {
+	f := &Frame{
+		Kind:    Data,
+		FwdList: []NodeID{3, 2, 1},
+		Packets: []*Packet{{Bytes: 1000}},
+	}
+	if got := f.PayloadBytes(34, 0, 6); got != 34+18+1000 {
+		t.Fatalf("PayloadBytes = %d, want %d", got, 34+18+1000)
+	}
+}
+
+func TestRankOf(t *testing.T) {
+	f := &Frame{FwdList: []NodeID{3, 2, 1}}
+	cases := []struct {
+		node NodeID
+		want int
+	}{{3, 0}, {2, 1}, {1, 2}, {0, -1}, {9, -1}}
+	for _, c := range cases {
+		if got := f.RankOf(c.node); got != c.want {
+			t.Errorf("RankOf(%d) = %d, want %d", c.node, got, c.want)
+		}
+	}
+}
+
+func TestAllOK(t *testing.T) {
+	f := &Frame{PktOK: []bool{true, true, true}}
+	if !f.AllOK() {
+		t.Fatal("AllOK should be true")
+	}
+	f.PktOK[1] = false
+	if f.AllOK() {
+		t.Fatal("AllOK should be false with a corrupted sub-packet")
+	}
+}
+
+func TestCloneIsolatesSlices(t *testing.T) {
+	f := &Frame{
+		Kind:      Data,
+		FwdList:   []NodeID{3, 2, 1},
+		Packets:   []*Packet{{UID: 1}, {UID: 2}},
+		AckedUIDs: []uint64{7},
+		PktOK:     []bool{true, false},
+	}
+	g := f.Clone()
+	g.FwdList[0] = 9
+	g.Packets[0] = &Packet{UID: 99}
+	g.AckedUIDs[0] = 8
+	if f.FwdList[0] != 3 || f.Packets[0].UID != 1 || f.AckedUIDs[0] != 7 {
+		t.Fatal("Clone must not share mutable slices with the original")
+	}
+	if g.PktOK != nil {
+		t.Fatal("Clone must reset per-reception state")
+	}
+}
+
+// Property: RankOf is the inverse of list indexing.
+func TestRankOfProperty(t *testing.T) {
+	prop := func(ids []uint8) bool {
+		seen := map[NodeID]bool{}
+		var list []NodeID
+		for _, id := range ids {
+			n := NodeID(id)
+			if !seen[n] {
+				seen[n] = true
+				list = append(list, n)
+			}
+		}
+		f := &Frame{FwdList: list}
+		for i, n := range list {
+			if f.RankOf(n) != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameKindString(t *testing.T) {
+	if Data.String() != "DATA" || Ack.String() != "ACK" {
+		t.Fatal("FrameKind labels wrong")
+	}
+	if FrameKind(99).String() == "" {
+		t.Fatal("unknown kind should still format")
+	}
+}

@@ -1,0 +1,315 @@
+package radio
+
+import (
+	"fmt"
+	"math"
+
+	"ripple/internal/phys"
+	"ripple/internal/pkt"
+	"ripple/internal/rateadapt"
+	"ripple/internal/sim"
+)
+
+// MAC is the upcall interface the medium drives. Each station registers one.
+// Callbacks fire in deterministic event order on the simulation engine.
+type MAC interface {
+	// ChannelBusy fires when the station's view of the medium transitions
+	// idle→busy (external carrier sensed or own transmission started).
+	ChannelBusy()
+	// ChannelIdle fires on the busy→idle transition.
+	ChannelIdle()
+	// FrameReceived delivers a successfully decoded frame. pktOK flags
+	// which aggregated sub-packets survived the bit-error process (nil for
+	// ACK frames). The *Frame is shared between receivers: treat as
+	// read-only.
+	FrameReceived(f *pkt.Frame, pktOK []bool)
+	// FrameCorrupted fires when a decodable frame ended but could not be
+	// understood (collision, capture loss, half-duplex overlap or header
+	// bit errors). 802.11 stations apply EIFS after this.
+	FrameCorrupted()
+	// TxDone fires at the station's own transmission end.
+	TxDone(f *pkt.Frame)
+}
+
+// Counters aggregates medium-level statistics for a run.
+type Counters struct {
+	FramesSent      uint64 // transmissions started
+	FramesDelivered uint64 // successful decodes (per receiver)
+	FramesCollided  uint64 // decodable frames lost to overlap/capture
+	FramesShadowed  uint64 // frames below decode threshold at a listed receiver
+	HeaderErrors    uint64 // decodable frames lost to header bit errors
+	HalfDuplexLost  uint64 // decodable frames lost because receiver was transmitting
+}
+
+// inflight tracks one frame as seen by one receiver.
+type inflight struct {
+	frame     *pkt.Frame
+	powerDBm  float64
+	decodable bool
+	blocked   bool // receiver transmitted during the frame
+	// interfMW accumulates the linear power (mW) of every frame that
+	// overlapped this reception. The frame survives if its own power
+	// exceeds the accumulated interference by the capture margin —
+	// cumulative SINR, so several individually-capturable interferers
+	// can still jointly corrupt a reception (the aggregate hidden-terminal
+	// effect of Fig. 6(b)).
+	interfMW float64
+}
+
+func (i *inflight) corrupted(captureDB float64) bool {
+	if i.interfMW <= 0 {
+		return false
+	}
+	return i.powerDBm-10*math.Log10(i.interfMW) < captureDB
+}
+
+// station is the per-node PHY state.
+type station struct {
+	id      pkt.NodeID
+	pos     Pos
+	mac     MAC
+	sensed  int  // external frames currently above CS threshold
+	txing   bool // transmitting right now
+	current []*inflight
+}
+
+func (s *station) busyRefs() int {
+	n := s.sensed
+	if s.txing {
+		n++
+	}
+	return n
+}
+
+// Medium is the shared wireless channel. Create one per simulation run with
+// NewMedium; it is not safe for concurrent use (drive it from the Engine).
+type Medium struct {
+	eng      *sim.Engine
+	cfg      Config
+	phy      phys.Params
+	rng      *sim.RNG
+	stations []*station
+	Counters Counters
+	// Trace, when non-nil, receives low-level medium events ("tx", "rx",
+	// "corrupt") with their simulation time, for debugging, tests and the
+	// trace.Recorder. node is the receiving station for rx/corrupt events
+	// and the transmitter for tx events.
+	Trace func(at sim.Time, event string, node pkt.NodeID, f *pkt.Frame)
+}
+
+// NewMedium creates a medium over the given station positions. MACs must be
+// attached with Attach before the first transmission.
+func NewMedium(eng *sim.Engine, cfg Config, p phys.Params, positions []Pos, rng *sim.RNG) *Medium {
+	m := &Medium{eng: eng, cfg: cfg, phy: p, rng: rng}
+	m.stations = make([]*station, len(positions))
+	for i, pos := range positions {
+		m.stations[i] = &station{id: pkt.NodeID(i), pos: pos}
+	}
+	return m
+}
+
+// Attach registers the MAC upcall handler for a station.
+func (m *Medium) Attach(id pkt.NodeID, mac MAC) { m.stations[id].mac = mac }
+
+// NumStations returns the number of stations on the medium.
+func (m *Medium) NumStations() int { return len(m.stations) }
+
+// CarrierBusy reports whether station id currently senses the medium busy
+// (including its own transmission).
+func (m *Medium) CarrierBusy(id pkt.NodeID) bool {
+	return m.stations[id].busyRefs() > 0
+}
+
+// Transmitting reports whether station id is currently transmitting.
+func (m *Medium) Transmitting(id pkt.NodeID) bool { return m.stations[id].txing }
+
+// Distance returns the distance in metres between two stations.
+func (m *Medium) Distance(a, b pkt.NodeID) float64 {
+	return Dist(m.stations[a].pos, m.stations[b].pos)
+}
+
+// Config returns the radio configuration the medium was built with.
+func (m *Medium) Config() Config { return m.cfg }
+
+// Transmit emits a frame from f.Tx. f.Duration must be set. The call
+// returns the transmission end time. Transmitting while already
+// transmitting is a MAC bug and panics: it would silently corrupt the
+// simulation's accounting.
+func (m *Medium) Transmit(f *pkt.Frame) sim.Time {
+	src := m.stations[f.Tx]
+	if src.mac == nil {
+		panic(fmt.Sprintf("radio: station %d has no MAC attached", f.Tx))
+	}
+	if src.txing {
+		panic(fmt.Sprintf("radio: station %d transmit while transmitting", f.Tx))
+	}
+	if f.Duration <= 0 {
+		panic("radio: frame duration not set")
+	}
+	m.Counters.FramesSent++
+	if m.Trace != nil {
+		m.Trace(m.eng.Now(), "tx", f.Tx, f)
+	}
+	now := m.eng.Now()
+	end := now + f.Duration
+
+	src.txing = true
+	if src.busyRefs() == 1 {
+		src.mac.ChannelBusy()
+	}
+	// A station cannot decode anything while transmitting: mark every
+	// in-progress reception at the transmitter as blocked.
+	for _, inf := range src.current {
+		if inf.decodable && !inf.blocked {
+			inf.blocked = true
+		}
+	}
+	m.eng.At(end, func() {
+		src.txing = false
+		if src.busyRefs() == 0 {
+			src.mac.ChannelIdle()
+		}
+		src.mac.TxDone(f)
+	})
+
+	for _, dst := range m.stations {
+		if dst.id == f.Tx || dst.mac == nil {
+			continue
+		}
+		d := Dist(src.pos, dst.pos)
+		power := m.cfg.MeanRxPowerDBm(d)
+		if m.cfg.ShadowSigmaDB > 0 {
+			power = m.rng.Norm(power, m.cfg.ShadowSigmaDB)
+		}
+		if power < m.cfg.CSThreshDBm {
+			// Too weak even to sense: invisible at this receiver. If the
+			// receiver was in the forwarder list, record the shadowing loss.
+			if f.RankOf(dst.id) >= 0 || f.Rx == dst.id {
+				m.Counters.FramesShadowed++
+			}
+			continue
+		}
+		rxThresh := m.cfg.RXThreshDBm
+		if f.RateBps > 0 {
+			// Multi-rate extension: faster rates need more SNR.
+			rxThresh += rateadapt.ThresholdDeltaDB(f.RateBps, m.phy.DataBps)
+		}
+		inf := &inflight{frame: f, powerDBm: power, decodable: power >= rxThresh}
+		if !inf.decodable && (f.RankOf(dst.id) >= 0 || f.Rx == dst.id) {
+			m.Counters.FramesShadowed++
+		}
+		delay := propDelay(d)
+		dstCopy := dst
+		m.eng.At(now+delay, func() { m.beginReception(dstCopy, inf) })
+		m.eng.At(end+delay, func() { m.endReception(dstCopy, inf) })
+	}
+	return end
+}
+
+func (m *Medium) beginReception(dst *station, inf *inflight) {
+	// Interference accumulates both ways: every overlapping frame adds its
+	// linear power to the other's interference budget.
+	for _, other := range dst.current {
+		other.interfMW += dbmToMW(inf.powerDBm)
+		inf.interfMW += dbmToMW(other.powerDBm)
+	}
+	if dst.txing {
+		inf.blocked = true
+	}
+	dst.current = append(dst.current, inf)
+	dst.sensed++
+	if dst.busyRefs() == 1 {
+		dst.mac.ChannelBusy()
+	}
+}
+
+// dbmToMW converts dBm to linear milliwatts.
+func dbmToMW(dbm float64) float64 { return math.Pow(10, dbm/10) }
+
+func (m *Medium) endReception(dst *station, inf *inflight) {
+	// Remove from the active set.
+	for i, other := range dst.current {
+		if other == inf {
+			dst.current = append(dst.current[:i], dst.current[i+1:]...)
+			break
+		}
+	}
+	dst.sensed--
+	defer func() {
+		if dst.busyRefs() == 0 {
+			dst.mac.ChannelIdle()
+		}
+	}()
+
+	if !inf.decodable {
+		return // pure carrier: sensed energy only, no decode attempt
+	}
+	f := inf.frame
+	switch {
+	case inf.blocked:
+		m.Counters.HalfDuplexLost++
+		if m.Trace != nil {
+			m.Trace(m.eng.Now(), "corrupt", dst.id, f)
+		}
+		dst.mac.FrameCorrupted()
+		return
+	case inf.corrupted(m.cfg.CaptureDB):
+		m.Counters.FramesCollided++
+		if m.Trace != nil {
+			m.Trace(m.eng.Now(), "corrupt", dst.id, f)
+		}
+		dst.mac.FrameCorrupted()
+		return
+	}
+
+	// Bit-error process: the frame header (MAC header + forwarder list, or
+	// the whole control frame for ACKs) must survive, then each aggregated
+	// sub-packet survives independently.
+	ber := m.cfg.BitErrorRate
+	var headerBytes int
+	switch f.Kind {
+	case pkt.Ack:
+		headerBytes = phys.ACKFrameBytes + phys.BitmapACKBytes
+	case pkt.Rts:
+		headerBytes = phys.RTSFrameBytes
+	case pkt.Cts:
+		headerBytes = phys.CTSFrameBytes
+	default:
+		headerBytes = phys.MACHeaderBytes + len(f.FwdList)*phys.ForwarderEntryBytes
+	}
+	if !m.bitsSurvive(headerBytes*8, ber) {
+		m.Counters.HeaderErrors++
+		dst.mac.FrameCorrupted()
+		return
+	}
+	var pktOK []bool
+	if f.Kind == pkt.Data {
+		pktOK = make([]bool, len(f.Packets))
+		anyOK := false
+		for i, p := range f.Packets {
+			bits := (p.Bytes + phys.PerPacketCRCBytes) * 8
+			pktOK[i] = m.bitsSurvive(bits, ber)
+			anyOK = anyOK || pktOK[i]
+		}
+		if !anyOK && len(f.Packets) > 0 {
+			// Every sub-packet corrupted: indistinguishable from a bad
+			// frame at the receiver, but the header was readable so the
+			// MAC still learns about it (can send an all-zero bitmap).
+			_ = anyOK
+		}
+	}
+	m.Counters.FramesDelivered++
+	if m.Trace != nil {
+		m.Trace(m.eng.Now(), "rx", dst.id, f)
+	}
+	dst.mac.FrameReceived(f, pktOK)
+}
+
+// bitsSurvive draws whether `bits` consecutive bits all survive BER `ber`.
+func (m *Medium) bitsSurvive(bits int, ber float64) bool {
+	if ber <= 0 {
+		return true
+	}
+	pOK := math.Pow(1-ber, float64(bits))
+	return m.rng.Float64() < pOK
+}

@@ -1,0 +1,125 @@
+// Package radio simulates the shared wireless medium: log-distance path loss
+// with per-frame lognormal shadowing (the NS-2 "Shadowing" model the paper
+// configures with exponent 5 and deviation 8 dB), an i.i.d. bit-error
+// process applied to decodable frames, carrier sensing, capture, and
+// collision detection at each receiver.
+package radio
+
+import (
+	"math"
+
+	"ripple/internal/sim"
+)
+
+// Pos is a station position in metres.
+type Pos struct{ X, Y float64 }
+
+// Dist returns the Euclidean distance between two positions.
+func Dist(a, b Pos) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return math.Hypot(dx, dy)
+}
+
+// speedOfLight in metres per second, for propagation delay.
+const speedOfLight = 299_792_458.0
+
+// Config describes the radio environment. Use DefaultConfig for the paper's
+// setting (shadowing exponent 5, deviation 8 dB, 281 mW transmit power).
+type Config struct {
+	// TxPowerDBm is the transmit power; 281 mW = 24.49 dBm (paper §IV).
+	TxPowerDBm float64
+	// PathLossExp is the log-distance path loss exponent (paper: 5).
+	PathLossExp float64
+	// RefLossDB is the path loss at the 1 m reference distance
+	// (free-space at 2.4 GHz: ≈40.05 dB).
+	RefLossDB float64
+	// ShadowSigmaDB is the lognormal shadowing deviation (paper: 8 dB),
+	// drawn independently per frame per link, which makes losses between
+	// the source and different forwarders independent — the property
+	// opportunistic routing exploits.
+	ShadowSigmaDB float64
+	// RXThreshDBm is the decode threshold: frames arriving below it are
+	// sensed (if above CSThreshDBm) but cannot be decoded.
+	RXThreshDBm float64
+	// CSThreshDBm is the carrier-sense threshold; typically 10-20 dB below
+	// RXThreshDBm so stations defer to transmissions they cannot decode.
+	CSThreshDBm float64
+	// CaptureDB: during overlapping receptions the stronger frame survives
+	// if it exceeds the other by at least this margin, otherwise both are
+	// corrupted (NS-2 capture model, 10 dB).
+	CaptureDB float64
+	// BitErrorRate is the i.i.d. BER applied to decodable frames
+	// (paper: 1e-5 "noisy", 1e-6 "clear").
+	BitErrorRate float64
+}
+
+// DefaultRange is the distance (metres) at which a frame is decoded with
+// probability 1/2 under DefaultConfig. One topology "hop" of 100 m then has
+// ≈0.5% frame loss, 200 m ≈25%, and 300 m (the SPR direct link in Fig. 1)
+// ≈65% — reproducing "the link quality between source and destination is
+// typically poor" while per-hop links are good.
+const DefaultRange = 258.0
+
+// DefaultConfig returns the paper's radio environment.
+func DefaultConfig() Config {
+	c := Config{
+		TxPowerDBm:    10 * math.Log10(281), // 281 mW in dBm ≈ 24.49
+		PathLossExp:   5,
+		RefLossDB:     40.05,
+		ShadowSigmaDB: 8,
+		CaptureDB:     10,
+		BitErrorRate:  1e-6,
+	}
+	c.RXThreshDBm = c.MeanRxPowerDBm(DefaultRange)
+	c.CSThreshDBm = c.RXThreshDBm - 13 // carrier-sense range ≈ 1.82× decode range
+	return c
+}
+
+// MeanRxPowerDBm returns the mean received power at distance d metres
+// (before the shadowing draw).
+func (c Config) MeanRxPowerDBm(d float64) float64 {
+	if d < 1 {
+		d = 1
+	}
+	return c.TxPowerDBm - c.RefLossDB - 10*c.PathLossExp*math.Log10(d)
+}
+
+// LossProb returns the analytic probability that a frame transmitted over
+// distance d arrives below the decode threshold: Φ((RXThresh − mean)/σ).
+// Used by the ETX route metric and by calibration tests.
+func (c Config) LossProb(d float64) float64 {
+	if c.ShadowSigmaDB == 0 {
+		if c.MeanRxPowerDBm(d) >= c.RXThreshDBm {
+			return 0
+		}
+		return 1
+	}
+	z := (c.RXThreshDBm - c.MeanRxPowerDBm(d)) / c.ShadowSigmaDB
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// DeliveryProb is 1 − LossProb, additionally discounted by the probability
+// that all `bits` survive the i.i.d. bit-error process.
+func (c Config) DeliveryProb(d float64, bits int) float64 {
+	return (1 - c.LossProb(d)) * math.Pow(1-c.BitErrorRate, float64(bits))
+}
+
+// CSRange returns the carrier-sense range in metres implied by the config.
+func (c Config) CSRange() float64 {
+	return c.rangeFor(c.CSThreshDBm)
+}
+
+// RXRange returns the 50%-decode range in metres implied by the config.
+func (c Config) RXRange() float64 {
+	return c.rangeFor(c.RXThreshDBm)
+}
+
+func (c Config) rangeFor(thresh float64) float64 {
+	// thresh = TxPower - RefLoss - 10*n*log10(d)  =>  solve for d.
+	return math.Pow(10, (c.TxPowerDBm-c.RefLossDB-thresh)/(10*c.PathLossExp))
+}
+
+// propDelay returns the propagation delay over d metres.
+func propDelay(d float64) sim.Time {
+	return sim.Time(d / speedOfLight * 1e9)
+}

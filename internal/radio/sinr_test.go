@@ -1,0 +1,108 @@
+package radio
+
+import (
+	"testing"
+
+	"ripple/internal/sim"
+)
+
+// TestAggregateInterferenceCorrupts: two interferers that are each
+// individually capture-protected (≈12.8 dB below the signal) jointly push
+// the SINR below the 10 dB capture margin — the cumulative model behind the
+// Fig. 6(b) hidden-collision collapse.
+func TestAggregateInterferenceCorrupts(t *testing.T) {
+	// Receiver at origin; signal from 100 m; interferers at 180 m
+	// (50·log10(1.8) ≈ 12.8 dB weaker each; two of them ≈ 9.75 dB).
+	positions := []Pos{
+		{X: 0, Y: 0},    // receiver
+		{X: 100, Y: 0},  // signal source
+		{X: -180, Y: 0}, // interferer 1
+		{X: 0, Y: 180},  // interferer 2
+	}
+
+	run := func(nInterferers int) bool {
+		eng, m, macs := testMedium(t, idealConfig(), positions)
+		m.Transmit(dataFrame(1, 0, 100*sim.Microsecond))
+		if nInterferers >= 1 {
+			m.Transmit(dataFrame(2, 3, 100*sim.Microsecond))
+		}
+		if nInterferers >= 2 {
+			m.Transmit(dataFrame(3, 2, 100*sim.Microsecond))
+		}
+		eng.Run(sim.Second)
+		for _, f := range macs[0].rx {
+			if f.Tx == 1 {
+				return true
+			}
+		}
+		return false
+	}
+
+	if !run(0) {
+		t.Fatal("clean signal must decode")
+	}
+	if !run(1) {
+		t.Fatal("single 12.8 dB-down interferer must be captured over")
+	}
+	if run(2) {
+		t.Fatal("two 12.8 dB-down interferers must jointly corrupt (aggregate ≈9.7 dB < 10 dB capture)")
+	}
+}
+
+// TestInterferenceAccumulatesAcrossArrivals: interference is counted even
+// when the interferer starts mid-reception.
+func TestInterferenceStaggeredArrival(t *testing.T) {
+	positions := []Pos{{X: 0}, {X: 100}, {X: 120}}
+	eng, m, macs := testMedium(t, idealConfig(), positions)
+	m.Transmit(dataFrame(1, 0, 200*sim.Microsecond))
+	// A near-equal-power interferer begins 150 µs in: still corrupts.
+	eng.At(150*sim.Microsecond, func() {
+		m.Transmit(dataFrame(2, 1, 50*sim.Microsecond))
+	})
+	eng.Run(sim.Second)
+	for _, f := range macs[0].rx {
+		if f.Tx == 1 {
+			t.Fatal("late-arriving equal-power interferer must corrupt the reception")
+		}
+	}
+}
+
+// TestWeakInterfererBelowCSIgnored: frames below the carrier-sense
+// threshold contribute nothing (the model's interference floor).
+func TestWeakInterfererBelowCSIgnored(t *testing.T) {
+	positions := []Pos{{X: 0}, {X: 100}, {X: 900}} // 900 m ≫ CS range
+	eng, m, macs := testMedium(t, idealConfig(), positions)
+	m.Transmit(dataFrame(1, 0, 100*sim.Microsecond))
+	m.Transmit(dataFrame(2, 1, 100*sim.Microsecond))
+	eng.Run(sim.Second)
+	found := false
+	for _, f := range macs[0].rx {
+		if f.Tx == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("sub-CS interferer must not corrupt the reception")
+	}
+}
+
+// TestMultiRateThresholdShift: a frame sent at a faster rate needs more
+// power — the same 200 m link decodes at the base rate but not at 4× with
+// zero shadowing.
+func TestMultiRateThresholdShift(t *testing.T) {
+	positions := []Pos{{X: 0}, {X: 200}}
+	run := func(rate float64) bool {
+		eng, m, macs := testMedium(t, idealConfig(), positions)
+		f := dataFrame(1, 0, 50*sim.Microsecond)
+		f.RateBps = rate
+		m.Transmit(f)
+		eng.Run(sim.Second)
+		return len(macs[0].rx) == 1
+	}
+	if !run(0) {
+		t.Fatal("200 m link must decode at the base rate")
+	}
+	if run(864e6) { // 4× the 216 Mbps base: threshold +11.3 dB
+		t.Fatal("200 m link must fail at 4× the base rate")
+	}
+}

@@ -1,0 +1,143 @@
+package routing
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"ripple/internal/pkt"
+)
+
+// LinkProbFunc returns the one-way frame delivery probability of the
+// directed link a→b. The radio package's analytic shadowing model provides
+// this (radio.Config.LossProb over station distance).
+type LinkProbFunc func(a, b pkt.NodeID) float64
+
+// ETX computes the expected transmission count metric of a link from its
+// forward and reverse delivery probabilities: 1/(df*dr) (De Couto et al.,
+// MobiCom 2003). Links with either probability below minProb are unusable.
+func ETX(df, dr float64) float64 {
+	if df <= 0 || dr <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / (df * dr)
+}
+
+// Table computes the all-pairs ETX link table for n stations.
+type Table struct {
+	n    int
+	etx  []float64 // n*n, Inf = unusable
+	prob []float64 // n*n forward delivery probability
+}
+
+// NewTable builds the link table. Links with delivery probability below
+// minProb (typically 0.1: a ≥90%-loss link is not a link) are excluded, so
+// Dijkstra cannot "use" hopeless links with astronomic ETX.
+func NewTable(n int, prob LinkProbFunc, minProb float64) *Table {
+	t := &Table{n: n, etx: make([]float64, n*n), prob: make([]float64, n*n)}
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			df := prob(pkt.NodeID(a), pkt.NodeID(b))
+			dr := prob(pkt.NodeID(b), pkt.NodeID(a))
+			t.prob[a*n+b] = df
+			if df < minProb || dr < minProb {
+				t.etx[a*n+b] = math.Inf(1)
+				continue
+			}
+			t.etx[a*n+b] = ETX(df, dr)
+		}
+	}
+	return t
+}
+
+// LinkETX returns the ETX of the a→b link (Inf if unusable).
+func (t *Table) LinkETX(a, b pkt.NodeID) float64 { return t.etx[int(a)*t.n+int(b)] }
+
+// LinkProb returns the forward delivery probability of a→b.
+func (t *Table) LinkProb(a, b pkt.NodeID) float64 { return t.prob[int(a)*t.n+int(b)] }
+
+// PathETX sums the link ETX values along a path.
+func (t *Table) PathETX(p Path) float64 {
+	var sum float64
+	for i := 0; i+1 < len(p); i++ {
+		sum += t.LinkETX(p[i], p[i+1])
+	}
+	return sum
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	node pkt.NodeID
+	dist float64
+	idx  int
+}
+
+type pq []*pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i]; q[i].idx = i; q[j].idx = j }
+func (q *pq) Push(x any)        { it := x.(*pqItem); it.idx = len(*q); *q = append(*q, it) }
+func (q *pq) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// ShortestPath runs Dijkstra over the ETX table and returns the minimum-ETX
+// path from src to dst, or an error when dst is unreachable.
+func (t *Table) ShortestPath(src, dst pkt.NodeID) (Path, error) {
+	const inf = math.MaxFloat64
+	dist := make([]float64, t.n)
+	prev := make([]pkt.NodeID, t.n)
+	done := make([]bool, t.n)
+	for i := range dist {
+		dist[i] = inf
+		prev[i] = -1
+	}
+	dist[src] = 0
+	q := &pq{{node: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(*pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if u == dst {
+			break
+		}
+		for v := 0; v < t.n; v++ {
+			w := t.etx[int(u)*t.n+v]
+			if math.IsInf(w, 1) || done[v] {
+				continue
+			}
+			if nd := dist[u] + w; nd < dist[v] {
+				dist[v] = nd
+				prev[v] = u
+				heap.Push(q, &pqItem{node: pkt.NodeID(v), dist: nd})
+			}
+		}
+	}
+	if dist[dst] == inf {
+		return nil, fmt.Errorf("routing: no path %d -> %d", src, dst)
+	}
+	var rev Path
+	for at := dst; at != -1; at = prev[at] {
+		rev = append(rev, at)
+		if at == src {
+			break
+		}
+	}
+	p := make(Path, len(rev))
+	for i, id := range rev {
+		p[len(rev)-1-i] = id
+	}
+	return p, nil
+}

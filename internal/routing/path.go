@@ -1,0 +1,131 @@
+// Package routing provides route representations (node paths and forwarder
+// lists), the static Table II routes for the Fig. 1 topology, and ETX-based
+// route discovery (De Couto et al.) over the radio link model.
+package routing
+
+import (
+	"fmt"
+
+	"ripple/internal/pkt"
+)
+
+// Path is an ordered node sequence from a flow's source to its destination.
+// It serves both predetermined schemes (hop-by-hop) and opportunistic ones
+// (as the prioritised forwarder list).
+type Path []pkt.NodeID
+
+// Src returns the first node of the path.
+func (p Path) Src() pkt.NodeID { return p[0] }
+
+// Dst returns the last node of the path.
+func (p Path) Dst() pkt.NodeID { return p[len(p)-1] }
+
+// Hops returns the number of links on the path.
+func (p Path) Hops() int { return len(p) - 1 }
+
+// Contains reports whether node n appears on the path.
+func (p Path) Contains(n pkt.NodeID) bool { return p.indexOf(n) >= 0 }
+
+func (p Path) indexOf(n pkt.NodeID) int {
+	for i, id := range p {
+		if id == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// Reverse returns the path in the opposite direction (for two-way traffic
+// such as TCP ACKs).
+func (p Path) Reverse() Path {
+	r := make(Path, len(p))
+	for i, id := range p {
+		r[len(p)-1-i] = id
+	}
+	return r
+}
+
+// NextHop returns the neighbour of `from` in the direction of `toward`
+// (which must be one of the path's endpoints). ok is false if `from` is not
+// on the path or already equals `toward`.
+func (p Path) NextHop(from, toward pkt.NodeID) (pkt.NodeID, bool) {
+	i := p.indexOf(from)
+	if i < 0 || from == toward {
+		return 0, false
+	}
+	switch toward {
+	case p.Dst():
+		if i+1 < len(p) {
+			return p[i+1], true
+		}
+	case p.Src():
+		if i > 0 {
+			return p[i-1], true
+		}
+	}
+	return 0, false
+}
+
+// FwdList builds the prioritised forwarder list for a transmission from
+// `from` toward endpoint `toward`: the destination first, then forwarders in
+// decreasing priority (closest to the destination first), excluding `from`
+// itself. Returns nil if `from` is not on the path.
+func (p Path) FwdList(from, toward pkt.NodeID) []pkt.NodeID {
+	i := p.indexOf(from)
+	if i < 0 || from == toward {
+		return nil
+	}
+	var list []pkt.NodeID
+	switch toward {
+	case p.Dst():
+		for j := len(p) - 1; j > i; j-- {
+			list = append(list, p[j])
+		}
+	case p.Src():
+		for j := 0; j < i; j++ {
+			list = append(list, p[j])
+		}
+	default:
+		return nil
+	}
+	return list
+}
+
+// Limit caps the number of intermediate forwarders at max, keeping evenly
+// spaced interior nodes. Endpoints are preserved; max ≤ 0 keeps only the
+// endpoints. (The paper's "maximum number of forwarders" counts the
+// destination too — RouteBook applies that convention.)
+func (p Path) Limit(max int) Path {
+	interior := len(p) - 2
+	if interior <= max || len(p) < 3 {
+		return p
+	}
+	out := make(Path, 0, max+2)
+	out = append(out, p[0])
+	switch {
+	case max == 1:
+		out = append(out, p[(len(p)-1)/2])
+	case max > 1:
+		for k := 1; k <= max; k++ {
+			idx := 1 + (k-1)*(interior-1)/(max-1)
+			out = append(out, p[idx])
+		}
+	}
+	out = append(out, p[len(p)-1])
+	return out
+}
+
+// Validate checks structural invariants: at least two nodes, no repeats.
+func (p Path) Validate() error {
+	if len(p) < 2 {
+		return fmt.Errorf("routing: path %v too short", p)
+	}
+	seen := make(map[pkt.NodeID]bool, len(p))
+	for _, id := range p {
+		if seen[id] {
+			return fmt.Errorf("routing: path %v repeats node %d", p, id)
+		}
+		seen[id] = true
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package routing
+
+// Table II of the paper: the three predetermined route sets used with the
+// Fig. 1 topology. Flows are indexed 1-3 as in the paper.
+
+// RouteSet is one row of Table II: a route per flow.
+type RouteSet struct {
+	Name  string
+	Flow1 Path // source 0, destination 3
+	Flow2 Path // source 0, destination 4
+	Flow3 Path // source 5, destination 7
+}
+
+// Route0 is ROUTE0: flow 1 via 1,2; flow 2 via 1,2; flow 3 via 6,1.
+func Route0() RouteSet {
+	return RouteSet{
+		Name:  "ROUTE0",
+		Flow1: Path{0, 1, 2, 3},
+		Flow2: Path{0, 1, 2, 4},
+		Flow3: Path{5, 6, 1, 7},
+	}
+}
+
+// Route1 is ROUTE1: two-hop variants.
+func Route1() RouteSet {
+	return RouteSet{
+		Name:  "ROUTE1",
+		Flow1: Path{0, 1, 3},
+		Flow2: Path{0, 1, 4},
+		Flow3: Path{5, 6, 7},
+	}
+}
+
+// Route2 is ROUTE2: routes through station 2 (and 5→1→7 for flow 3).
+func Route2() RouteSet {
+	return RouteSet{
+		Name:  "ROUTE2",
+		Flow1: Path{0, 2, 3},
+		Flow2: Path{0, 2, 4},
+		Flow3: Path{5, 1, 7},
+	}
+}
+
+// RouteSets returns all Table II route sets in paper order.
+func RouteSets() []RouteSet {
+	return []RouteSet{Route0(), Route1(), Route2()}
+}
+
+// Flows returns the set's paths in flow order 1..3.
+func (r RouteSet) Flows() []Path { return []Path{r.Flow1, r.Flow2, r.Flow3} }

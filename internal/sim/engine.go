@@ -1,0 +1,147 @@
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback. Events are ordered by time, with insertion
+// sequence breaking ties so that two events scheduled for the same instant
+// fire in the order they were scheduled. An Event doubles as a cancellable
+// timer handle.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // heap index; -1 once popped or cancelled
+	canceled bool
+}
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e == nil || e.canceled }
+
+// When returns the simulated time the event is scheduled for.
+func (e *Event) When() Time { return e.at }
+
+// eventHeap implements container/heap over pending events.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. The zero value is
+// ready to use. Engines are not safe for concurrent use; run independent
+// simulations on independent Engines (one per goroutine) instead.
+type Engine struct {
+	heap    eventHeap
+	now     Time
+	seq     uint64
+	stopped bool
+	// processed counts events that have fired, for tests and sanity limits.
+	processed uint64
+}
+
+// NewEngine returns an empty engine positioned at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events fired so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and fires immediately at the current time instead
+// (never travels backwards). The returned Event can be cancelled.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.heap, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) *Event {
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling a nil, already-fired or
+// already-cancelled event is a no-op, so callers can cancel unconditionally.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled {
+		return
+	}
+	ev.canceled = true
+	if ev.index >= 0 {
+		heap.Remove(&e.heap, ev.index)
+	}
+}
+
+// Reschedule moves a pending event to a new absolute time, preserving its
+// callback. If the event already fired or was cancelled, it is re-armed.
+func (e *Engine) Reschedule(ev *Event, t Time) {
+	if ev == nil {
+		return
+	}
+	if t < e.now {
+		t = e.now
+	}
+	ev.canceled = false
+	ev.at = t
+	ev.seq = e.seq
+	e.seq++
+	if ev.index >= 0 {
+		heap.Fix(&e.heap, ev.index)
+	} else {
+		heap.Push(&e.heap, ev)
+	}
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in order until the queue is empty or the next event is
+// scheduled after `until`. The clock is left at min(until, last event time).
+func (e *Engine) Run(until Time) {
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped {
+		next := e.heap[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.heap)
+		e.now = next.at
+		e.processed++
+		next.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return len(e.heap) }

@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30*Microsecond, func() { got = append(got, 3) })
+	e.At(10*Microsecond, func() { got = append(got, 1) })
+	e.At(20*Microsecond, func() { got = append(got, 2) })
+	e.Run(Second)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineTieBreaksByInsertionOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5*Microsecond, func() { got = append(got, i) })
+	}
+	e.Run(Second)
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("tie-break order = %v, want ascending", got)
+		}
+	}
+}
+
+func TestEngineNowAdvancesDuringRun(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.At(42*Microsecond, func() { at = e.Now() })
+	e.Run(Second)
+	if at != 42*Microsecond {
+		t.Fatalf("Now inside event = %v, want 42µs", at)
+	}
+	if e.Now() != Second {
+		t.Fatalf("Now after Run = %v, want 1s", e.Now())
+	}
+}
+
+func TestEngineAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.At(10*Microsecond, func() {
+		e.After(5*Microsecond, func() { at = e.Now() })
+	})
+	e.Run(Second)
+	if at != 15*Microsecond {
+		t.Fatalf("After fired at %v, want 15µs", at)
+	}
+}
+
+func TestEngineCancelPreventsExecution(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(10*Microsecond, func() { fired = true })
+	e.Cancel(ev)
+	e.Run(Second)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() should report true")
+	}
+}
+
+func TestEngineCancelIsIdempotentAndNilSafe(t *testing.T) {
+	e := NewEngine()
+	e.Cancel(nil)
+	ev := e.At(10, func() {})
+	e.Cancel(ev)
+	e.Cancel(ev)
+	e.Run(Second)
+}
+
+func TestEngineCancelFiredEventIsNoop(t *testing.T) {
+	e := NewEngine()
+	ev := e.At(1, func() {})
+	e.Run(Second)
+	e.Cancel(ev) // must not panic or corrupt the heap
+	e.At(2*Second, func() {})
+	e.Run(3 * Second)
+}
+
+func TestEngineRescheduleMovesEvent(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	ev := e.At(10*Microsecond, func() { at = e.Now() })
+	e.Reschedule(ev, 50*Microsecond)
+	e.Run(Second)
+	if at != 50*Microsecond {
+		t.Fatalf("rescheduled event fired at %v, want 50µs", at)
+	}
+}
+
+func TestEngineRescheduleRearmsFiredEvent(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	ev := e.At(10, func() { count++ })
+	e.Run(Microsecond)
+	e.Reschedule(ev, 2*Microsecond)
+	e.Run(Second)
+	if count != 2 {
+		t.Fatalf("event fired %d times, want 2", count)
+	}
+}
+
+func TestEngineRunStopsAtUntil(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(2*Second, func() { fired = true })
+	e.Run(Second)
+	if fired {
+		t.Fatal("event beyond until fired")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Run(3 * Second)
+	if !fired {
+		t.Fatal("event not fired on extended run")
+	}
+}
+
+func TestEnginePastSchedulingClampsToNow(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.At(10*Microsecond, func() {
+		e.At(5*Microsecond, func() { at = e.Now() }) // in the past
+	})
+	e.Run(Second)
+	if at != 10*Microsecond {
+		t.Fatalf("past event fired at %v, want clamped to 10µs", at)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.At(1, func() { count++; e.Stop() })
+	e.At(2, func() { count++ })
+	e.Run(Second)
+	if count != 1 {
+		t.Fatalf("processed %d events after Stop, want 1", count)
+	}
+}
+
+func TestEngineProcessedCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Run(Second)
+	if e.Processed() != 7 {
+		t.Fatalf("Processed = %d, want 7", e.Processed())
+	}
+}
+
+// Property: for any batch of event times, execution order is sorted.
+func TestEngineOrderingProperty(t *testing.T) {
+	prop := func(offsets []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, off := range offsets {
+			at := Time(off) * Microsecond
+			e.At(at, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run(Second)
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500ns"},
+		{16 * Microsecond, "16µs"},
+		{2500 * Microsecond, "2.5ms"},
+		{3 * Second, "3s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}

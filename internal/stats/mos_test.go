@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRFactorBaseline(t *testing.T) {
+	// Zero delay, zero loss: R = 94.2 − 11 = 83.2.
+	if got := RFactor(0, 0); math.Abs(got-83.2) > 1e-9 {
+		t.Fatalf("RFactor(0,0) = %v, want 83.2", got)
+	}
+}
+
+func TestRFactorDelayStepPenalty(t *testing.T) {
+	// Below 177.3 ms only the linear term applies; above it the step term
+	// adds 0.11 per ms.
+	below := RFactor(177, 0)
+	above := RFactor(200, 0)
+	wantBelow := 94.2 - 0.024*177 - 11
+	if math.Abs(below-wantBelow) > 1e-9 {
+		t.Fatalf("RFactor(177,0) = %v, want %v", below, wantBelow)
+	}
+	wantAbove := 94.2 - 0.024*200 - 0.11*(200-177.3) - 11
+	if math.Abs(above-wantAbove) > 1e-9 {
+		t.Fatalf("RFactor(200,0) = %v, want %v", above, wantAbove)
+	}
+}
+
+func TestRFactorLossPenalty(t *testing.T) {
+	// 10% loss costs 40·log10(2) ≈ 12.04 R-points.
+	diff := RFactor(0, 0) - RFactor(0, 0.1)
+	if math.Abs(diff-40*math.Log10(2)) > 1e-9 {
+		t.Fatalf("loss penalty = %v", diff)
+	}
+}
+
+func TestMoSMapping(t *testing.T) {
+	if MoS(-5) != 1 {
+		t.Fatal("R<0 must map to MoS 1")
+	}
+	if MoS(101) != 4.5 {
+		t.Fatal("R>100 must map to MoS 4.5")
+	}
+	// R = 80: 1 + 2.8 + 7e-6·80·20·20 = 4.024.
+	if got := MoS(80); math.Abs(got-4.024) > 1e-9 {
+		t.Fatalf("MoS(80) = %v, want 4.024", got)
+	}
+}
+
+// TestMoSPaperAnchor verifies the Table III calibration: a call with ≈10 ms
+// wireless delay and no loss scores ≈4.1, matching the paper's unloaded
+// rows (4.11-4.14).
+func TestMoSPaperAnchor(t *testing.T) {
+	got := MoSFrom(10, 0)
+	if got < 4.05 || got > 4.2 {
+		t.Fatalf("MoSFrom(10ms, 0) = %.3f, want ≈4.1", got)
+	}
+	// A degraded call (150 ms delay, 30% loss) drops below "fair".
+	bad := MoSFrom(150, 0.3)
+	if bad > 3.0 {
+		t.Fatalf("MoSFrom(150ms, 30%%) = %.3f, want < 3.0", bad)
+	}
+	// A collapsed call (300 ms, 60% loss) lands in Table III's ~1.2 band.
+	awful := MoSFrom(300, 0.6)
+	if awful > 1.8 {
+		t.Fatalf("MoSFrom(300ms, 60%%) = %.3f, want < 1.8", awful)
+	}
+}
+
+func TestMoSMonotone(t *testing.T) {
+	for loss := 0.0; loss < 0.5; loss += 0.05 {
+		if MoSFrom(20, loss) < MoSFrom(20, loss+0.05) {
+			t.Fatalf("MoS must not improve with loss (at %.2f)", loss)
+		}
+	}
+	for d := 0.0; d < 300; d += 20 {
+		if MoSFrom(d, 0) < MoSFrom(d+20, 0) {
+			t.Fatalf("MoS must not improve with delay (at %.0f ms)", d)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package topology
+
+import (
+	"strconv"
+	"strings"
+
+	"ripple/internal/radio"
+	"ripple/internal/routing"
+)
+
+// Wigle returns the Fig. 9 topology: eight access points whose positions
+// are digitized to reproduce the connectivity of the Wigle-database
+// topology the paper adapts from Mishra et al. (MobiCom 2006), plus the two
+// extra stations S and R the paper adds as a hidden-terminal pair. The
+// exact database coordinates are not available offline; the layout below
+// preserves what the experiments depend on — the flows of Fig. 10 exist
+// with the same hop counts (e.g. 1-4-6-8 is 3 hops, 8-7-5 is 2 hops), and
+// the network's diameter keeps most flows at 1-3 hops.
+//
+// Station indices are zero-based: node i here is station i+1 in the paper;
+// S and R are nodes 8 and 9.
+func Wigle() (Topology, []routing.Path, routing.Path) {
+	t := Topology{
+		Name: "wigle",
+		Positions: []radio.Pos{
+			0: {X: 0, Y: 60},    // station 1
+			1: {X: 80, Y: 0},    // station 2
+			2: {X: 60, Y: 150},  // station 3
+			3: {X: 140, Y: 90},  // station 4
+			4: {X: 260, Y: 30},  // station 5
+			5: {X: 250, Y: 140}, // station 6
+			6: {X: 330, Y: 100}, // station 7
+			7: {X: 360, Y: 210}, // station 8
+			8: {X: 620, Y: 120}, // S (hidden source)
+			9: {X: 520, Y: 120}, // R (hidden destination)
+		},
+	}
+	// The eight randomly picked station pairs of Fig. 10, using the
+	// paper's labelling convention (path given as station sequence).
+	flows := []routing.Path{
+		{0, 3, 5, 7}, // 1-4-6-8
+		{7, 6, 4},    // 8-7-5
+		{1, 3, 5},    // 2-4-6
+		{2, 3, 4},    // 3-4-5
+		{0, 3},       // 1-4
+		{4, 6, 7},    // 5-7-8
+		{5, 3, 1},    // 6-4-2
+		{6, 4, 1},    // 7-5-2
+	}
+	hidden := routing.Path{8, 9}
+	return t, flows, hidden
+}
+
+// WigleFlowLabel formats a path using the paper's one-based station labels
+// (e.g. "1-4-6-8") for the Fig. 10 x-axis.
+func WigleFlowLabel(p routing.Path) string {
+	parts := make([]string, len(p))
+	for i, n := range p {
+		parts[i] = strconv.Itoa(int(n) + 1)
+	}
+	return strings.Join(parts, "-")
+}

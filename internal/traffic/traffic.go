@@ -1,0 +1,63 @@
+// Package traffic provides the workload generators of the paper's
+// evaluation: long-lived FTP transfers (§IV-A), ON/OFF web traffic with
+// Pareto transfer sizes (§IV-D), and helpers shared by the experiment
+// harness. The VoIP and CBR sources live in package transport since they
+// are transports of their own.
+package traffic
+
+import (
+	"math"
+
+	"ripple/internal/sim"
+	"ripple/internal/transport"
+)
+
+// WebConfig models the paper's short-transfer workload: transfer sizes
+// follow a Pareto distribution with mean 80 KB and shape 1.5; OFF (reading)
+// periods are exponential with mean one second.
+type WebConfig struct {
+	MeanTransferBytes float64
+	ParetoShape       float64
+	OffMean           sim.Time
+}
+
+// DefaultWebConfig returns §IV-D's parameters.
+func DefaultWebConfig() WebConfig {
+	return WebConfig{MeanTransferBytes: 80e3, ParetoShape: 1.5, OffMean: sim.Second}
+}
+
+// Web drives one TCP connection through an endless ON/OFF transfer cycle.
+type Web struct {
+	eng  *sim.Engine
+	cfg  WebConfig
+	tcp  *transport.TCP
+	rng  *sim.RNG
+	mss  int
+	stop bool
+}
+
+// NewWeb creates the generator over an existing TCP connection.
+func NewWeb(eng *sim.Engine, cfg WebConfig, tcp *transport.TCP, mss int, rng *sim.RNG) *Web {
+	return &Web{eng: eng, cfg: cfg, tcp: tcp, rng: rng, mss: mss}
+}
+
+// Start launches the first transfer.
+func (w *Web) Start() { w.launch() }
+
+// Stop ends the cycle after the current transfer.
+func (w *Web) Stop() { w.stop = true }
+
+func (w *Web) launch() {
+	if w.stop {
+		return
+	}
+	size := w.rng.ParetoWithMean(w.cfg.ParetoShape, w.cfg.MeanTransferBytes)
+	pkts := int64(math.Ceil(size / float64(w.mss)))
+	if pkts < 1 {
+		pkts = 1
+	}
+	w.tcp.StartTransfer(pkts, func() {
+		off := sim.Time(w.rng.Exp(float64(w.cfg.OffMean)))
+		w.eng.After(off, w.launch)
+	})
+}

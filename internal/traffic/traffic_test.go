@@ -1,0 +1,79 @@
+package traffic
+
+import (
+	"testing"
+
+	"ripple/internal/pkt"
+	"ripple/internal/sim"
+	"ripple/internal/stats"
+	"ripple/internal/transport"
+)
+
+// loopback delivers packets directly between TCP endpoints.
+type loopback struct {
+	eng  *sim.Engine
+	conn *transport.TCP
+}
+
+func (l *loopback) send(p *pkt.Packet) bool {
+	l.eng.After(sim.Millisecond, func() { l.conn.Receive(p.Dst, p) })
+	return true
+}
+
+func TestWebGeneratesSuccessiveTransfers(t *testing.T) {
+	eng := sim.NewEngine()
+	fs := &stats.Flow{ID: 1}
+	lb := &loopback{eng: eng}
+	conn := transport.NewTCP(eng, transport.DefaultTCPConfig(), 1, 0, 1, lb.send, lb.send, fs)
+	lb.conn = conn
+	cfg := DefaultWebConfig()
+	cfg.OffMean = 50 * sim.Millisecond // fast think times for the test
+	w := NewWeb(eng, cfg, conn, 1000, sim.NewRNG(1, 1))
+	w.Start()
+	eng.Run(30 * sim.Second)
+	if fs.TransfersCompleted < 5 {
+		t.Fatalf("completed %d transfers in 30s, want several", fs.TransfersCompleted)
+	}
+	if fs.AppBytes == 0 {
+		t.Fatal("no bytes transferred")
+	}
+	// Mean transfer size should be in the Pareto(1.5, mean 80KB) ballpark;
+	// small samples skew low because the mass sits near the 26.7KB scale.
+	mean := float64(fs.AppBytes) / float64(fs.TransfersCompleted)
+	if mean < 25e3 {
+		t.Fatalf("mean transfer = %.0f bytes, below the Pareto scale", mean)
+	}
+}
+
+func TestWebStopEndsCycle(t *testing.T) {
+	eng := sim.NewEngine()
+	fs := &stats.Flow{ID: 1}
+	lb := &loopback{eng: eng}
+	conn := transport.NewTCP(eng, transport.DefaultTCPConfig(), 1, 0, 1, lb.send, lb.send, fs)
+	lb.conn = conn
+	cfg := DefaultWebConfig()
+	cfg.OffMean = 10 * sim.Millisecond
+	w := NewWeb(eng, cfg, conn, 1000, sim.NewRNG(2, 1))
+	w.Start()
+	eng.Run(2 * sim.Second)
+	w.Stop()
+	done := fs.TransfersCompleted
+	eng.Run(10 * sim.Second)
+	// At most the in-flight transfer completes after Stop.
+	if fs.TransfersCompleted > done+1 {
+		t.Fatalf("transfers continued after Stop: %d → %d", done, fs.TransfersCompleted)
+	}
+}
+
+func TestDefaultWebConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultWebConfig()
+	if cfg.MeanTransferBytes != 80e3 {
+		t.Fatalf("mean transfer = %v, want 80KB", cfg.MeanTransferBytes)
+	}
+	if cfg.ParetoShape != 1.5 {
+		t.Fatalf("shape = %v, want 1.5", cfg.ParetoShape)
+	}
+	if cfg.OffMean != sim.Second {
+		t.Fatalf("off mean = %v, want 1s", cfg.OffMean)
+	}
+}

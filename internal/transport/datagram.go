@@ -1,0 +1,206 @@
+package transport
+
+import (
+	"ripple/internal/pkt"
+	"ripple/internal/sim"
+	"ripple/internal/stats"
+)
+
+// VoIPConfig models the paper's VoIP stream (§IV-E): a 96 kbps on-off
+// source with exponentially distributed on and off periods of mean 1.5 s,
+// packetised at 20 ms intervals (240-byte payloads), with a 52 ms wireless
+// delay budget after which arrivals count as losses.
+type VoIPConfig struct {
+	BitsPerSecond  float64
+	PacketInterval sim.Time
+	OnMean         sim.Time
+	OffMean        sim.Time
+	DelayBudget    sim.Time
+}
+
+// DefaultVoIPConfig returns the paper's parameters.
+func DefaultVoIPConfig() VoIPConfig {
+	return VoIPConfig{
+		BitsPerSecond:  96e3,
+		PacketInterval: 20 * sim.Millisecond,
+		OnMean:         1500 * sim.Millisecond,
+		OffMean:        1500 * sim.Millisecond,
+		DelayBudget:    52 * sim.Millisecond,
+	}
+}
+
+// PacketBytes returns the payload size implied by rate and interval.
+func (c VoIPConfig) PacketBytes() int {
+	return int(c.BitsPerSecond * c.PacketInterval.Seconds() / 8)
+}
+
+// VoIP is a one-way voice stream from Src to Dst.
+type VoIP struct {
+	eng  *sim.Engine
+	cfg  VoIPConfig
+	flow int
+	src  pkt.NodeID
+	dst  pkt.NodeID
+	send SendFunc
+	fs   *stats.Flow
+	rng  *sim.RNG
+
+	seq  int64
+	uid  uint64
+	on   bool
+	stop bool
+}
+
+// NewVoIP creates a voice stream; call Start to begin the first on period.
+func NewVoIP(eng *sim.Engine, cfg VoIPConfig, flow int, src, dst pkt.NodeID,
+	send SendFunc, fs *stats.Flow, rng *sim.RNG) *VoIP {
+	return &VoIP{eng: eng, cfg: cfg, flow: flow, src: src, dst: dst, send: send, fs: fs, rng: rng}
+}
+
+// Start begins the on-off cycle.
+func (v *VoIP) Start() { v.beginOn() }
+
+// Stop halts packet generation.
+func (v *VoIP) Stop() { v.stop = true }
+
+func (v *VoIP) beginOn() {
+	if v.stop {
+		return
+	}
+	v.on = true
+	dur := sim.Time(v.rng.Exp(float64(v.cfg.OnMean)))
+	end := v.eng.Now() + dur
+	v.eng.After(0, func() { v.tick(end) })
+}
+
+func (v *VoIP) tick(onEnd sim.Time) {
+	if v.stop {
+		return
+	}
+	if v.eng.Now() >= onEnd {
+		v.on = false
+		off := sim.Time(v.rng.Exp(float64(v.cfg.OffMean)))
+		v.eng.After(off, v.beginOn)
+		return
+	}
+	v.emit()
+	v.eng.After(v.cfg.PacketInterval, func() { v.tick(onEnd) })
+}
+
+func (v *VoIP) emit() {
+	v.seq++
+	v.uid++
+	v.fs.VoIPSent++
+	p := &pkt.Packet{
+		UID:     uint64(v.flow)<<33 | 1<<31 | v.uid,
+		FlowID:  v.flow,
+		Seq:     v.seq,
+		Bytes:   v.cfg.PacketBytes(),
+		Src:     v.src,
+		Dst:     v.dst,
+		Created: v.eng.Now(),
+	}
+	v.send(p)
+}
+
+// Receive records a voice packet arriving at the destination.
+func (v *VoIP) Receive(at pkt.NodeID, p *pkt.Packet) {
+	if at != v.dst {
+		return
+	}
+	delay := v.eng.Now() - p.Created
+	v.fs.NoteArrival(p.Seq, delay)
+	v.fs.VoIPArrived++
+	v.fs.AppBytes += int64(p.Bytes)
+	if delay <= v.cfg.DelayBudget {
+		v.fs.VoIPOnTime++
+	}
+}
+
+// CBR is a constant-bit-rate datagram source, used for the hidden-terminal
+// interferer flows. An interval of zero selects backlogged mode: the source
+// keeps the sender's MAC queue full (refilled every millisecond), modelling
+// the paper's "sending 5×10⁶ packets during the simulations" interferers
+// without simulating millions of rejected enqueues.
+type CBR struct {
+	eng      *sim.Engine
+	flow     int
+	src, dst pkt.NodeID
+	bytes    int
+	interval sim.Time
+	send     SendFunc
+	fs       *stats.Flow
+
+	seq  int64
+	uid  uint64
+	stop bool
+}
+
+// backlogRefill is the refill period of backlogged mode.
+const backlogRefill = sim.Millisecond
+
+// backlogBurst caps packets pushed per refill.
+const backlogBurst = 64
+
+// NewCBR creates a CBR source emitting `bytes`-sized packets every
+// interval, or a backlogged (saturating) source when interval is zero.
+func NewCBR(eng *sim.Engine, flow int, src, dst pkt.NodeID, bytes int,
+	interval sim.Time, send SendFunc, fs *stats.Flow) *CBR {
+	return &CBR{eng: eng, flow: flow, src: src, dst: dst, bytes: bytes,
+		interval: interval, send: send, fs: fs}
+}
+
+// Start begins emission.
+func (c *CBR) Start() {
+	if c.interval == 0 {
+		c.refill()
+		return
+	}
+	c.tick()
+}
+
+// Stop halts emission.
+func (c *CBR) Stop() { c.stop = true }
+
+func (c *CBR) tick() {
+	if c.stop {
+		return
+	}
+	c.send(c.packet())
+	c.eng.After(c.interval, c.tick)
+}
+
+func (c *CBR) refill() {
+	if c.stop {
+		return
+	}
+	for i := 0; i < backlogBurst; i++ {
+		if !c.send(c.packet()) {
+			break // queue full: the MAC is saturated
+		}
+	}
+	c.eng.After(backlogRefill, c.refill)
+}
+
+func (c *CBR) packet() *pkt.Packet {
+	c.seq++
+	c.uid++
+	return &pkt.Packet{
+		UID:     uint64(c.flow)<<33 | 1<<30 | c.uid,
+		FlowID:  c.flow,
+		Seq:     c.seq,
+		Bytes:   c.bytes,
+		Src:     c.src,
+		Dst:     c.dst,
+		Created: c.eng.Now(),
+	}
+}
+
+// Receive records a datagram arriving at the destination.
+func (c *CBR) Receive(at pkt.NodeID, p *pkt.Packet) {
+	if at != c.dst {
+		return
+	}
+	c.fs.NoteArrival(p.Seq, c.eng.Now()-p.Created)
+	c.fs.AppBytes += int64(p.Bytes)
+}

@@ -1,0 +1,380 @@
+// Package transport implements the end-to-end protocols the paper drives
+// its schemes with: a packet-based TCP Reno/NewReno (matching the NS-2 TCP
+// agent's behaviour, including the dupack sensitivity to reordering that
+// penalises preExOR/MCExOR), a VoIP stream source, and a saturated CBR
+// datagram source.
+package transport
+
+import (
+	"ripple/internal/pkt"
+	"ripple/internal/sim"
+	"ripple/internal/stats"
+)
+
+// Segment is the TCP header carried in Packet.Transport.
+type Segment struct {
+	IsAck bool
+	Seq   int64 // data: packet-granularity sequence number
+	Ack   int64 // cumulative: next expected sequence number
+}
+
+// SendFunc injects a packet into a node's MAC send queue; it reports false
+// when the interface queue was full and the packet was dropped.
+type SendFunc func(*pkt.Packet) bool
+
+// TCPConfig tunes the TCP model. DefaultTCPConfig matches the NS-2 style
+// agent used by the paper (1000-byte packets, 40-byte ACKs).
+type TCPConfig struct {
+	MSS         int     // data packet payload bytes
+	AckBytes    int     // ACK packet bytes
+	InitialCwnd float64 // packets
+	MaxCwnd     float64 // receiver window, packets
+	SSThresh    float64 // initial slow-start threshold, packets
+	DupThresh   int     // dupacks triggering fast retransmit
+	RTOMin      sim.Time
+	RTOInit     sim.Time
+	RTOMax      sim.Time
+}
+
+// DefaultTCPConfig returns the configuration used by all experiments.
+func DefaultTCPConfig() TCPConfig {
+	return TCPConfig{
+		MSS:         1000,
+		AckBytes:    40,
+		InitialCwnd: 2,
+		// The receiver window stays below the 50-packet interface queue
+		// (Table I) so a single flow does not tail-drop its own queue; it
+		// is still deep enough to fill 16-packet aggregate frames.
+		MaxCwnd:   42,
+		SSThresh:  42,
+		DupThresh: 3,
+		RTOMin:    200 * sim.Millisecond,
+		RTOInit:   1 * sim.Second,
+		RTOMax:    60 * sim.Second,
+	}
+}
+
+// TCP is one bidirectional TCP connection: the sender half lives at Src,
+// the receiver half at Dst; ACKs flow back through the same network.
+type TCP struct {
+	eng     *sim.Engine
+	cfg     TCPConfig
+	flow    int
+	src     pkt.NodeID
+	dst     pkt.NodeID
+	sendSrc SendFunc
+	sendDst SendFunc
+	fs      *stats.Flow
+
+	// Sender state.
+	cwnd       float64
+	ssthresh   float64
+	seqNext    int64
+	seqUna     int64
+	recover    int64
+	dupacks    int
+	inRecovery bool
+	srtt       sim.Time
+	rttvar     sim.Time
+	rto        sim.Time
+	rttValid   bool
+	rtoEv      *sim.Event
+	txTime     map[int64]sim.Time
+	limit      int64 // packets in the current transfer; -1 = unbounded
+	done       bool
+	onDone     func()
+
+	// Receiver state.
+	rcvExpected int64
+	rcvBuf      map[int64]bool
+	ackEmit     int64 // ack-stream sequence counter (for Rq ordering)
+
+	uidData uint64
+	uidAck  uint64
+}
+
+// NewTCP creates a connection for the given flow between src and dst.
+// sendSrc/sendDst inject packets at the two endpoint nodes; fs receives
+// receiver-side statistics.
+func NewTCP(eng *sim.Engine, cfg TCPConfig, flow int, src, dst pkt.NodeID,
+	sendSrc, sendDst SendFunc, fs *stats.Flow) *TCP {
+	t := &TCP{
+		eng: eng, cfg: cfg, flow: flow, src: src, dst: dst,
+		sendSrc: sendSrc, sendDst: sendDst, fs: fs,
+		txTime: make(map[int64]sim.Time),
+		rcvBuf: make(map[int64]bool),
+		limit:  -1,
+	}
+	t.resetConnection()
+	return t
+}
+
+// resetConnection restores fresh congestion state (new slow start, RTO)
+// while keeping sequence numbers monotonic — web traffic models each
+// transfer as a new connection, but monotonic sequence numbers keep the
+// MAC-layer resequencing queues consistent across transfers.
+func (t *TCP) resetConnection() {
+	t.cwnd = t.cfg.InitialCwnd
+	t.ssthresh = t.cfg.SSThresh
+	t.dupacks = 0
+	t.inRecovery = false
+	t.srtt, t.rttvar = 0, 0
+	t.rttValid = false
+	t.rto = t.cfg.RTOInit
+	t.done = false
+	clear(t.txTime)
+}
+
+// Start begins an unbounded (FTP-style) transfer.
+func (t *TCP) Start() { t.limit = -1; t.trySend() }
+
+// StartTransfer begins a bounded transfer of n packets; onDone fires when
+// the last packet is cumulatively acknowledged.
+func (t *TCP) StartTransfer(n int64, onDone func()) {
+	t.resetConnection()
+	t.limit = t.seqNext + n
+	t.onDone = onDone
+	t.trySend()
+}
+
+// Receive dispatches a packet arriving at one of the connection endpoints.
+func (t *TCP) Receive(at pkt.NodeID, p *pkt.Packet) {
+	seg, ok := p.Transport.(Segment)
+	if !ok {
+		return
+	}
+	if seg.IsAck && at == t.src {
+		t.onAck(seg.Ack)
+		return
+	}
+	if !seg.IsAck && at == t.dst {
+		t.onData(p, seg)
+	}
+}
+
+// --- sender ---
+
+func (t *TCP) window() int64 {
+	w := int64(t.cwnd)
+	if w < 1 {
+		w = 1
+	}
+	if max := int64(t.cfg.MaxCwnd); w > max {
+		w = max
+	}
+	return w
+}
+
+func (t *TCP) trySend() {
+	if t.done {
+		return
+	}
+	for t.seqNext < t.seqUna+t.window() && (t.limit < 0 || t.seqNext < t.limit) {
+		seq := t.seqNext
+		t.seqNext++
+		t.emitData(seq, true)
+	}
+	t.armRTO()
+}
+
+func (t *TCP) emitData(seq int64, fresh bool) {
+	t.uidData++
+	p := &pkt.Packet{
+		UID:       uint64(t.flow)<<33 | t.uidData,
+		FlowID:    t.flow,
+		Seq:       seq,
+		Bytes:     t.cfg.MSS,
+		Src:       t.src,
+		Dst:       t.dst,
+		Created:   t.eng.Now(),
+		Transport: Segment{Seq: seq},
+	}
+	if fresh {
+		t.txTime[seq] = t.eng.Now()
+	} else {
+		delete(t.txTime, seq) // Karn: never sample a retransmitted segment
+	}
+	t.sendSrc(p)
+}
+
+func (t *TCP) onAck(ack int64) {
+	if t.done {
+		return
+	}
+	switch {
+	case ack > t.seqUna:
+		newly := ack - t.seqUna
+		t.sampleRTT(ack - 1)
+		t.seqUna = ack
+		t.dupacks = 0
+		if t.inRecovery {
+			if ack >= t.recover {
+				// Full ack: leave fast recovery (NewReno).
+				t.inRecovery = false
+				t.cwnd = t.ssthresh
+			} else {
+				// Partial ack: retransmit the next hole, deflate.
+				t.emitData(t.seqUna, false)
+				t.cwnd -= float64(newly)
+				if t.cwnd < 1 {
+					t.cwnd = 1
+				}
+				t.cwnd++
+			}
+		} else {
+			for i := int64(0); i < newly; i++ {
+				if t.cwnd < t.ssthresh {
+					t.cwnd++ // slow start
+				} else {
+					t.cwnd += 1 / t.cwnd // congestion avoidance
+				}
+			}
+			if t.cwnd > t.cfg.MaxCwnd {
+				t.cwnd = t.cfg.MaxCwnd
+			}
+		}
+		for seq := range t.txTime {
+			if seq < ack {
+				delete(t.txTime, seq)
+			}
+		}
+		if t.limit >= 0 && t.seqUna >= t.limit {
+			t.finish()
+			return
+		}
+		t.armRTO()
+		t.trySend()
+
+	case ack == t.seqUna:
+		t.dupacks++
+		if !t.inRecovery && t.dupacks == t.cfg.DupThresh {
+			// Fast retransmit + fast recovery.
+			t.ssthresh = maxf(t.cwnd/2, 2)
+			t.cwnd = t.ssthresh + float64(t.cfg.DupThresh)
+			t.inRecovery = true
+			t.recover = t.seqNext
+			t.emitData(t.seqUna, false)
+		} else if t.inRecovery {
+			t.cwnd++ // window inflation per extra dupack
+			t.trySend()
+		}
+	}
+}
+
+func (t *TCP) sampleRTT(seq int64) {
+	sent, ok := t.txTime[seq]
+	if !ok {
+		return
+	}
+	m := t.eng.Now() - sent
+	if !t.rttValid {
+		t.srtt = m
+		t.rttvar = m / 2
+		t.rttValid = true
+	} else {
+		d := t.srtt - m
+		if d < 0 {
+			d = -d
+		}
+		t.rttvar = (3*t.rttvar + d) / 4
+		t.srtt = (7*t.srtt + m) / 8
+	}
+	t.rto = t.srtt + 4*t.rttvar
+	if t.rto < t.cfg.RTOMin {
+		t.rto = t.cfg.RTOMin
+	}
+	// Clamp above as well: a cumulative ACK can cover a segment whose
+	// (never-retransmitted, so Karn-valid) timestamp predates a long
+	// recovery stall, yielding a grossly inflated sample.
+	if t.rto > t.cfg.RTOMax {
+		t.rto = t.cfg.RTOMax
+	}
+}
+
+func (t *TCP) armRTO() {
+	t.eng.Cancel(t.rtoEv)
+	if t.seqUna == t.seqNext {
+		return // nothing outstanding
+	}
+	t.rtoEv = t.eng.After(t.rto, t.onRTO)
+}
+
+func (t *TCP) onRTO() {
+	if t.done || t.seqUna == t.seqNext {
+		return
+	}
+	t.ssthresh = maxf(t.cwnd/2, 2)
+	t.cwnd = 1
+	t.dupacks = 0
+	t.inRecovery = false
+	t.rto *= 2
+	if t.rto > t.cfg.RTOMax {
+		t.rto = t.cfg.RTOMax
+	}
+	t.emitData(t.seqUna, false)
+	t.armRTO()
+}
+
+func (t *TCP) finish() {
+	t.done = true
+	t.eng.Cancel(t.rtoEv)
+	t.fs.TransfersCompleted++
+	if t.onDone != nil {
+		done := t.onDone
+		t.onDone = nil
+		done()
+	}
+}
+
+// --- receiver ---
+
+func (t *TCP) onData(p *pkt.Packet, seg Segment) {
+	t.fs.NoteArrival(seg.Seq, t.eng.Now()-p.Created)
+	switch {
+	case seg.Seq == t.rcvExpected:
+		t.rcvExpected++
+		t.fs.AppBytes += int64(t.cfg.MSS)
+		for t.rcvBuf[t.rcvExpected] {
+			delete(t.rcvBuf, t.rcvExpected)
+			t.rcvExpected++
+			t.fs.AppBytes += int64(t.cfg.MSS)
+		}
+	case seg.Seq > t.rcvExpected:
+		t.rcvBuf[seg.Seq] = true
+	default:
+		t.fs.Duplicates++
+	}
+	t.emitAck()
+}
+
+func (t *TCP) emitAck() {
+	t.uidAck++
+	t.ackEmit++
+	p := &pkt.Packet{
+		UID:       uint64(t.flow)<<33 | 1<<32 | t.uidAck,
+		FlowID:    t.flow,
+		Seq:       t.ackEmit,
+		Bytes:     t.cfg.AckBytes,
+		Src:       t.dst,
+		Dst:       t.src,
+		Created:   t.eng.Now(),
+		Transport: Segment{IsAck: true, Ack: t.rcvExpected},
+	}
+	t.sendDst(p)
+}
+
+// Cwnd exposes the current congestion window (packets) for tests.
+func (t *TCP) Cwnd() float64 { return t.cwnd }
+
+// SeqUna exposes the first unacknowledged sequence number for tests.
+func (t *TCP) SeqUna() int64 { return t.seqUna }
+
+// Done reports whether a bounded transfer has completed.
+func (t *TCP) Done() bool { return t.done }
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,337 @@
+// Package ripple is the public API of the RIPPLE reproduction: a
+// discrete-event IEEE 802.11 wireless network simulator with the RIPPLE
+// opportunistic forwarding scheme (Li, Leith, Qiu — ICDCS 2010) and the
+// schemes it is evaluated against (DCF/SPR predetermined routing, AFR
+// aggregation, preExOR, MCExOR).
+//
+// A minimal run:
+//
+//	top, path := ripple.LineTopology(3)
+//	res, err := ripple.Run(ripple.Scenario{
+//		Topology: top,
+//		Scheme:   ripple.SchemeRIPPLE,
+//		Flows:    []ripple.Flow{{ID: 1, Path: path, Traffic: ripple.TrafficFTP}},
+//		Duration: 10 * ripple.Second,
+//		Seeds:    []uint64{1, 2, 3},
+//	})
+//
+// Results report per-flow goodput, delay, reordering and (for VoIP) MoS.
+package ripple
+
+import (
+	"fmt"
+	"io"
+
+	"ripple/internal/network"
+	"ripple/internal/phys"
+	"ripple/internal/radio"
+	"ripple/internal/routing"
+	"ripple/internal/sim"
+	"ripple/internal/topology"
+	"ripple/internal/trace"
+)
+
+// Time re-exports the simulator's nanosecond time unit.
+type Time = sim.Time
+
+// Convenient duration units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// NodeID identifies a station.
+type NodeID = int
+
+// Path is a node sequence from a flow's source to its destination; for
+// opportunistic schemes it doubles as the prioritised forwarder list.
+type Path = []NodeID
+
+// Scheme selects the forwarding scheme, using the paper's labels.
+type Scheme int
+
+// The available schemes.
+const (
+	// SchemeDCF is predetermined routing over plain IEEE 802.11 DCF ("D";
+	// with a direct source→destination path it is SPR, "S").
+	SchemeDCF Scheme = iota + 1
+	// SchemeAFR aggregates up to 16 packets per frame on a predetermined
+	// route with partial retransmission ("A").
+	SchemeAFR
+	// SchemePreExOR is the early ExOR with sequential per-forwarder ACKs.
+	SchemePreExOR
+	// SchemeMCExOR is the compressed-ACK opportunistic scheme.
+	SchemeMCExOR
+	// SchemeRIPPLE is the paper's contribution: mTXOP forwarding with
+	// two-way aggregation ("R16").
+	SchemeRIPPLE
+	// SchemeRIPPLENoAgg is RIPPLE with aggregation disabled ("R1").
+	SchemeRIPPLENoAgg
+)
+
+// Traffic selects a flow's workload.
+type Traffic int
+
+// The available workloads.
+const (
+	// TrafficFTP is a long-lived backlogged TCP transfer.
+	TrafficFTP Traffic = iota + 1
+	// TrafficWeb is the ON/OFF Pareto short-transfer TCP workload.
+	TrafficWeb
+	// TrafficVoIP is a 96 kbps on-off voice stream (MoS-scored).
+	TrafficVoIP
+	// TrafficCBR is a saturated constant-bit-rate datagram stream.
+	TrafficCBR
+)
+
+// Topology is a set of station positions in metres.
+type Topology struct {
+	Name      string
+	Positions []Position
+}
+
+// Position is a station location in metres.
+type Position struct{ X, Y float64 }
+
+// Flow describes one traffic flow.
+type Flow struct {
+	ID      int
+	Path    Path
+	Traffic Traffic
+	Start   Time
+}
+
+// RadioProfile selects the wireless propagation environment.
+type RadioProfile int
+
+// The available radio profiles.
+const (
+	// RadioDefault is the paper's shadowing model: path-loss exponent 5,
+	// 8 dB deviation, 281 mW transmit power, ~258 m half-loss range.
+	RadioDefault RadioProfile = iota + 1
+	// RadioHidden narrows carrier sensing (≈1.3× decode range) for the
+	// hidden-terminal scenarios, as the paper tunes per experiment.
+	RadioHidden
+	// RadioIdeal disables shadowing and bit errors (for calibration).
+	RadioIdeal
+)
+
+// Scenario is a complete experiment description. Zero values select the
+// paper's defaults (216 Mbps PHY, BER 1e-6, 10 s duration, seed 1).
+type Scenario struct {
+	Topology Topology
+	Scheme   Scheme
+	Flows    []Flow
+	Duration Time
+	// Seeds runs the scenario once per seed (concurrently) and averages.
+	Seeds []uint64
+	// Radio selects the propagation profile (default RadioDefault).
+	Radio RadioProfile
+	// BitErrorRate overrides the channel BER (default 1e-6, "clear";
+	// the paper's "noisy" channel is 1e-5).
+	BitErrorRate float64
+	// LowRatePHY switches both PHY rates to 6 Mbps (Table III setting).
+	LowRatePHY bool
+	// MaxForwarders caps forwarder lists (default 5, paper Remark 4).
+	MaxForwarders int
+	// MaxAggregation caps packets per frame for RIPPLE and AFR
+	// (default 16).
+	MaxAggregation int
+	// MultiRate enables the paper's §V future-work extension: per-link
+	// PHY rate selection over the 802.11a ladder (6 Mbps base) or its ×4
+	// wideband scaling (216 Mbps base).
+	MultiRate bool
+	// RTSThreshold enables 802.11 RTS/CTS for the predetermined schemes
+	// (DCF/AFR): data frames with at least this many MAC payload bytes are
+	// protected by an RTS/CTS handshake. 0 disables the option.
+	RTSThreshold int
+	// TraceJSONL, when non-nil, receives one JSON object per medium event
+	// (transmissions, receptions, corruptions) from the first seed's run,
+	// and enables airtime accounting in the Result.
+	TraceJSONL io.Writer
+}
+
+// FlowResult summarises one flow of a run.
+type FlowResult struct {
+	ID             int
+	ThroughputMbps float64
+	MeanDelay      Time
+	ReorderRate    float64
+	PktsDelivered  int64
+	Transfers      int64
+	MoS            float64 // VoIP only
+	LossRate       float64 // VoIP only
+}
+
+// Result summarises a scenario (averaged over seeds).
+type Result struct {
+	Flows     []FlowResult
+	TotalMbps float64
+	// Fairness is Jain's index over per-flow throughputs (1 = equal).
+	Fairness float64
+	Events   uint64
+	// AirtimePerNode and BusyFraction are populated when the scenario set
+	// TraceJSONL (measured on the first seed's run).
+	AirtimePerNode map[NodeID]Time
+	BusyFraction   float64
+}
+
+// Run executes a scenario and returns seed-averaged results.
+func Run(s Scenario) (*Result, error) {
+	cfg, err := s.toConfig()
+	if err != nil {
+		return nil, err
+	}
+	seeds := s.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+	var rec *trace.Recorder
+	if s.TraceJSONL != nil {
+		// Trace the first seed on its own: seeds run concurrently and the
+		// recorder is not synchronised.
+		rec = &trace.Recorder{W: s.TraceJSONL}
+		traced := *cfg
+		traced.Seed = seeds[0]
+		traced.Trace = rec.Hook()
+		if _, err := network.Run(traced); err != nil {
+			return nil, err
+		}
+		if err := rec.Err(); err != nil {
+			return nil, fmt.Errorf("ripple: trace write: %w", err)
+		}
+	}
+	_, avg, err := network.RunSeeds(*cfg, seeds)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{TotalMbps: avg.TotalMbps, Fairness: avg.Fairness, Events: avg.Events}
+	if rec != nil {
+		dur := cfg.Duration
+		if dur == 0 {
+			dur = 10 * Second
+		}
+		out.BusyFraction = rec.BusyFraction(dur)
+		out.AirtimePerNode = make(map[NodeID]Time)
+		for id, t := range rec.Airtime() {
+			out.AirtimePerNode[int(id)] = t
+		}
+	}
+	for _, f := range avg.Flows {
+		out.Flows = append(out.Flows, FlowResult{
+			ID:             f.ID,
+			ThroughputMbps: f.ThroughputMbps,
+			MeanDelay:      f.MeanDelay,
+			ReorderRate:    f.ReorderRate,
+			PktsDelivered:  f.PktsDelivered,
+			Transfers:      f.Transfers,
+			MoS:            f.MoS,
+			LossRate:       f.LossRate,
+		})
+	}
+	return out, nil
+}
+
+// Compare runs the same scenario under several schemes and returns total
+// throughput keyed by the scheme's paper label.
+func Compare(s Scenario, schemes ...Scheme) (map[string]float64, error) {
+	out := make(map[string]float64, len(schemes))
+	for _, k := range schemes {
+		sc := s
+		sc.Scheme = k
+		res, err := Run(sc)
+		if err != nil {
+			return nil, err
+		}
+		out[k.String()] = res.TotalMbps
+	}
+	return out, nil
+}
+
+// String returns the paper's label for the scheme.
+func (k Scheme) String() string { return kindOf(k).String() }
+
+func kindOf(k Scheme) network.SchemeKind {
+	switch k {
+	case SchemeDCF:
+		return network.DCF
+	case SchemeAFR:
+		return network.AFR
+	case SchemePreExOR:
+		return network.PreExOR
+	case SchemeMCExOR:
+		return network.MCExOR
+	case SchemeRIPPLE:
+		return network.Ripple
+	case SchemeRIPPLENoAgg:
+		return network.RippleNoAgg
+	default:
+		return 0
+	}
+}
+
+func (s Scenario) toConfig() (*network.Config, error) {
+	kind := kindOf(s.Scheme)
+	if kind == 0 {
+		return nil, fmt.Errorf("ripple: unknown scheme %d", int(s.Scheme))
+	}
+	var rc radio.Config
+	switch s.Radio {
+	case RadioHidden:
+		rc = topology.HiddenRadio()
+	case RadioIdeal:
+		rc = radio.DefaultConfig()
+		rc.ShadowSigmaDB = 0
+		rc.BitErrorRate = 0
+	case RadioDefault, 0:
+		rc = radio.DefaultConfig()
+	default:
+		return nil, fmt.Errorf("ripple: unknown radio profile %d", int(s.Radio))
+	}
+	if s.BitErrorRate > 0 && s.Radio != RadioIdeal {
+		rc.BitErrorRate = s.BitErrorRate
+	}
+	cfg := &network.Config{
+		Radio:         rc,
+		Scheme:        kind,
+		Duration:      s.Duration,
+		MaxForwarders: s.MaxForwarders,
+	}
+	if s.LowRatePHY {
+		cfg.Phy = phys.LowRate()
+	}
+	if s.MaxAggregation > 0 {
+		cfg.UnicastMaxAgg = s.MaxAggregation
+		cfg.RippleOpts.MaxAgg = s.MaxAggregation
+	}
+	cfg.MultiRate.Enabled = s.MultiRate
+	cfg.RTSThreshold = s.RTSThreshold
+	cfg.Positions = make([]radio.Pos, len(s.Topology.Positions))
+	for i, p := range s.Topology.Positions {
+		cfg.Positions[i] = radio.Pos{X: p.X, Y: p.Y}
+	}
+	for _, f := range s.Flows {
+		path := make(routing.Path, len(f.Path))
+		for i, n := range f.Path {
+			path[i] = pktNode(n)
+		}
+		var kind network.TrafficKind
+		switch f.Traffic {
+		case TrafficFTP:
+			kind = network.FTP
+		case TrafficWeb:
+			kind = network.Web
+		case TrafficVoIP:
+			kind = network.VoIPTraffic
+		case TrafficCBR:
+			kind = network.CBRTraffic
+		default:
+			return nil, fmt.Errorf("ripple: flow %d: unknown traffic %d", f.ID, int(f.Traffic))
+		}
+		cfg.Flows = append(cfg.Flows, network.FlowSpec{
+			ID: f.ID, Path: path, Kind: kind, Start: f.Start,
+		})
+	}
+	return cfg, nil
+}

@@ -1,0 +1,127 @@
+package ripple
+
+import "testing"
+
+func TestRunSmoke(t *testing.T) {
+	top, path := LineTopology(3)
+	res, err := Run(Scenario{
+		Topology: top,
+		Scheme:   SchemeRIPPLE,
+		Flows:    []Flow{{ID: 1, Path: path, Traffic: TrafficFTP}},
+		Duration: Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Flows) != 1 || res.Flows[0].ThroughputMbps <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestRunRejectsUnknownScheme(t *testing.T) {
+	top, path := LineTopology(2)
+	_, err := Run(Scenario{
+		Topology: top,
+		Scheme:   Scheme(99),
+		Flows:    []Flow{{ID: 1, Path: path, Traffic: TrafficFTP}},
+		Duration: Second,
+	})
+	if err == nil {
+		t.Fatal("unknown scheme must error")
+	}
+}
+
+func TestRunRejectsUnknownTraffic(t *testing.T) {
+	top, path := LineTopology(2)
+	_, err := Run(Scenario{
+		Topology: top,
+		Scheme:   SchemeDCF,
+		Flows:    []Flow{{ID: 1, Path: path, Traffic: Traffic(99)}},
+		Duration: Second,
+	})
+	if err == nil {
+		t.Fatal("unknown traffic must error")
+	}
+}
+
+func TestCompareReturnsAllSchemes(t *testing.T) {
+	top, path := LineTopology(2)
+	sc := Scenario{
+		Topology: top,
+		Flows:    []Flow{{ID: 1, Path: path, Traffic: TrafficFTP}},
+		Duration: Second,
+		Radio:    RadioIdeal,
+	}
+	got, err := Compare(sc, SchemeDCF, SchemeRIPPLE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("Compare = %v", got)
+	}
+	if got["RIPPLE"] <= 0 || got["DCF"] <= 0 {
+		t.Fatalf("Compare = %v", got)
+	}
+}
+
+func TestSchemeLabels(t *testing.T) {
+	want := map[Scheme]string{
+		SchemeDCF: "DCF", SchemeAFR: "AFR", SchemePreExOR: "preExOR",
+		SchemeMCExOR: "MCExOR", SchemeRIPPLE: "RIPPLE", SchemeRIPPLENoAgg: "RIPPLE-noagg",
+	}
+	for k, label := range want {
+		if k.String() != label {
+			t.Errorf("%d = %q, want %q", int(k), k.String(), label)
+		}
+	}
+}
+
+func TestTopologyConstructorsExposePaperLayouts(t *testing.T) {
+	if got := len(Fig1Topology().Positions); got != 8 {
+		t.Errorf("Fig1 stations = %d", got)
+	}
+	top, paths := RegularTopology(4)
+	if len(paths) != 4 || len(top.Positions) != 16 {
+		t.Errorf("Regular(4): %d stations, %d paths", len(top.Positions), len(paths))
+	}
+	_, main, hidden := HiddenTopology(3)
+	if len(main) != 4 || len(hidden) != 3 {
+		t.Errorf("Hidden(3): main %v, hidden %d", main, len(hidden))
+	}
+	wt, wf, hp := WigleTopology()
+	if len(wt.Positions) != 10 || len(wf) != 8 || len(hp) != 2 {
+		t.Errorf("Wigle: %d stations, %d flows, hidden %v", len(wt.Positions), len(wf), hp)
+	}
+	if len(RoofnetTopology().Positions) < 25 {
+		t.Error("Roofnet too small")
+	}
+	r0 := Route0()
+	if r0.Name != "ROUTE0" || len(r0.Flow1) != 4 {
+		t.Errorf("Route0 = %+v", r0)
+	}
+}
+
+func TestRadioProfiles(t *testing.T) {
+	top, path := LineTopology(1)
+	for _, prof := range []RadioProfile{RadioDefault, RadioHidden, RadioIdeal} {
+		_, err := Run(Scenario{
+			Topology: top,
+			Scheme:   SchemeDCF,
+			Radio:    prof,
+			Flows:    []Flow{{ID: 1, Path: path, Traffic: TrafficCBR}},
+			Duration: 100 * Millisecond,
+		})
+		if err != nil {
+			t.Errorf("profile %d: %v", int(prof), err)
+		}
+	}
+	if _, err := Run(Scenario{
+		Topology: top,
+		Scheme:   SchemeDCF,
+		Radio:    RadioProfile(99),
+		Flows:    []Flow{{ID: 1, Path: path, Traffic: TrafficCBR}},
+		Duration: 100 * Millisecond,
+	}); err == nil {
+		t.Error("unknown radio profile must error")
+	}
+}

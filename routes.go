@@ -1,0 +1,71 @@
+package ripple
+
+import (
+	"fmt"
+
+	"ripple/internal/pkt"
+	"ripple/internal/radio"
+	"ripple/internal/routing"
+	"ripple/internal/topology"
+)
+
+// Route discovery. The paper treats forwarder selection as orthogonal to
+// RIPPLE's forwarding ("RIPPLE can easily incorporate any forwarder
+// selection schemes", §III-B1) and cites ETX (De Couto et al.) as what
+// ExOR/MORE use. These helpers compute ETX routes over a topology using the
+// same analytic link model the simulator's radio uses.
+
+// Router computes minimum-ETX paths over a topology.
+type Router struct {
+	table *routing.Table
+}
+
+// NewRouter builds the ETX link table for a topology under the given radio
+// profile (RadioDefault when zero).
+func NewRouter(top Topology, profile RadioProfile) (*Router, error) {
+	var rc radio.Config
+	switch profile {
+	case RadioHidden:
+		rc = topology.HiddenRadio()
+	case RadioIdeal:
+		rc = radio.DefaultConfig()
+		rc.ShadowSigmaDB = 0
+	case RadioDefault, 0:
+		rc = radio.DefaultConfig()
+	default:
+		return nil, fmt.Errorf("ripple: unknown radio profile %d", int(profile))
+	}
+	positions := make([]radio.Pos, len(top.Positions))
+	for i, p := range top.Positions {
+		positions[i] = radio.Pos{X: p.X, Y: p.Y}
+	}
+	tab := routing.NewTable(len(positions), func(a, b pkt.NodeID) float64 {
+		return 1 - rc.LossProb(radio.Dist(positions[a], positions[b]))
+	}, 0.1)
+	return &Router{table: tab}, nil
+}
+
+// Path returns the minimum-ETX path between two stations, usable directly
+// as a Flow.Path (and as the forwarder list for opportunistic schemes).
+func (r *Router) Path(src, dst NodeID) (Path, error) {
+	p, err := r.table.ShortestPath(pkt.NodeID(src), pkt.NodeID(dst))
+	if err != nil {
+		return nil, err
+	}
+	return fromPath(p), nil
+}
+
+// PathETX returns the summed ETX metric of a path.
+func (r *Router) PathETX(p Path) float64 {
+	rp := make(routing.Path, len(p))
+	for i, n := range p {
+		rp[i] = pkt.NodeID(n)
+	}
+	return r.table.PathETX(rp)
+}
+
+// LinkQuality returns the one-way frame delivery probability of a link
+// under the router's radio profile.
+func (r *Router) LinkQuality(a, b NodeID) float64 {
+	return r.table.LinkProb(pkt.NodeID(a), pkt.NodeID(b))
+}

@@ -1,0 +1,111 @@
+package ripple
+
+import (
+	"ripple/internal/pkt"
+	"ripple/internal/routing"
+	"ripple/internal/topology"
+)
+
+// The topology constructors mirror the paper's layouts (see package
+// topology for the geometry rationale).
+
+// Fig1Topology returns the paper's eight-station multi-flow topology, with
+// the three Table II route sets accessible via RouteSet.
+func Fig1Topology() Topology { return fromInternal(topology.Fig1()) }
+
+// LineTopology returns a straight line of hops+1 stations 100 m apart and
+// the full-line path (Fig. 7(a)).
+func LineTopology(hops int) (Topology, Path) {
+	t, p := topology.Line(hops)
+	return fromInternal(t), fromPath(p)
+}
+
+// LineWithCrossTopology returns the Fig. 7(b) layout: the main line plus a
+// 3-hop cross flow through its middle station.
+func LineWithCrossTopology(hops int) (Topology, Path, Path) {
+	t, main, cross := topology.LineWithCross(hops)
+	return fromInternal(t), fromPath(main), fromPath(cross)
+}
+
+// RegularTopology returns the Fig. 5(a) regular-collision layout: n
+// parallel 3-hop flows all within carrier-sense range.
+func RegularTopology(nFlows int) (Topology, []Path) {
+	t, paths := topology.Regular(nFlows)
+	out := make([]Path, len(paths))
+	for i, p := range paths {
+		out[i] = fromPath(p)
+	}
+	return fromInternal(t), out
+}
+
+// HiddenTopology returns the Fig. 5(b) hidden-collision layout: the main
+// 3-hop flow plus nHidden single-hop interferer flows whose sources are
+// hidden from the main source. Use RadioHidden with it.
+func HiddenTopology(nHidden int) (Topology, Path, []Path) {
+	t, main, hidden := topology.Hidden(nHidden)
+	out := make([]Path, len(hidden))
+	for i, p := range hidden {
+		out[i] = fromPath(p)
+	}
+	return fromInternal(t), fromPath(main), out
+}
+
+// WigleTopology returns the Fig. 9 access-point topology, the eight Fig. 10
+// flow paths, and the hidden S→R pair. Use RadioHidden for the ±hidden
+// variants.
+func WigleTopology() (Topology, []Path, Path) {
+	t, flows, hidden := topology.Wigle()
+	out := make([]Path, len(flows))
+	for i, p := range flows {
+		out[i] = fromPath(p)
+	}
+	return fromInternal(t), out, fromPath(hidden)
+}
+
+// RoofnetTopology returns the Fig. 11 rooftop mesh.
+func RoofnetTopology() Topology { return fromInternal(topology.Roofnet()) }
+
+// RouteSet is one row of Table II: a predetermined route per flow of the
+// Fig. 1 topology.
+type RouteSet struct {
+	Name  string
+	Flow1 Path // 0 → 3
+	Flow2 Path // 0 → 4
+	Flow3 Path // 5 → 7
+}
+
+// Route0, Route1, Route2 return the Table II route sets.
+func Route0() RouteSet { return fromRouteSet(routing.Route0()) }
+
+// Route1 returns the second Table II route set.
+func Route1() RouteSet { return fromRouteSet(routing.Route1()) }
+
+// Route2 returns the third Table II route set.
+func Route2() RouteSet { return fromRouteSet(routing.Route2()) }
+
+func fromRouteSet(rs routing.RouteSet) RouteSet {
+	return RouteSet{
+		Name:  rs.Name,
+		Flow1: fromPath(rs.Flow1),
+		Flow2: fromPath(rs.Flow2),
+		Flow3: fromPath(rs.Flow3),
+	}
+}
+
+func fromInternal(t topology.Topology) Topology {
+	out := Topology{Name: t.Name, Positions: make([]Position, len(t.Positions))}
+	for i, p := range t.Positions {
+		out.Positions[i] = Position{X: p.X, Y: p.Y}
+	}
+	return out
+}
+
+func fromPath(p routing.Path) Path {
+	out := make(Path, len(p))
+	for i, n := range p {
+		out[i] = int(n)
+	}
+	return out
+}
+
+func pktNode(n NodeID) pkt.NodeID { return pkt.NodeID(n) }

@@ -1,0 +1,76 @@
+package ripple
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunWithTraceJSONL(t *testing.T) {
+	top, path := LineTopology(2)
+	var buf bytes.Buffer
+	res, err := Run(Scenario{
+		Topology:   top,
+		Scheme:     SchemeRIPPLE,
+		Flows:      []Flow{{ID: 1, Path: path, Traffic: TrafficFTP}},
+		Duration:   200 * Millisecond,
+		TraceJSONL: &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no trace output written")
+	}
+	// Every line parses as a trace event with sane fields.
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		kind, _ := ev["kind"].(string)
+		if kind != "tx" && kind != "rx" && kind != "corrupt" {
+			t.Fatalf("line %d: unexpected kind %q", lines, kind)
+		}
+	}
+	if lines < 10 {
+		t.Fatalf("only %d trace lines for an active run", lines)
+	}
+	// Airtime accounting must be populated and plausible.
+	if len(res.AirtimePerNode) == 0 {
+		t.Fatal("no airtime recorded")
+	}
+	if res.BusyFraction <= 0 || res.BusyFraction > 3 {
+		t.Fatalf("BusyFraction = %v", res.BusyFraction)
+	}
+	if res.AirtimePerNode[0] == 0 {
+		t.Fatal("the TCP source transmitted nothing?")
+	}
+}
+
+func TestRunFairnessIndex(t *testing.T) {
+	top, paths := RegularTopology(3)
+	flows := make([]Flow, len(paths))
+	for i, p := range paths {
+		flows[i] = Flow{ID: i + 1, Path: p, Traffic: TrafficFTP,
+			Start: Time(i) * 50 * Millisecond}
+	}
+	res, err := Run(Scenario{
+		Topology: top,
+		Scheme:   SchemeRIPPLE,
+		Flows:    flows,
+		Duration: 2 * Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric parallel flows should share fairly.
+	if res.Fairness < 0.7 {
+		t.Fatalf("Jain fairness = %.3f over symmetric flows", res.Fairness)
+	}
+}
