@@ -1,0 +1,169 @@
+package ripple
+
+import (
+	"fmt"
+	"sync"
+
+	"ripple/internal/campaign/pool"
+	"ripple/internal/network"
+	"ripple/internal/stats"
+	"ripple/internal/trace"
+)
+
+// Campaign is a batch of scenarios executed together on the bounded worker
+// pool. Every (scenario × seed) run is an independent unit, so a campaign
+// with a handful of scenarios and several seeds each keeps all cores busy
+// while never spawning more goroutines than the pool allows. Results are
+// indexed like Scenarios and are bit-identical for any parallelism level.
+type Campaign struct {
+	Scenarios []Scenario
+	// Parallel caps concurrently executing runs. 0 selects the shared
+	// GOMAXPROCS-sized pool; 1 forces serial execution.
+	Parallel int
+	// Progress, when non-nil, is called after each completed run with the
+	// number of finished runs and the total. Calls are serialized.
+	Progress func(done, total int)
+}
+
+// RunBatch executes every scenario of a campaign and returns seed-averaged
+// results in scenario order. Scenarios that set TraceJSONL must each use
+// their own writer: traced runs execute concurrently.
+func RunBatch(c Campaign) ([]*Result, error) {
+	n := len(c.Scenarios)
+	if n == 0 {
+		return nil, nil
+	}
+	cfgs := make([]*network.Config, n)
+	seedLists := make([][]uint64, n)
+	recs := make([]*trace.Recorder, n)
+	// A leaf is one simulation run: a seed of a scenario, or a scenario's
+	// dedicated trace run (the recorder hook is not synchronised, so it
+	// traces a separate first-seed run, as Run always has).
+	type leaf struct {
+		sc, seed int
+		trace    bool
+	}
+	var leaves []leaf
+	// Single-scenario batches (ripple.Run) keep their errors unprefixed.
+	wrapErr := func(i int, err error) error {
+		if n == 1 {
+			return err
+		}
+		return fmt.Errorf("scenario %d: %w", i, err)
+	}
+	for i, s := range c.Scenarios {
+		cfg, err := s.toConfig()
+		if err != nil {
+			return nil, wrapErr(i, err)
+		}
+		cfgs[i] = cfg
+		seeds := s.Seeds
+		if len(seeds) == 0 {
+			seeds = []uint64{1}
+		}
+		seedLists[i] = seeds
+		if s.TraceJSONL != nil {
+			recs[i] = &trace.Recorder{W: s.TraceJSONL}
+			leaves = append(leaves, leaf{sc: i, trace: true})
+		}
+		for j := range seeds {
+			leaves = append(leaves, leaf{sc: i, seed: j})
+		}
+	}
+	perSeed := make([][]*network.Result, n)
+	for i := range perSeed {
+		perSeed[i] = make([]*network.Result, len(seedLists[i]))
+	}
+
+	p := pool.Shared()
+	if c.Parallel > 0 {
+		p = pool.New(c.Parallel)
+	}
+	done := 0
+	var progressMu sync.Mutex
+	var progress func()
+	if c.Progress != nil {
+		progress = func() {
+			done++
+			c.Progress(done, len(leaves))
+		}
+	}
+	err := p.Do(len(leaves), func(u int) error {
+		l := leaves[u]
+		cfg := *cfgs[l.sc]
+		if l.trace {
+			cfg.Seed = seedLists[l.sc][0]
+			cfg.Trace = recs[l.sc].Hook()
+			if _, err := network.Run(cfg); err != nil {
+				return wrapErr(l.sc, err)
+			}
+			if err := recs[l.sc].Err(); err != nil {
+				return wrapErr(l.sc, fmt.Errorf("ripple: trace write: %w", err))
+			}
+		} else {
+			cfg.Seed = seedLists[l.sc][l.seed]
+			res, err := network.Run(cfg)
+			if err != nil {
+				return wrapErr(l.sc, err)
+			}
+			perSeed[l.sc][l.seed] = res
+		}
+		if progress != nil {
+			progressMu.Lock()
+			progress()
+			progressMu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]*Result, n)
+	for i := range out {
+		out[i] = foldResult(cfgs[i], perSeed[i], recs[i])
+	}
+	return out, nil
+}
+
+// foldResult summarises one scenario's per-seed results (seed order, so
+// the fold is deterministic) into the public Result: the mean of every
+// metric plus Welford 95% confidence half-widths for the throughputs.
+func foldResult(cfg *network.Config, results []*network.Result, rec *trace.Recorder) *Result {
+	avg := network.Average(results)
+	out := &Result{TotalMbps: avg.TotalMbps, Fairness: avg.Fairness, Events: avg.Events}
+	var total stats.Welford
+	for _, r := range results {
+		total.Add(r.TotalMbps)
+	}
+	out.TotalMbpsCI95 = total.CI95()
+	if rec != nil {
+		dur := cfg.Duration
+		if dur == 0 {
+			dur = 10 * Second
+		}
+		out.BusyFraction = rec.BusyFraction(dur)
+		out.AirtimePerNode = make(map[NodeID]Time)
+		for id, t := range rec.Airtime() {
+			out.AirtimePerNode[int(id)] = t
+		}
+	}
+	for i, f := range avg.Flows {
+		var w stats.Welford
+		for _, r := range results {
+			w.Add(r.Flows[i].ThroughputMbps)
+		}
+		out.Flows = append(out.Flows, FlowResult{
+			ID:             f.ID,
+			ThroughputMbps: f.ThroughputMbps,
+			ThroughputCI95: w.CI95(),
+			MeanDelay:      f.MeanDelay,
+			ReorderRate:    f.ReorderRate,
+			PktsDelivered:  f.PktsDelivered,
+			Transfers:      f.Transfers,
+			MoS:            f.MoS,
+			LossRate:       f.LossRate,
+		})
+	}
+	return out
+}

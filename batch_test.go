@@ -1,0 +1,162 @@
+package ripple
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func batchScenario(scheme Scheme, seeds ...uint64) Scenario {
+	top, path := LineTopology(3)
+	return Scenario{
+		Topology: top,
+		Scheme:   scheme,
+		Flows:    []Flow{{ID: 1, Path: path, Traffic: TrafficFTP}},
+		Duration: 500 * Millisecond,
+		Seeds:    seeds,
+	}
+}
+
+func TestRunBatchMatchesIndividualRuns(t *testing.T) {
+	scenarios := []Scenario{
+		batchScenario(SchemeDCF, 1, 2),
+		batchScenario(SchemeRIPPLE, 1, 2),
+		batchScenario(SchemeAFR, 1, 2),
+	}
+	batch, err := RunBatch(Campaign{Scenarios: scenarios})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 3 {
+		t.Fatalf("results = %d", len(batch))
+	}
+	for i, s := range scenarios {
+		solo, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batch[i], solo) {
+			t.Errorf("scenario %d: batch result differs from individual run:\n%+v\nvs\n%+v",
+				i, batch[i], solo)
+		}
+	}
+}
+
+func TestRunBatchDeterministicAcrossParallelism(t *testing.T) {
+	scenarios := []Scenario{
+		batchScenario(SchemeDCF, 1, 2, 3),
+		batchScenario(SchemeRIPPLE, 1, 2, 3),
+	}
+	serial, err := RunBatch(Campaign{Scenarios: scenarios, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := RunBatch(Campaign{Scenarios: scenarios, Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, wide) {
+		t.Fatal("parallelism changed batch results")
+	}
+}
+
+func TestRunBatchReportsCIs(t *testing.T) {
+	res, err := Run(batchScenario(SchemeRIPPLE, 1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMbpsCI95 <= 0 {
+		t.Errorf("TotalMbpsCI95 = %v, want > 0 over three distinct seeds", res.TotalMbpsCI95)
+	}
+	if res.Flows[0].ThroughputCI95 <= 0 {
+		t.Errorf("ThroughputCI95 = %v, want > 0", res.Flows[0].ThroughputCI95)
+	}
+	// Single seed: no interval.
+	one, err := Run(batchScenario(SchemeRIPPLE, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.TotalMbpsCI95 != 0 || one.Flows[0].ThroughputCI95 != 0 {
+		t.Error("single-seed run must not report a CI")
+	}
+}
+
+func TestRunBatchProgressAndEmpty(t *testing.T) {
+	if res, err := RunBatch(Campaign{}); err != nil || res != nil {
+		t.Fatalf("empty campaign = %v, %v", res, err)
+	}
+	var calls, lastTotal int
+	_, err := RunBatch(Campaign{
+		Scenarios: []Scenario{batchScenario(SchemeDCF, 1, 2)},
+		Progress:  func(done, total int) { calls++; lastTotal = total },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 || lastTotal != 2 {
+		t.Fatalf("progress calls/total = %d/%d, want 2/2", calls, lastTotal)
+	}
+}
+
+func TestRunBatchTracedScenario(t *testing.T) {
+	var buf bytes.Buffer
+	sc := batchScenario(SchemeRIPPLE, 1, 2)
+	sc.TraceJSONL = &buf
+	res, err := RunBatch(Campaign{Scenarios: []Scenario{sc}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no trace written")
+	}
+	if len(res[0].AirtimePerNode) == 0 || res[0].BusyFraction <= 0 {
+		t.Fatalf("airtime accounting missing: %+v", res[0])
+	}
+}
+
+func TestRunBatchErrorNamesScenario(t *testing.T) {
+	bad := batchScenario(SchemeRIPPLE, 1)
+	bad.Scheme = Scheme(42)
+	_, err := RunBatch(Campaign{Scenarios: []Scenario{batchScenario(SchemeDCF, 1), bad}})
+	if err == nil {
+		t.Fatal("bad scenario must fail the batch")
+	}
+	if got := err.Error(); got != "scenario 1: ripple: unknown scheme 42" {
+		t.Fatalf("err = %q", got)
+	}
+}
+
+func TestCompareRejectsTraceWriter(t *testing.T) {
+	sc := batchScenario(SchemeDCF, 1)
+	sc.TraceJSONL = &bytes.Buffer{}
+	if _, err := Compare(sc, SchemeDCF, SchemeRIPPLE); err == nil {
+		t.Fatal("Compare with TraceJSONL must error, not silently drop the trace")
+	}
+}
+
+func TestCompareRunsSchemesInParallel(t *testing.T) {
+	sc := batchScenario(0, 1)
+	out, err := Compare(sc, SchemeDCF, SchemeRIPPLE, SchemeAFR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("Compare = %v", out)
+	}
+	for _, label := range []string{"DCF", "RIPPLE", "AFR"} {
+		if v, ok := out[label]; !ok || v <= 0 || math.IsNaN(v) {
+			t.Errorf("Compare[%s] = %v, %v", label, v, ok)
+		}
+	}
+	// Compare must agree with running each scheme alone.
+	solo := sc
+	solo.Scheme = SchemeRIPPLE
+	res, err := Run(solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["RIPPLE"] != res.TotalMbps {
+		t.Errorf("Compare RIPPLE = %v, solo run = %v", out["RIPPLE"], res.TotalMbps)
+	}
+}

@@ -8,9 +8,11 @@ package ripple
 // runs the same code with the paper's full 10-second, multi-seed settings.
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 
+	"ripple/internal/campaign/pool"
 	"ripple/internal/experiments"
 	"ripple/internal/sim"
 )
@@ -257,6 +259,46 @@ func BenchmarkAblationRTS(b *testing.B) {
 			reportCells(b, tab, "6 hidden", "DCF", "DCF+RTS", "RIPPLE")
 		}
 	}
+}
+
+// --- Campaign pool benches ---
+
+// benchCampaignSuite runs the full figure suite (every driver, every cell)
+// through a pool of the given size on a short per-run budget.
+func benchCampaignSuite(b *testing.B, workers int) {
+	opt := experiments.Options{
+		Seeds:    []uint64{1, 2, 3},
+		Duration: 150 * sim.Millisecond,
+		Pool:     pool.New(workers),
+	}
+	if testing.Short() {
+		opt.Duration = 50 * sim.Millisecond
+	}
+	for i := 0; i < b.N; i++ {
+		for _, r := range experiments.All() {
+			if _, err := r.Run(opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkCampaignSuitePooled is the campaign engine as shipped: every
+// cell of every experiment drains through one GOMAXPROCS-sized pool, so
+// scheme columns and rows of the same figure overlap.
+func BenchmarkCampaignSuitePooled(b *testing.B) {
+	benchCampaignSuite(b, runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkCampaignSuiteSeedFanout approximates the seed repo's schedule
+// for comparison: RunSeeds fanned out one goroutine per seed inside each
+// cell but cells ran strictly one after another, so concurrency never
+// exceeded the seed count. A seed-count-wide pool reproduces that width
+// (though not the per-cell barriers, which idled cores at every cell
+// boundary — so this baseline is, if anything, faster than the true old
+// schedule and the comparison understates the pooled engine's gain).
+func BenchmarkCampaignSuiteSeedFanout(b *testing.B) {
+	benchCampaignSuite(b, 3) // = len(Seeds), the old per-call fan-out width
 }
 
 // BenchmarkEngineThroughput is a micro-benchmark of the simulation core:

@@ -3,25 +3,38 @@
 // Usage:
 //
 //	experiments [-run name[,name...]] [-seeds n] [-dur seconds] [-quick]
+//	            [-parallel n] [-json]
 //
-// With no -run flag every experiment runs in paper order. Results print as
-// aligned text tables whose rows mirror the paper's figures; paste them
-// next to EXPERIMENTS.md for comparison.
+// With no -run flag every experiment runs in paper order. Every scenario
+// cell of every experiment is scheduled on one bounded worker pool
+// (GOMAXPROCS workers unless -parallel says otherwise); the numbers are
+// identical for any -parallel value. Results print as aligned text tables
+// whose rows mirror the paper's figures — with more than one seed each
+// cell carries a 95% confidence half-width — or, with -json, as a JSON
+// array of tables. Progress streams to stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"ripple/internal/campaign/pool"
 	"ripple/internal/experiments"
 	"ripple/internal/sim"
 )
 
 func main() {
 	os.Exit(run())
+}
+
+// jsonTable is one experiment's output in -json mode.
+type jsonTable struct {
+	Experiment string               `json:"experiment"`
+	Tables     []*experiments.Table `json:"tables"`
 }
 
 func run() int {
@@ -32,6 +45,8 @@ func run() int {
 		quick     = flag.Bool("quick", false, "1 seed, 2 simulated seconds")
 		list      = flag.Bool("list", false, "list experiment names and exit")
 		ablations = flag.Bool("ablations", false, "include the DESIGN.md §5 ablations")
+		parallel  = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+		jsonOut   = flag.Bool("json", false, "emit all tables as one JSON array")
 	)
 	flag.Parse()
 
@@ -53,30 +68,82 @@ func run() int {
 	if *quick {
 		opt = experiments.Quick()
 	}
+	if *parallel > 0 {
+		// Resize the process-wide pool: every experiment's grid drains
+		// through the one shared pool.
+		pool.SetSharedWorkers(*parallel)
+	}
 
 	want := map[string]bool{}
 	if *runList != "" {
+		known := map[string]bool{}
+		for _, r := range all {
+			known[r.Name] = true
+		}
 		for _, name := range strings.Split(*runList, ",") {
-			want[strings.TrimSpace(name)] = true
+			name = strings.TrimSpace(name)
+			if !known[name] {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list; ablations need -ablations)\n", name)
+				return 2
+			}
+			want[name] = true
 		}
 	}
 
+	var out []jsonTable
 	code := 0
+	selected := 0
+	for _, r := range all {
+		if len(want) == 0 || want[r.Name] {
+			selected++
+		}
+	}
+	done := 0
 	for _, r := range all {
 		if len(want) > 0 && !want[r.Name] {
 			continue
 		}
+		done++
+		// Progress lines are \r-rewritten; pad to the longest line printed
+		// so far so a shorter line fully overwrites a longer one.
+		lineLen := 0
+		status := func(format string, args ...any) {
+			line := fmt.Sprintf("[%d/%d] %s", done, selected, r.Name) + fmt.Sprintf(format, args...)
+			if pad := lineLen - len(line); pad > 0 {
+				line += strings.Repeat(" ", pad)
+			} else {
+				lineLen = len(line)
+			}
+			fmt.Fprintf(os.Stderr, "\r%s", line)
+		}
+		status("")
+		ropt := opt
+		ropt.Progress = func(d, total int) { status(": %d/%d runs", d, total) }
 		start := time.Now()
-		tables, err := r.Run(opt)
+		tables, err := r.Run(ropt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", r.Name, err)
+			status(" failed after %.1fs", time.Since(start).Seconds())
+			fmt.Fprintf(os.Stderr, "\nexperiment %s: %v\n", r.Name, err)
 			code = 1
+			continue
+		}
+		status(" done in %.1fs", time.Since(start).Seconds())
+		fmt.Fprintln(os.Stderr)
+		if *jsonOut {
+			out = append(out, jsonTable{Experiment: r.Name, Tables: tables})
 			continue
 		}
 		for _, t := range tables {
 			fmt.Println(t.Format())
 		}
-		fmt.Printf("[%s done in %.1fs]\n\n", r.Name, time.Since(start).Seconds())
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
 	}
 	return code
 }

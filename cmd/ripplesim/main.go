@@ -39,6 +39,8 @@ func run() int {
 		traceOut  = flag.String("trace", "", "write per-frame JSONL trace to this file")
 		multiRate = flag.Bool("multirate", false, "enable the multi-rate PHY extension")
 		rts       = flag.Int("rts", 0, "RTS/CTS threshold in bytes for DCF/AFR (0 = off)")
+		parallel  = flag.Int("parallel", 0, "worker pool size for seed runs (0 = GOMAXPROCS)")
+		progress  = flag.Bool("progress", false, "report per-seed progress on stderr")
 	)
 	flag.Parse()
 
@@ -152,11 +154,21 @@ func run() int {
 		return 2
 	}
 
-	res, err := ripple.Run(sc)
+	campaign := ripple.Campaign{Scenarios: []ripple.Scenario{sc}, Parallel: *parallel}
+	if *progress {
+		campaign.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rrun %d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	results, err := ripple.RunBatch(campaign)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	res := results[0]
 	if *jsonOut {
 		out := struct {
 			Scheme string         `json:"scheme"`

@@ -1,0 +1,222 @@
+// Package campaign is the simulator's batch execution engine. A Grid
+// declares the axes of a scenario sweep (scheme, topology, flow count,
+// BER, radio profile — any labelled dimension) and a Build function that
+// maps one grid point to a network.Config; Run expands the cartesian
+// product into (point × seed) units, schedules every unit on the shared
+// bounded worker pool, and folds each cell's per-seed results into a mean
+// plus Welford-accumulated variance so every cell can report mean ± 95%
+// CI. The paper's evaluation is exactly this shape — every figure averages
+// "multiple runs" over a (scheme × topology × load × channel) grid — and
+// the figure drivers in internal/experiments are declared as Grids.
+//
+// Execution is deterministic: units are indexed by (point, seed) and
+// results are folded in that fixed order, so a grid produces bit-identical
+// numbers whether it runs on one worker or many.
+package campaign
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"ripple/internal/campaign/pool"
+	"ripple/internal/network"
+	"ripple/internal/sim"
+	"ripple/internal/stats"
+)
+
+// Axis is one labelled dimension of a grid.
+type Axis struct {
+	Name   string
+	Labels []string
+}
+
+// A creates an axis.
+func A(name string, labels ...string) Axis { return Axis{Name: name, Labels: labels} }
+
+// Point identifies one cell of a grid: an index along every axis.
+type Point struct {
+	axes []Axis
+	idx  []int
+}
+
+// Index returns the point's position along the named axis. Asking for an
+// axis the grid does not declare is a programming error and panics.
+func (p Point) Index(axis string) int {
+	for i, a := range p.axes {
+		if a.Name == axis {
+			return p.idx[i]
+		}
+	}
+	panic(fmt.Sprintf("campaign: grid has no axis %q", axis))
+}
+
+// Label returns the point's label along the named axis.
+func (p Point) Label(axis string) string {
+	for i, a := range p.axes {
+		if a.Name == axis {
+			return a.Labels[p.idx[i]]
+		}
+	}
+	panic(fmt.Sprintf("campaign: grid has no axis %q", axis))
+}
+
+// String renders the point as "axis=label/axis=label".
+func (p Point) String() string {
+	parts := make([]string, len(p.axes))
+	for i, a := range p.axes {
+		parts[i] = a.Name + "=" + a.Labels[p.idx[i]]
+	}
+	return strings.Join(parts, "/")
+}
+
+// Grid declares a scenario sweep.
+type Grid struct {
+	// Name identifies the grid in errors and progress output.
+	Name string
+	// Axes are the sweep dimensions; their cartesian product is the cell
+	// set. A grid with no axes has exactly one cell.
+	Axes []Axis
+	// Seeds runs every cell once per seed; empty means seed 1 only.
+	Seeds []uint64
+	// Duration, when non-zero, overrides each cell's run duration.
+	Duration sim.Time
+	// Build maps a grid point to its scenario. It is called once per cell,
+	// in cell order, before any unit runs; an error aborts the whole grid.
+	Build func(Point) (network.Config, error)
+	// Pool schedules the units (nil = the shared GOMAXPROCS-sized pool).
+	Pool *pool.Pool
+	// Progress, when non-nil, is called after each completed unit with the
+	// number of finished units and the total. Calls are serialized.
+	Progress func(done, total int)
+}
+
+// Cell is one completed grid point.
+type Cell struct {
+	Point Point
+	// Seeds holds the per-seed results in seed order.
+	Seeds []*network.Result
+	// Mean is the seed-averaged result (network.Average semantics).
+	Mean *network.Result
+}
+
+// Stat streams the metric over the cell's per-seed results (in seed order,
+// so the numbers are deterministic) through a Welford accumulator and
+// returns its mean ± 95% CI summary.
+func (c *Cell) Stat(metric func(*network.Result) float64) stats.Summary {
+	var w stats.Welford
+	for _, r := range c.Seeds {
+		w.Add(metric(r))
+	}
+	return w.Summary()
+}
+
+// Result is a completed grid: one cell per point, in row-major order with
+// the last axis varying fastest.
+type Result struct {
+	Axes  []Axis
+	Cells []Cell
+}
+
+// Cell returns the cell at the given per-axis indices.
+func (r *Result) Cell(idx ...int) *Cell {
+	if len(idx) != len(r.Axes) {
+		panic(fmt.Sprintf("campaign: Cell wants %d indices, got %d", len(r.Axes), len(idx)))
+	}
+	flat := 0
+	for i, a := range r.Axes {
+		if idx[i] < 0 || idx[i] >= len(a.Labels) {
+			panic(fmt.Sprintf("campaign: index %d out of range for axis %q", idx[i], a.Name))
+		}
+		flat = flat*len(a.Labels) + idx[i]
+	}
+	return &r.Cells[flat]
+}
+
+// Run expands the grid and executes every (cell × seed) unit on the pool.
+func (g *Grid) Run() (*Result, error) {
+	for _, a := range g.Axes {
+		if len(a.Labels) == 0 {
+			return nil, fmt.Errorf("campaign %s: axis %q has no values", g.Name, a.Name)
+		}
+	}
+	if g.Build == nil {
+		return nil, fmt.Errorf("campaign %s: no Build function", g.Name)
+	}
+	cells := 1
+	for _, a := range g.Axes {
+		cells *= len(a.Labels)
+	}
+	seeds := g.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+
+	// Build every cell's scenario up front, in cell order, so Build errors
+	// surface deterministically and no simulation runs on a broken grid.
+	points := make([]Point, cells)
+	cfgs := make([]network.Config, cells)
+	for c := 0; c < cells; c++ {
+		points[c] = g.point(c)
+		cfg, err := g.Build(points[c])
+		if err != nil {
+			return nil, fmt.Errorf("campaign %s [%s]: %w", g.Name, points[c], err)
+		}
+		if g.Duration != 0 {
+			cfg.Duration = g.Duration
+		}
+		cfgs[c] = cfg
+	}
+
+	p := g.Pool
+	if p == nil {
+		p = pool.Shared()
+	}
+	total := cells * len(seeds)
+	results := make([]*network.Result, total)
+	var done int
+	var progressMu sync.Mutex
+	err := p.Do(total, func(u int) error {
+		cell, s := u/len(seeds), u%len(seeds)
+		cfg := cfgs[cell]
+		cfg.Seed = seeds[s]
+		res, err := network.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("campaign %s [%s] seed %d: %w", g.Name, points[cell], seeds[s], err)
+		}
+		results[u] = res
+		if g.Progress != nil {
+			progressMu.Lock()
+			done++
+			g.Progress(done, total)
+			progressMu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Result{Axes: g.Axes, Cells: make([]Cell, cells)}
+	for c := 0; c < cells; c++ {
+		perSeed := results[c*len(seeds) : (c+1)*len(seeds)]
+		out.Cells[c] = Cell{
+			Point: points[c],
+			Seeds: perSeed,
+			Mean:  network.Average(perSeed),
+		}
+	}
+	return out, nil
+}
+
+// point converts a flat cell index into per-axis indices (last axis
+// fastest).
+func (g *Grid) point(flat int) Point {
+	idx := make([]int, len(g.Axes))
+	for i := len(g.Axes) - 1; i >= 0; i-- {
+		n := len(g.Axes[i].Labels)
+		idx[i] = flat % n
+		flat /= n
+	}
+	return Point{axes: g.Axes, idx: idx}
+}

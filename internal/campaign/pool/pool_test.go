@@ -1,0 +1,108 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoRunsEveryJobOnce(t *testing.T) {
+	p := New(4)
+	const n = 100
+	var counts [n]atomic.Int64
+	if err := p.Do(n, func(i int) error {
+		counts[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("job %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestDoBoundsConcurrency(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		p := New(workers)
+		var running, peak atomic.Int64
+		err := p.Do(50, func(int) error {
+			r := running.Add(1)
+			for {
+				old := peak.Load()
+				if r <= old || peak.CompareAndSwap(old, r) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			running.Add(-1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := peak.Load(); got > int64(workers) {
+			t.Errorf("workers=%d: peak concurrency %d", workers, got)
+		}
+	}
+}
+
+func TestNestedDoDoesNotDeadlock(t *testing.T) {
+	p := New(2)
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Do(4, func(int) error {
+			return p.Do(4, func(int) error {
+				time.Sleep(time.Millisecond)
+				return nil
+			})
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("nested Do deadlocked")
+	}
+}
+
+func TestDoReturnsLowestIndexedError(t *testing.T) {
+	p := New(8)
+	for trial := 0; trial < 10; trial++ {
+		err := p.Do(64, func(i int) error {
+			if i%3 == 1 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 1 failed" {
+			t.Fatalf("trial %d: err = %v, want job 1's error", trial, err)
+		}
+	}
+}
+
+func TestDoZeroJobsAndMinWorkers(t *testing.T) {
+	if err := New(0).Do(0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+	if w := New(-3).Workers(); w != 1 {
+		t.Fatalf("Workers() = %d, want clamp to 1", w)
+	}
+}
+
+func TestSharedPoolResize(t *testing.T) {
+	defer SetSharedWorkers(runtime.GOMAXPROCS(0))
+	if Shared() == nil || Shared().Workers() < 1 {
+		t.Fatal("shared pool missing")
+	}
+	SetSharedWorkers(3)
+	if got := Shared().Workers(); got != 3 {
+		t.Fatalf("resized shared pool workers = %d, want 3", got)
+	}
+}

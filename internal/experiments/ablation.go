@@ -15,42 +15,46 @@ import (
 // The ablations isolate the design choices DESIGN.md §5 calls out. They are
 // not figures from the paper; they quantify the mechanisms the paper argues
 // for (aggregation limit 16, ≤5 forwarders, Rq, two-way aggregation) and
-// the §V future-work multi-rate extension.
+// the §V future-work multi-rate extension. Like the figures, each is a
+// campaign grid declaration.
 
 // AblationAggLimit sweeps RIPPLE's aggregation limit over a single
 // long-lived TCP flow on the Fig. 1 topology (ROUTE0). The paper picks 16
 // following 802.11n/AFR; the sweep shows the diminishing returns beyond it.
 func AblationAggLimit(opt Options) (*Table, error) {
-	opt = opt.normalize()
 	top := topology.Fig1()
 	rc := radio.DefaultConfig()
 	rc.BitErrorRate = 1e-6
 	path := routing.Route0().Flow1
-	tab := &Table{
-		ID:      "ablation-agg",
-		Title:   "RIPPLE aggregation limit sweep, 1 TCP flow on ROUTE0",
-		Unit:    "Mbps",
-		Columns: []string{"R"},
+	aggs := []int{1, 2, 4, 8, 16, 32}
+	rows := make([]string, len(aggs))
+	for i, agg := range aggs {
+		rows[i] = fmt.Sprintf("agg=%d", agg)
 	}
-	for _, agg := range []int{1, 2, 4, 8, 16, 32} {
-		cfg := network.Config{
-			Positions: top.Positions,
-			Radio:     rc,
-			Scheme:    network.Ripple,
-			Flows:     []network.FlowSpec{{ID: 1, Path: path, Kind: network.FTP}},
-		}
-		cfg.Normalize()
-		cfg.RippleOpts.MaxAgg = agg
-		res, err := runAvg(cfg, opt)
-		if err != nil {
-			return nil, fmt.Errorf("ablation-agg %d: %w", agg, err)
-		}
-		tab.Rows = append(tab.Rows, Row{
-			Label: fmt.Sprintf("agg=%d", agg),
-			Cells: []float64{res.Flows[0].ThroughputMbps},
-		})
-	}
-	return tab, nil
+	return tableGrid{
+		ID:    "ablation-agg",
+		Title: "RIPPLE aggregation limit sweep, 1 TCP flow on ROUTE0",
+		Unit:  "Mbps",
+		Rows:  rows,
+		Cols:  []string{"R"},
+		Config: func(r, _ int) (network.Config, error) {
+			cfg := network.Config{
+				Positions: top.Positions,
+				Radio:     rc,
+				Scheme:    network.Ripple,
+				Flows:     []network.FlowSpec{{ID: 1, Path: path, Kind: network.FTP}},
+			}
+			cfg.Normalize()
+			cfg.RippleOpts.MaxAgg = aggs[r]
+			return cfg, nil
+		},
+		Metric: flow0Mbps,
+	}.run(opt)
+}
+
+// flow0Mbps is the ablations' common metric: the first flow's throughput.
+func flow0Mbps(_, _ int, res *network.Result) float64 {
+	return res.Flows[0].ThroughputMbps
 }
 
 // AblationForwarders sweeps the maximum forwarder count 1-7 on a 7-hop line
@@ -58,113 +62,93 @@ func AblationAggLimit(opt Options) (*Table, error) {
 // shorten the relay list but skip coverage; the line topology punishes
 // aggressive pruning because the pruned hops exceed decode range.
 func AblationForwarders(opt Options) (*Table, error) {
-	opt = opt.normalize()
 	rc := radio.DefaultConfig()
 	rc.BitErrorRate = 1e-6
 	top, path := topology.Line(7)
-	tab := &Table{
-		ID:      "ablation-fwd",
-		Title:   "RIPPLE max-forwarders sweep, 7-hop line",
-		Unit:    "Mbps",
-		Columns: []string{"R"},
+	rows := make([]string, 7)
+	for i := range rows {
+		rows[i] = fmt.Sprintf("maxfwd=%d", i+1)
 	}
-	for maxFwd := 1; maxFwd <= 7; maxFwd++ {
-		cfg := network.Config{
-			Positions:     top.Positions,
-			Radio:         rc,
-			Scheme:        network.Ripple,
-			MaxForwarders: maxFwd,
-			Flows:         []network.FlowSpec{{ID: 1, Path: path, Kind: network.FTP}},
-		}
-		res, err := runAvg(cfg, opt)
-		if err != nil {
-			return nil, fmt.Errorf("ablation-fwd %d: %w", maxFwd, err)
-		}
-		tab.Rows = append(tab.Rows, Row{
-			Label: fmt.Sprintf("maxfwd=%d", maxFwd),
-			Cells: []float64{res.Flows[0].ThroughputMbps},
-		})
-	}
-	return tab, nil
+	return tableGrid{
+		ID:    "ablation-fwd",
+		Title: "RIPPLE max-forwarders sweep, 7-hop line",
+		Unit:  "Mbps",
+		Rows:  rows,
+		Cols:  []string{"R"},
+		Config: func(r, _ int) (network.Config, error) {
+			return network.Config{
+				Positions:     top.Positions,
+				Radio:         rc,
+				Scheme:        network.Ripple,
+				MaxForwarders: r + 1,
+				Flows:         []network.FlowSpec{{ID: 1, Path: path, Kind: network.FTP}},
+			}, nil
+		},
+		Metric: flow0Mbps,
+	}.run(opt)
 }
 
 // AblationRq toggles the resequencing queue (Remark 6) under the noisy
 // channel, where partial frame corruption reorders without it.
 func AblationRq(opt Options) (*Table, error) {
-	opt = opt.normalize()
 	top := topology.Fig1()
 	rc := radio.DefaultConfig()
 	rc.BitErrorRate = 1e-5
 	path := routing.Route0().Flow1
-	tab := &Table{
-		ID:      "ablation-rq",
-		Title:   "RIPPLE receive queue (Rq) on/off, noisy channel (BER 1e-5)",
-		Columns: []string{"Mbps", "reorder %"},
-	}
-	for _, enabled := range []bool{true, false} {
-		cfg := network.Config{
-			Positions: top.Positions,
-			Radio:     rc,
-			Scheme:    network.Ripple,
-			Flows:     []network.FlowSpec{{ID: 1, Path: path, Kind: network.FTP}},
-		}
-		cfg.Normalize()
-		cfg.RippleOpts.RqEnabled = enabled
-		res, err := runAvg(cfg, opt)
-		if err != nil {
-			return nil, fmt.Errorf("ablation-rq %v: %w", enabled, err)
-		}
-		label := "Rq on"
-		if !enabled {
-			label = "Rq off"
-		}
-		tab.Rows = append(tab.Rows, Row{
-			Label: label,
-			Cells: []float64{res.Flows[0].ThroughputMbps, 100 * res.Flows[0].ReorderRate},
-		})
-	}
-	return tab, nil
+	return tableGrid{
+		ID:     "ablation-rq",
+		Title:  "RIPPLE receive queue (Rq) on/off, noisy channel (BER 1e-5)",
+		Rows:   []string{"Rq on", "Rq off"},
+		Cols:   []string{"Mbps", "reorder %"},
+		PerRow: true,
+		Config: func(r, _ int) (network.Config, error) {
+			cfg := network.Config{
+				Positions: top.Positions,
+				Radio:     rc,
+				Scheme:    network.Ripple,
+				Flows:     []network.FlowSpec{{ID: 1, Path: path, Kind: network.FTP}},
+			}
+			cfg.Normalize()
+			cfg.RippleOpts.RqEnabled = r == 0
+			return cfg, nil
+		},
+		Metric: func(_, c int, res *network.Result) float64 {
+			if c == 0 {
+				return res.Flows[0].ThroughputMbps
+			}
+			return 100 * res.Flows[0].ReorderRate
+		},
+	}.run(opt)
 }
 
 // AblationTwoWay disables aggregation at the flow's destination so TCP ACKs
 // travel one per frame — isolating the paper's "two-way" part of the
 // aggregation design (§III-A2).
 func AblationTwoWay(opt Options) (*Table, error) {
-	opt = opt.normalize()
 	top := topology.Fig1()
 	rc := radio.DefaultConfig()
 	rc.BitErrorRate = 1e-6
 	path := routing.Route0().Flow1
-	tab := &Table{
-		ID:      "ablation-twoway",
-		Title:   "RIPPLE two-way vs one-way aggregation, 1 TCP flow on ROUTE0",
-		Unit:    "Mbps",
-		Columns: []string{"R"},
-	}
-	for _, twoWay := range []bool{true, false} {
-		cfg := network.Config{
-			Positions: top.Positions,
-			Radio:     rc,
-			Scheme:    network.Ripple,
-			Flows:     []network.FlowSpec{{ID: 1, Path: path, Kind: network.FTP}},
-		}
-		if !twoWay {
-			cfg.NodeMaxAgg = map[pkt.NodeID]int{path.Dst(): 1}
-		}
-		res, err := runAvg(cfg, opt)
-		if err != nil {
-			return nil, fmt.Errorf("ablation-twoway %v: %w", twoWay, err)
-		}
-		label := "two-way"
-		if !twoWay {
-			label = "one-way"
-		}
-		tab.Rows = append(tab.Rows, Row{
-			Label: label,
-			Cells: []float64{res.Flows[0].ThroughputMbps},
-		})
-	}
-	return tab, nil
+	return tableGrid{
+		ID:    "ablation-twoway",
+		Title: "RIPPLE two-way vs one-way aggregation, 1 TCP flow on ROUTE0",
+		Unit:  "Mbps",
+		Rows:  []string{"two-way", "one-way"},
+		Cols:  []string{"R"},
+		Config: func(r, _ int) (network.Config, error) {
+			cfg := network.Config{
+				Positions: top.Positions,
+				Radio:     rc,
+				Scheme:    network.Ripple,
+				Flows:     []network.FlowSpec{{ID: 1, Path: path, Kind: network.FTP}},
+			}
+			if r == 1 {
+				cfg.NodeMaxAgg = map[pkt.NodeID]int{path.Dst(): 1}
+			}
+			return cfg, nil
+		},
+		Metric: flow0Mbps,
+	}.run(opt)
 }
 
 // AblationRelayDefer compares the strict reading of the relay rule (any
@@ -172,19 +156,21 @@ func AblationTwoWay(opt Options) (*Table, error) {
 // interpretation this implementation defaults to, under hidden interferers
 // (see DESIGN.md on the ambiguity in §III-A).
 func AblationRelayDefer(opt Options) (*Table, error) {
-	opt = opt.normalize()
 	rc := topology.HiddenRadio()
 	rc.BitErrorRate = 1e-6
-	tab := &Table{
-		ID:      "ablation-defer",
-		Title:   "RIPPLE relay deferral vs strict idle rule, hidden interferers",
-		Unit:    "Mbps (flow 1)",
-		Columns: []string{"defer", "strict"},
+	counts := []int{0, 2, 4}
+	rows := make([]string, len(counts))
+	for i, n := range counts {
+		rows[i] = fmt.Sprintf("%d hidden", n)
 	}
-	for _, n := range []int{0, 2, 4} {
-		top, main, hidden := topology.Hidden(n)
-		row := Row{Label: fmt.Sprintf("%d hidden", n)}
-		for _, defer_ := range []bool{true, false} {
+	return tableGrid{
+		ID:    "ablation-defer",
+		Title: "RIPPLE relay deferral vs strict idle rule, hidden interferers",
+		Unit:  "Mbps (flow 1)",
+		Rows:  rows,
+		Cols:  []string{"defer", "strict"},
+		Config: func(r, c int) (network.Config, error) {
+			top, main, hidden := topology.Hidden(counts[r])
 			flows := []network.FlowSpec{{ID: 1, Path: main, Kind: network.FTP}}
 			for i, p := range hidden {
 				flows = append(flows, network.FlowSpec{
@@ -199,54 +185,38 @@ func AblationRelayDefer(opt Options) (*Table, error) {
 				Flows:     flows,
 			}
 			cfg.Normalize()
-			cfg.RippleOpts.RelayDefer = defer_
-			res, err := runAvg(cfg, opt)
-			if err != nil {
-				return nil, fmt.Errorf("ablation-defer: %w", err)
-			}
-			row.Cells = append(row.Cells, res.Flows[0].ThroughputMbps)
-		}
-		tab.Rows = append(tab.Rows, row)
-	}
-	return tab, nil
+			cfg.RippleOpts.RelayDefer = c == 0
+			return cfg, nil
+		},
+		Metric: flow0Mbps,
+	}.run(opt)
 }
 
 // AblationMultiRate exercises the §V future-work extension: a 6 Mbps base
 // configuration over clean 100 m hops where the oracle can upshift.
 func AblationMultiRate(opt Options) (*Table, error) {
-	opt = opt.normalize()
 	rc := radio.DefaultConfig()
 	rc.BitErrorRate = 1e-6
 	top, path := topology.Line(3)
-	tab := &Table{
-		ID:      "ablation-multirate",
-		Title:   "Multi-rate PHY extension, 3-hop line, 6 Mbps base",
-		Unit:    "Mbps",
-		Columns: []string{"DCF", "RIPPLE"},
-	}
-	for _, multi := range []bool{false, true} {
-		row := Row{Label: "fixed 6 Mbps"}
-		if multi {
-			row.Label = "multi-rate"
-		}
-		for _, kind := range []network.SchemeKind{network.DCF, network.Ripple} {
-			cfg := network.Config{
+	kinds := []network.SchemeKind{network.DCF, network.Ripple}
+	return tableGrid{
+		ID:    "ablation-multirate",
+		Title: "Multi-rate PHY extension, 3-hop line, 6 Mbps base",
+		Unit:  "Mbps",
+		Rows:  []string{"fixed 6 Mbps", "multi-rate"},
+		Cols:  []string{"DCF", "RIPPLE"},
+		Config: func(r, c int) (network.Config, error) {
+			return network.Config{
 				Positions: top.Positions,
 				Radio:     rc,
 				Phy:       phys.LowRate(),
-				Scheme:    kind,
+				Scheme:    kinds[c],
 				Flows:     []network.FlowSpec{{ID: 1, Path: path, Kind: network.FTP}},
-				MultiRate: network.MultiRateSpec{Enabled: multi},
-			}
-			res, err := runAvg(cfg, opt)
-			if err != nil {
-				return nil, fmt.Errorf("ablation-multirate: %w", err)
-			}
-			row.Cells = append(row.Cells, res.Flows[0].ThroughputMbps)
-		}
-		tab.Rows = append(tab.Rows, row)
-	}
-	return tab, nil
+				MultiRate: network.MultiRateSpec{Enabled: r == 1},
+			}, nil
+		},
+		Metric: flow0Mbps,
+	}.run(opt)
 }
 
 // AblationRTS compares plain DCF, DCF with RTS/CTS, and RIPPLE under the
@@ -254,22 +224,25 @@ func AblationMultiRate(opt Options) (*Table, error) {
 // terminals; the comparison shows how much of the problem it recovers
 // relative to RIPPLE's opportunistic forwarding.
 func AblationRTS(opt Options) (*Table, error) {
-	opt = opt.normalize()
 	rc := topology.HiddenRadio()
 	rc.BitErrorRate = 1e-6
-	tab := &Table{
-		ID:      "ablation-rts",
-		Title:   "DCF vs DCF+RTS/CTS vs RIPPLE under hidden interferers",
-		Unit:    "Mbps (flow 1)",
-		Columns: []string{"DCF", "DCF+RTS", "RIPPLE"},
+	counts := []int{0, 3, 6, 9}
+	rows := make([]string, len(counts))
+	for i, n := range counts {
+		rows[i] = fmt.Sprintf("%d hidden", n)
 	}
-	for _, n := range []int{0, 3, 6, 9} {
-		top, main, hidden := topology.Hidden(n)
-		row := Row{Label: fmt.Sprintf("%d hidden", n)}
-		for _, variant := range []struct {
-			kind network.SchemeKind
-			rts  int
-		}{{network.DCF, 0}, {network.DCF, 1}, {network.Ripple, 0}} {
+	variants := []struct {
+		kind network.SchemeKind
+		rts  int
+	}{{network.DCF, 0}, {network.DCF, 1}, {network.Ripple, 0}}
+	return tableGrid{
+		ID:    "ablation-rts",
+		Title: "DCF vs DCF+RTS/CTS vs RIPPLE under hidden interferers",
+		Unit:  "Mbps (flow 1)",
+		Rows:  rows,
+		Cols:  []string{"DCF", "DCF+RTS", "RIPPLE"},
+		Config: func(r, c int) (network.Config, error) {
+			top, main, hidden := topology.Hidden(counts[r])
 			flows := []network.FlowSpec{{ID: 1, Path: main, Kind: network.FTP}}
 			for i, p := range hidden {
 				flows = append(flows, network.FlowSpec{
@@ -277,22 +250,16 @@ func AblationRTS(opt Options) (*Table, error) {
 					Start: 50 * sim.Millisecond,
 				})
 			}
-			cfg := network.Config{
+			return network.Config{
 				Positions:    top.Positions,
 				Radio:        rc,
-				Scheme:       variant.kind,
-				RTSThreshold: variant.rts,
+				Scheme:       variants[c].kind,
+				RTSThreshold: variants[c].rts,
 				Flows:        flows,
-			}
-			res, err := runAvg(cfg, opt)
-			if err != nil {
-				return nil, fmt.Errorf("ablation-rts: %w", err)
-			}
-			row.Cells = append(row.Cells, res.Flows[0].ThroughputMbps)
-		}
-		tab.Rows = append(tab.Rows, row)
-	}
-	return tab, nil
+			}, nil
+		},
+		Metric: flow0Mbps,
+	}.run(opt)
 }
 
 // Ablations returns every ablation in DESIGN.md §5 order.

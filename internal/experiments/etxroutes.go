@@ -16,7 +16,6 @@ import (
 // selection is orthogonal to RIPPLE; ExOR/MORE use ETX). Both DCF and
 // RIPPLE run all three flows.
 func AblationETXRoutes(opt Options) (*Table, error) {
-	opt = opt.normalize()
 	top := topology.Fig1()
 	rc := radio.DefaultConfig()
 	rc.BitErrorRate = 1e-6
@@ -35,41 +34,29 @@ func AblationETXRoutes(opt Options) (*Table, error) {
 		etxPaths = append(etxPaths, p)
 	}
 
-	out := &Table{
-		ID:      "ablation-etx",
-		Title:   "Table II fixed routes vs ETX-discovered routes, 3 TCP flows",
-		Unit:    "Mbps total",
-		Columns: []string{"DCF", "RIPPLE"},
-	}
-	for _, variant := range []struct {
-		label string
-		paths []routing.Path
-	}{
-		{"ROUTE0 (fixed)", routing.Route0().Flows()},
-		{"ETX-discovered", etxPaths},
-	} {
-		row := Row{Label: variant.label}
-		for _, kind := range []network.SchemeKind{network.DCF, network.Ripple} {
+	routeSets := [][]routing.Path{routing.Route0().Flows(), etxPaths}
+	kinds := []network.SchemeKind{network.DCF, network.Ripple}
+	return tableGrid{
+		ID:    "ablation-etx",
+		Title: "Table II fixed routes vs ETX-discovered routes, 3 TCP flows",
+		Unit:  "Mbps total",
+		Rows:  []string{"ROUTE0 (fixed)", "ETX-discovered"},
+		Cols:  []string{"DCF", "RIPPLE"},
+		Config: func(r, c int) (network.Config, error) {
 			flows := make([]network.FlowSpec, 0, 3)
-			for i, p := range variant.paths {
+			for i, p := range routeSets[r] {
 				flows = append(flows, network.FlowSpec{
 					ID: i + 1, Path: p, Kind: network.FTP,
 					Start: sim.Time(i) * 100 * sim.Millisecond,
 				})
 			}
-			cfg := network.Config{
+			return network.Config{
 				Positions: top.Positions,
 				Radio:     rc,
-				Scheme:    kind,
+				Scheme:    kinds[c],
 				Flows:     flows,
-			}
-			res, err := runAvg(cfg, opt)
-			if err != nil {
-				return nil, fmt.Errorf("ablation-etx %s: %w", variant.label, err)
-			}
-			row.Cells = append(row.Cells, totalTCP(res))
-		}
-		out.Rows = append(out.Rows, row)
-	}
-	return out, nil
+			}, nil
+		},
+		Metric: func(_, _ int, res *network.Result) float64 { return totalTCP(res) },
+	}.run(opt)
 }

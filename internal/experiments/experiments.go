@@ -1,14 +1,15 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (§II motivation numbers, Figs. 3-8 and 10/12, Tables I-III).
-// Each experiment builds network.Config scenarios, runs them over several
-// seeds (concurrently), and returns a formatted Table whose rows mirror
-// what the paper plots.
+// Each experiment is a declarative campaign grid (rows × columns × seeds)
+// whose runs execute on the shared bounded worker pool; cells report the
+// seed mean and, with multiple seeds, a 95% confidence half-width.
 package experiments
 
 import (
 	"fmt"
 	"strings"
 
+	"ripple/internal/campaign/pool"
 	"ripple/internal/network"
 	"ripple/internal/sim"
 )
@@ -19,6 +20,11 @@ type Options struct {
 	Seeds []uint64
 	// Duration of each run (Table I: 10 s).
 	Duration sim.Time
+	// Pool schedules the grid's runs (nil = the shared GOMAXPROCS pool).
+	Pool *pool.Pool
+	// Progress, when non-nil, is called after each completed run of an
+	// experiment's grid with (done, total). Calls are serialized.
+	Progress func(done, total int)
 }
 
 // Defaults returns the paper's settings: 10-second runs over three seeds.
@@ -54,10 +60,25 @@ type Table struct {
 type Row struct {
 	Label string
 	Cells []float64
+	// CIs holds the per-cell 95% confidence half-widths (same indexing as
+	// Cells); nil when the table was produced from a single seed.
+	CIs []float64
 }
 
-// Format renders the table as aligned text.
+// Format renders the table as aligned text. Cells of multi-seed tables
+// print as "mean ±ci95".
 func (t *Table) Format() string {
+	hasCI := false
+	for _, r := range t.Rows {
+		if len(r.CIs) > 0 {
+			hasCI = true
+			break
+		}
+	}
+	width := 12
+	if hasCI {
+		width = 18
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s — %s", t.ID, t.Title)
 	if t.Unit != "" {
@@ -66,13 +87,17 @@ func (t *Table) Format() string {
 	b.WriteByte('\n')
 	fmt.Fprintf(&b, "%-16s", "")
 	for _, c := range t.Columns {
-		fmt.Fprintf(&b, "%12s", c)
+		fmt.Fprintf(&b, "%*s", width, c)
 	}
 	b.WriteByte('\n')
 	for _, r := range t.Rows {
 		fmt.Fprintf(&b, "%-16s", r.Label)
-		for _, v := range r.Cells {
-			fmt.Fprintf(&b, "%12.2f", v)
+		for i, v := range r.Cells {
+			if i < len(r.CIs) {
+				fmt.Fprintf(&b, "%*s", width, fmt.Sprintf("%.2f ±%.2f", v, r.CIs[i]))
+			} else {
+				fmt.Fprintf(&b, "%*.2f", width, v)
+			}
 		}
 		b.WriteByte('\n')
 	}
@@ -110,14 +135,6 @@ func (t *Table) Cell(rowLabel, column string) (float64, bool) {
 		}
 	}
 	return 0, false
-}
-
-// runAvg executes a scenario over the option seeds and returns the
-// seed-averaged result.
-func runAvg(cfg network.Config, opt Options) (*network.Result, error) {
-	cfg.Duration = opt.Duration
-	_, avg, err := network.RunSeeds(cfg, opt.Seeds)
-	return avg, err
 }
 
 // totalTCP sums throughput over all TCP flows in a result.

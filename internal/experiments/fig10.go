@@ -1,21 +1,23 @@
 package experiments
 
 import (
-	"fmt"
-
 	"ripple/internal/network"
 	"ripple/internal/phys"
 	"ripple/internal/sim"
 	"ripple/internal/topology"
 )
 
-// Fig10 regenerates Fig. 10: per-flow TCP throughput for eight station
-// pairs of the Wigle topology, at 6 and 216 Mbps PHY rates, with and
-// without the hidden S→R TCP flow. Each station pair runs on its own, as in
-// the paper's per-flow bars.
+// Fig10 regenerates Fig. 10 as four (station pair × scheme) grids:
+// per-flow TCP throughput for eight station pairs of the Wigle topology,
+// at 6 and 216 Mbps PHY rates, with and without the hidden S→R TCP flow.
+// Each station pair runs on its own, as in the paper's per-flow bars.
 func Fig10(opt Options) ([]*Table, error) {
-	opt = opt.normalize()
 	top, flows, hiddenPath := topology.Wigle()
+	cols := loadColumns()
+	rows := make([]string, len(flows))
+	for i, p := range flows {
+		rows[i] = topology.WigleFlowLabel(p)
+	}
 
 	variant := func(id string, lowRate, hidden bool) (*Table, error) {
 		title := "Wigle topology per-flow TCP throughput, "
@@ -27,16 +29,14 @@ func Fig10(opt Options) ([]*Table, error) {
 		if hidden {
 			title += ", with hidden terminals"
 		}
-		tab := &Table{ID: id, Title: title, Unit: "Mbps"}
-		for _, c := range loadColumns() {
-			tab.Columns = append(tab.Columns, c.label)
-		}
 		rc := topology.HiddenRadio()
 		rc.BitErrorRate = 1e-6
-		for _, p := range flows {
-			row := Row{Label: topology.WigleFlowLabel(p)}
-			for _, c := range loadColumns() {
-				specs := []network.FlowSpec{{ID: 1, Path: p, Kind: network.FTP}}
+		return tableGrid{
+			ID: id, Title: title, Unit: "Mbps",
+			Rows: rows,
+			Cols: columnLabels(cols),
+			Config: func(r, c int) (network.Config, error) {
+				specs := []network.FlowSpec{{ID: 1, Path: flows[r], Kind: network.FTP}}
 				if hidden {
 					specs = append(specs, network.FlowSpec{
 						ID: 2, Path: hiddenPath, Kind: network.FTP,
@@ -46,21 +46,18 @@ func Fig10(opt Options) ([]*Table, error) {
 				cfg := network.Config{
 					Positions: top.Positions,
 					Radio:     rc,
-					Scheme:    c.kind,
+					Scheme:    cols[c].kind,
 					Flows:     specs,
 				}
 				if lowRate {
 					cfg.Phy = phys.LowRate()
 				}
-				res, err := runAvg(cfg, opt)
-				if err != nil {
-					return nil, fmt.Errorf("%s %s %s: %w", id, c.label, row.Label, err)
-				}
-				row.Cells = append(row.Cells, res.Flows[0].ThroughputMbps)
-			}
-			tab.Rows = append(tab.Rows, row)
-		}
-		return tab, nil
+				return cfg, nil
+			},
+			Metric: func(_, _ int, res *network.Result) float64 {
+				return res.Flows[0].ThroughputMbps
+			},
+		}.run(opt)
 	}
 
 	var out []*Table

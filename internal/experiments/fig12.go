@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-
 	"ripple/internal/network"
 	"ripple/internal/phys"
 	"ripple/internal/pkt"
@@ -12,12 +10,11 @@ import (
 	"ripple/internal/topology"
 )
 
-// Fig12 regenerates Fig. 12: per-flow TCP throughput for ETX-selected 3-5
-// hop station pairs of the Roofnet topology, at 6 and 216 Mbps, with and
-// without a hidden-terminal pair near the mesh. Flows run one at a time as
-// in Fig. 10.
+// Fig12 regenerates Fig. 12 as four (station pair × scheme) grids:
+// per-flow TCP throughput for ETX-selected 3-5 hop station pairs of the
+// Roofnet topology, at 6 and 216 Mbps, with and without a hidden-terminal
+// pair near the mesh. Flows run one at a time as in Fig. 10.
 func Fig12(opt Options) ([]*Table, error) {
-	opt = opt.normalize()
 	rc := topology.HiddenRadio()
 	rc.BitErrorRate = 1e-6
 
@@ -30,6 +27,11 @@ func Fig12(opt Options) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	rows := make([]string, len(flows))
+	for i, f := range flows {
+		rows[i] = f.Label
+	}
+	cols := loadColumns()
 
 	// The hidden pair is appended to a copy of the topology.
 	withHidden := topology.Roofnet()
@@ -45,18 +47,16 @@ func Fig12(opt Options) ([]*Table, error) {
 		if hidden {
 			title += ", with hidden terminals"
 		}
-		tab := &Table{ID: id, Title: title, Unit: "Mbps"}
-		for _, c := range loadColumns() {
-			tab.Columns = append(tab.Columns, c.label)
-		}
 		top := base
 		if hidden {
 			top = withHidden
 		}
-		for _, f := range flows {
-			row := Row{Label: f.Label}
-			for _, c := range loadColumns() {
-				specs := []network.FlowSpec{{ID: 1, Path: f.Path, Kind: network.FTP}}
+		return tableGrid{
+			ID: id, Title: title, Unit: "Mbps",
+			Rows: rows,
+			Cols: columnLabels(cols),
+			Config: func(r, c int) (network.Config, error) {
+				specs := []network.FlowSpec{{ID: 1, Path: flows[r].Path, Kind: network.FTP}}
 				if hidden {
 					specs = append(specs, network.FlowSpec{
 						ID: 2, Path: hiddenPath, Kind: network.FTP,
@@ -66,7 +66,7 @@ func Fig12(opt Options) ([]*Table, error) {
 				cfg := network.Config{
 					Positions: top.Positions,
 					Radio:     rc,
-					Scheme:    c.kind,
+					Scheme:    cols[c].kind,
 					Flows:     specs,
 					// Fig. 12 paths reach 5 hops; allow the §IV-C cap.
 					MaxForwarders: 7,
@@ -74,15 +74,12 @@ func Fig12(opt Options) ([]*Table, error) {
 				if lowRate {
 					cfg.Phy = phys.LowRate()
 				}
-				res, err := runAvg(cfg, opt)
-				if err != nil {
-					return nil, fmt.Errorf("%s %s %s: %w", id, c.label, f.Label, err)
-				}
-				row.Cells = append(row.Cells, res.Flows[0].ThroughputMbps)
-			}
-			tab.Rows = append(tab.Rows, row)
-		}
-		return tab, nil
+				return cfg, nil
+			},
+			Metric: func(_, _ int, res *network.Result) float64 {
+				return res.Flows[0].ThroughputMbps
+			},
+		}.run(opt)
 	}
 
 	var out []*Table

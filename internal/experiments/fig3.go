@@ -29,6 +29,15 @@ func figColumns() []schemeColumn {
 	}
 }
 
+// columnLabels projects scheme columns onto a grid's column axis.
+func columnLabels(cols []schemeColumn) []string {
+	labels := make([]string, len(cols))
+	for i, c := range cols {
+		labels[i] = c.label
+	}
+	return labels
+}
+
 // fig1Flows builds the FTP flow specs for the first n flows of the Fig. 1
 // topology under the given route set; direct selects SPR source→destination
 // paths instead of the predetermined routes.
@@ -49,40 +58,30 @@ func fig1Flows(rs routing.RouteSet, n int, direct bool, stagger sim.Time) []netw
 	return flows
 }
 
-// fig34 generates one subfigure of Fig. 3 (BER 1e-6) or Fig. 4 (BER 1e-5):
-// total long-lived TCP throughput on the Fig. 1 topology for 1, 2 and 3
-// concurrent flows under every scheme.
+// fig34 declares one subfigure of Fig. 3 (BER 1e-6) or Fig. 4 (BER 1e-5) as
+// a (flow count × scheme) grid: total long-lived TCP throughput on the
+// Fig. 1 topology for 1, 2 and 3 concurrent flows under every scheme.
 func fig34(id string, rs routing.RouteSet, ber float64, opt Options) (*Table, error) {
-	opt = opt.normalize()
 	top := topology.Fig1()
 	rc := radio.DefaultConfig()
 	rc.BitErrorRate = ber
-	tab := &Table{
+	cols := figColumns()
+	return tableGrid{
 		ID:    id,
 		Title: fmt.Sprintf("Long-lived TCP on Fig.1 topology, %s, BER %.0e", rs.Name, ber),
 		Unit:  "Mbps total",
-	}
-	for _, c := range figColumns() {
-		tab.Columns = append(tab.Columns, c.label)
-	}
-	for n := 1; n <= 3; n++ {
-		row := Row{Label: fmt.Sprintf("%d flow(s)", n)}
-		for _, c := range figColumns() {
-			cfg := network.Config{
+		Rows:  []string{"1 flow(s)", "2 flow(s)", "3 flow(s)"},
+		Cols:  columnLabels(cols),
+		Config: func(r, c int) (network.Config, error) {
+			return network.Config{
 				Positions: top.Positions,
 				Radio:     rc,
-				Scheme:    c.kind,
-				Flows:     fig1Flows(rs, n, c.direct, 100*sim.Millisecond),
-			}
-			res, err := runAvg(cfg, opt)
-			if err != nil {
-				return nil, fmt.Errorf("%s %s n=%d: %w", id, c.label, n, err)
-			}
-			row.Cells = append(row.Cells, totalTCP(res))
-		}
-		tab.Rows = append(tab.Rows, row)
-	}
-	return tab, nil
+				Scheme:    cols[c].kind,
+				Flows:     fig1Flows(rs, r+1, cols[c].direct, 100*sim.Millisecond),
+			}, nil
+		},
+		Metric: func(_, _ int, res *network.Result) float64 { return totalTCP(res) },
+	}.run(opt)
 }
 
 // Fig3 regenerates Fig. 3(a-c): BER 1e-6 over ROUTE0/1/2.

@@ -18,25 +18,27 @@ func loadColumns() []schemeColumn {
 	}
 }
 
-// Fig6a regenerates Fig. 6(a): total throughput versus the number of
-// parallel 3-hop TCP flows when every station is within carrier-sense range
-// (regular collisions only). BER 1e-6.
+// Fig6a regenerates Fig. 6(a) as a (flow count × scheme) grid: total
+// throughput versus the number of parallel 3-hop TCP flows when every
+// station is within carrier-sense range (regular collisions only). BER 1e-6.
 func Fig6a(opt Options) (*Table, error) {
-	opt = opt.normalize()
 	rc := radio.DefaultConfig()
 	rc.BitErrorRate = 1e-6
-	tab := &Table{
+	cols := loadColumns()
+	counts := []int{1, 2, 4, 6, 8, 10}
+	rows := make([]string, len(counts))
+	for i, n := range counts {
+		rows[i] = fmt.Sprintf("%d flows", n)
+	}
+	return tableGrid{
 		ID:    "fig6a",
 		Title: "Regular collisions: total TCP throughput vs number of flows",
 		Unit:  "Mbps total",
-	}
-	for _, c := range loadColumns() {
-		tab.Columns = append(tab.Columns, c.label)
-	}
-	for _, n := range []int{1, 2, 4, 6, 8, 10} {
-		top, paths := topology.Regular(n)
-		row := Row{Label: fmt.Sprintf("%d flows", n)}
-		for _, c := range loadColumns() {
+		Rows:  rows,
+		Cols:  columnLabels(cols),
+		Config: func(r, c int) (network.Config, error) {
+			n := counts[r]
+			top, paths := topology.Regular(n)
 			flows := make([]network.FlowSpec, 0, n)
 			for i, p := range paths {
 				flows = append(flows, network.FlowSpec{
@@ -44,42 +46,37 @@ func Fig6a(opt Options) (*Table, error) {
 					Start: sim.Time(i) * 50 * sim.Millisecond,
 				})
 			}
-			cfg := network.Config{
+			return network.Config{
 				Positions: top.Positions,
 				Radio:     rc,
-				Scheme:    c.kind,
+				Scheme:    cols[c].kind,
 				Flows:     flows,
-			}
-			res, err := runAvg(cfg, opt)
-			if err != nil {
-				return nil, fmt.Errorf("fig6a %s n=%d: %w", c.label, n, err)
-			}
-			row.Cells = append(row.Cells, totalTCP(res))
-		}
-		tab.Rows = append(tab.Rows, row)
-	}
-	return tab, nil
+			}, nil
+		},
+		Metric: func(_, _ int, res *network.Result) float64 { return totalTCP(res) },
+	}.run(opt)
 }
 
-// Fig6b regenerates Fig. 6(b): flow 1's throughput as 0-9 hidden saturated
-// flows are added whose sources cannot be carrier-sensed by flow 1's source
-// but do interfere at its forwarders and destination. BER 1e-6.
+// Fig6b regenerates Fig. 6(b) as a (hidden count × scheme) grid: flow 1's
+// throughput as 0-9 hidden saturated flows are added whose sources cannot
+// be carrier-sensed by flow 1's source but do interfere at its forwarders
+// and destination. BER 1e-6.
 func Fig6b(opt Options) (*Table, error) {
-	opt = opt.normalize()
 	rc := topology.HiddenRadio()
 	rc.BitErrorRate = 1e-6
-	tab := &Table{
+	cols := loadColumns()
+	rows := make([]string, 10)
+	for n := range rows {
+		rows[n] = fmt.Sprintf("%d hidden", n)
+	}
+	return tableGrid{
 		ID:    "fig6b",
 		Title: "Hidden collisions: flow-1 TCP throughput vs number of hidden flows",
 		Unit:  "Mbps",
-	}
-	for _, c := range loadColumns() {
-		tab.Columns = append(tab.Columns, c.label)
-	}
-	for n := 0; n <= 9; n++ {
-		top, main, hidden := topology.Hidden(n)
-		row := Row{Label: fmt.Sprintf("%d hidden", n)}
-		for _, c := range loadColumns() {
+		Rows:  rows,
+		Cols:  columnLabels(cols),
+		Config: func(r, c int) (network.Config, error) {
+			top, main, hidden := topology.Hidden(r)
 			flows := []network.FlowSpec{{ID: 1, Path: main, Kind: network.FTP}}
 			for i, p := range hidden {
 				flows = append(flows, network.FlowSpec{
@@ -87,19 +84,15 @@ func Fig6b(opt Options) (*Table, error) {
 					Start: 50 * sim.Millisecond,
 				})
 			}
-			cfg := network.Config{
+			return network.Config{
 				Positions: top.Positions,
 				Radio:     rc,
-				Scheme:    c.kind,
+				Scheme:    cols[c].kind,
 				Flows:     flows,
-			}
-			res, err := runAvg(cfg, opt)
-			if err != nil {
-				return nil, fmt.Errorf("fig6b %s n=%d: %w", c.label, n, err)
-			}
-			row.Cells = append(row.Cells, res.Flows[0].ThroughputMbps)
-		}
-		tab.Rows = append(tab.Rows, row)
-	}
-	return tab, nil
+			}, nil
+		},
+		Metric: func(_, _ int, res *network.Result) float64 {
+			return res.Flows[0].ThroughputMbps
+		},
+	}.run(opt)
 }

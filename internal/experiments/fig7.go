@@ -9,23 +9,27 @@ import (
 	"ripple/internal/topology"
 )
 
-// Fig7 regenerates Fig. 7: a single long-lived TCP flow over a line
-// topology of 2-7 hops, (a) alone and (b) with a 3-hop cross flow
-// intersecting the line at its middle station. Up to 7 hops means up to 6
-// forwarders, so the forwarder cap is raised to 7 as in §IV-C. BER 1e-6.
+// Fig7 regenerates Fig. 7 as two (hop count × scheme) grids: a single
+// long-lived TCP flow over a line topology of 2-7 hops, (a) alone and (b)
+// with a 3-hop cross flow intersecting the line at its middle station. Up
+// to 7 hops means up to 6 forwarders, so the forwarder cap is raised to 7
+// as in §IV-C. BER 1e-6.
 func Fig7(opt Options) ([]*Table, error) {
-	opt = opt.normalize()
 	rc := radio.DefaultConfig()
 	rc.BitErrorRate = 1e-6
+	cols := loadColumns()
+	rows := make([]string, 0, 6)
+	for hops := 2; hops <= 7; hops++ {
+		rows = append(rows, fmt.Sprintf("%d hops", hops))
+	}
 
 	mk := func(id, title string, withCross bool) (*Table, error) {
-		tab := &Table{ID: id, Title: title, Unit: "Mbps (main flow)"}
-		for _, c := range loadColumns() {
-			tab.Columns = append(tab.Columns, c.label)
-		}
-		for hops := 2; hops <= 7; hops++ {
-			row := Row{Label: fmt.Sprintf("%d hops", hops)}
-			for _, c := range loadColumns() {
+		return tableGrid{
+			ID: id, Title: title, Unit: "Mbps (main flow)",
+			Rows: rows,
+			Cols: columnLabels(cols),
+			Config: func(r, c int) (network.Config, error) {
+				hops := r + 2
 				var cfg network.Config
 				if withCross {
 					top, main, cross := topology.LineWithCross(hops)
@@ -44,17 +48,14 @@ func Fig7(opt Options) ([]*Table, error) {
 					}
 				}
 				cfg.Radio = rc
-				cfg.Scheme = c.kind
+				cfg.Scheme = cols[c].kind
 				cfg.MaxForwarders = 7
-				res, err := runAvg(cfg, opt)
-				if err != nil {
-					return nil, fmt.Errorf("%s %s hops=%d: %w", id, c.label, hops, err)
-				}
-				row.Cells = append(row.Cells, res.Flows[0].ThroughputMbps)
-			}
-			tab.Rows = append(tab.Rows, row)
-		}
-		return tab, nil
+				return cfg, nil
+			},
+			Metric: func(_, _ int, res *network.Result) float64 {
+				return res.Flows[0].ThroughputMbps
+			},
+		}.run(opt)
 	}
 
 	a, err := mk("fig7a", "Line topology 2-7 hops, no cross traffic", false)

@@ -31,37 +31,33 @@ func webFlows(nGroups int) []network.FlowSpec {
 	return flows
 }
 
-// Fig8 regenerates Fig. 8: total throughput of all active web flows on the
-// Fig. 1 topology under DCF, AFR and RIPPLE.
+// Fig8 regenerates Fig. 8 as a (flow group × scheme) grid: total
+// throughput of all active web flows on the Fig. 1 topology under DCF, AFR
+// and RIPPLE.
 func Fig8(opt Options) (*Table, error) {
-	opt = opt.normalize()
 	top := topology.Fig1()
 	rc := radio.DefaultConfig()
 	rc.BitErrorRate = 1e-6
-	tab := &Table{
+	cols := loadColumns()
+	groups := []int{1, 2, 3}
+	rows := make([]string, len(groups))
+	for i, g := range groups {
+		rows[i] = fmt.Sprintf("flows 1..%d", g*10)
+	}
+	return tableGrid{
 		ID:    "fig8",
 		Title: "Web traffic (Pareto 80KB transfers): total throughput of active flows",
 		Unit:  "Mbps total",
-	}
-	for _, c := range loadColumns() {
-		tab.Columns = append(tab.Columns, c.label)
-	}
-	for _, groups := range []int{1, 2, 3} {
-		row := Row{Label: fmt.Sprintf("flows 1..%d", groups*10)}
-		for _, c := range loadColumns() {
-			cfg := network.Config{
+		Rows:  rows,
+		Cols:  columnLabels(cols),
+		Config: func(r, c int) (network.Config, error) {
+			return network.Config{
 				Positions: top.Positions,
 				Radio:     rc,
-				Scheme:    c.kind,
-				Flows:     webFlows(groups),
-			}
-			res, err := runAvg(cfg, opt)
-			if err != nil {
-				return nil, fmt.Errorf("fig8 %s groups=%d: %w", c.label, groups, err)
-			}
-			row.Cells = append(row.Cells, totalTCP(res))
-		}
-		tab.Rows = append(tab.Rows, row)
-	}
-	return tab, nil
+				Scheme:    cols[c].kind,
+				Flows:     webFlows(groups[r]),
+			}, nil
+		},
+		Metric: func(_, _ int, res *network.Result) float64 { return totalTCP(res) },
+	}.run(opt)
 }

@@ -1,54 +1,47 @@
 package experiments
 
 import (
-	"fmt"
-
 	"ripple/internal/network"
 	"ripple/internal/radio"
 	"ripple/internal/routing"
 	"ripple/internal/topology"
 )
 
-// Motivation regenerates the §II numbers: a single long-lived TCP flow from
-// station 0 to station 3 on the Fig. 1 topology (BER 1e-6) under shortest
-// path routing, preExOR and MCExOR. The paper reports 6.7, 5.9 and
-// 5.85 Mbps with 26.58% / 27.9% reordered packets for the opportunistic
-// schemes — the motivation for RIPPLE's no-reordering design.
+// Motivation regenerates the §II numbers as a per-row grid (the columns
+// are metrics of the same run): a single long-lived TCP flow from station
+// 0 to station 3 on the Fig. 1 topology (BER 1e-6) under shortest path
+// routing, preExOR and MCExOR. The paper reports 6.7, 5.9 and 5.85 Mbps
+// with 26.58% / 27.9% reordered packets for the opportunistic schemes —
+// the motivation for RIPPLE's no-reordering design.
 func Motivation(opt Options) (*Table, error) {
-	opt = opt.normalize()
 	top := topology.Fig1()
 	rc := radio.DefaultConfig()
 	rc.BitErrorRate = 1e-6
 	path := routing.Route0().Flow1
-
-	schemes := []struct {
-		label string
-		kind  network.SchemeKind
-	}{
-		{"SPR", network.DCF},
-		{"preExOR", network.PreExOR},
-		{"MCExOR", network.MCExOR},
+	schemes := []schemeColumn{
+		{"SPR", network.DCF, false},
+		{"preExOR", network.PreExOR, false},
+		{"MCExOR", network.MCExOR, false},
 	}
-	tab := &Table{
-		ID:      "motivation",
-		Title:   "§II: single TCP flow 0→3, throughput and reordering",
-		Columns: []string{"Mbps", "reorder %"},
-	}
-	for _, s := range schemes {
-		cfg := network.Config{
-			Positions: top.Positions,
-			Radio:     rc,
-			Scheme:    s.kind,
-			Flows:     []network.FlowSpec{{ID: 1, Path: path, Kind: network.FTP}},
-		}
-		res, err := runAvg(cfg, opt)
-		if err != nil {
-			return nil, fmt.Errorf("motivation %s: %w", s.label, err)
-		}
-		tab.Rows = append(tab.Rows, Row{
-			Label: s.label,
-			Cells: []float64{res.Flows[0].ThroughputMbps, 100 * res.Flows[0].ReorderRate},
-		})
-	}
-	return tab, nil
+	return tableGrid{
+		ID:     "motivation",
+		Title:  "§II: single TCP flow 0→3, throughput and reordering",
+		Rows:   columnLabels(schemes),
+		Cols:   []string{"Mbps", "reorder %"},
+		PerRow: true,
+		Config: func(r, _ int) (network.Config, error) {
+			return network.Config{
+				Positions: top.Positions,
+				Radio:     rc,
+				Scheme:    schemes[r].kind,
+				Flows:     []network.FlowSpec{{ID: 1, Path: path, Kind: network.FTP}},
+			}, nil
+		},
+		Metric: func(_, c int, res *network.Result) float64 {
+			if c == 0 {
+				return res.Flows[0].ThroughputMbps
+			}
+			return 100 * res.Flows[0].ReorderRate
+		},
+	}.run(opt)
 }

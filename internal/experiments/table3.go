@@ -30,51 +30,47 @@ func voipFlows(nGroups int) []network.FlowSpec {
 	return flows
 }
 
-// Table3 regenerates Table III: mean VoIP MoS for 10/20/30 calls at BER
-// 1e-5 and 1e-6, with both PHY data and basic rates at 6 Mbps.
+// Table3 regenerates Table III as a (scheme × BER/call-count) grid: mean
+// VoIP MoS for 10/20/30 calls at BER 1e-5 and 1e-6, with both PHY data and
+// basic rates at 6 Mbps.
 func Table3(opt Options) (*Table, error) {
-	opt = opt.normalize()
 	top := topology.Fig1()
-	tab := &Table{
-		ID:    "table3",
-		Title: "VoIP MoS on Fig.1 topology, 6 Mbps PHY",
-		Unit:  "mean MoS (1-5)",
-	}
+	schemes := loadColumns()
 	type cell struct {
 		ber    float64
 		groups int
 	}
 	var cells []cell
+	var cols []string
 	for _, ber := range []float64{1e-5, 1e-6} {
 		for _, g := range []int{1, 2, 3} {
 			cells = append(cells, cell{ber, g})
-			tab.Columns = append(tab.Columns, fmt.Sprintf("%.0e/1..%d", ber, g*10))
+			cols = append(cols, fmt.Sprintf("%.0e/1..%d", ber, g*10))
 		}
 	}
-	for _, c := range loadColumns() {
-		row := Row{Label: c.label}
-		for _, cl := range cells {
+	return tableGrid{
+		ID:    "table3",
+		Title: "VoIP MoS on Fig.1 topology, 6 Mbps PHY",
+		Unit:  "mean MoS (1-5)",
+		Rows:  columnLabels(schemes),
+		Cols:  cols,
+		Config: func(r, c int) (network.Config, error) {
 			rc := radio.DefaultConfig()
-			rc.BitErrorRate = cl.ber
-			cfg := network.Config{
+			rc.BitErrorRate = cells[c].ber
+			return network.Config{
 				Positions: top.Positions,
 				Radio:     rc,
 				Phy:       phys.LowRate(),
-				Scheme:    c.kind,
-				Flows:     voipFlows(cl.groups),
-			}
-			res, err := runAvg(cfg, opt)
-			if err != nil {
-				return nil, fmt.Errorf("table3 %s ber=%.0e g=%d: %w", c.label, cl.ber, cl.groups, err)
-			}
+				Scheme:    schemes[r].kind,
+				Flows:     voipFlows(cells[c].groups),
+			}, nil
+		},
+		Metric: func(_, _ int, res *network.Result) float64 {
 			var mos float64
 			for _, f := range res.Flows {
 				mos += f.MoS
 			}
-			mos /= float64(len(res.Flows))
-			row.Cells = append(row.Cells, mos)
-		}
-		tab.Rows = append(tab.Rows, row)
-	}
-	return tab, nil
+			return mos / float64(len(res.Flows))
+		},
+	}.run(opt)
 }

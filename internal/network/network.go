@@ -171,7 +171,9 @@ type FlowResult struct {
 	LossRate       float64 // VoIP flows only
 }
 
-// Result is a completed run.
+// Result is a completed run. A Result produced by Average carries the
+// per-seed mean of every field (integer counters rounded to the nearest
+// integer); one produced by Run carries that single run's exact counts.
 type Result struct {
 	Flows     []FlowResult
 	TotalMbps float64

@@ -2,41 +2,49 @@ package network
 
 import (
 	"fmt"
-	"sync"
+	"math"
 
+	"ripple/internal/campaign/pool"
 	"ripple/internal/sim"
 )
 
-// RunSeeds executes the same scenario under several seeds concurrently (one
-// goroutine per seed; engines are independent) and returns the per-seed
-// results plus the seed-averaged summary, which is how the paper reports
-// every figure ("All results presented are averages over multiple runs").
+// RunSeeds executes the same scenario under several seeds and returns the
+// per-seed results plus the seed-averaged summary, which is how the paper
+// reports every figure ("All results presented are averages over multiple
+// runs"). Runs are scheduled on the shared bounded worker pool, so a large
+// seed list cannot spawn an unbounded number of goroutines; results are
+// indexed by seed position and therefore identical for any pool size.
 func RunSeeds(cfg Config, seeds []uint64) ([]*Result, *Result, error) {
+	return RunSeedsOn(pool.Shared(), cfg, seeds)
+}
+
+// RunSeedsOn is RunSeeds scheduled on a specific pool.
+func RunSeedsOn(p *pool.Pool, cfg Config, seeds []uint64) ([]*Result, *Result, error) {
 	if len(seeds) == 0 {
 		return nil, nil, fmt.Errorf("network: no seeds")
 	}
 	results := make([]*Result, len(seeds))
-	errs := make([]error, len(seeds))
-	var wg sync.WaitGroup
-	for i, seed := range seeds {
-		wg.Add(1)
-		go func(i int, seed uint64) {
-			defer wg.Done()
-			c := cfg
-			c.Seed = seed
-			results[i], errs[i] = Run(c)
-		}(i, seed)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, nil, err
-		}
+	err := p.Do(len(seeds), func(i int) error {
+		c := cfg
+		c.Seed = seeds[i]
+		var err error
+		results[i], err = Run(c)
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return results, Average(results), nil
 }
 
-// Average combines per-seed results into mean per-flow and total metrics.
+// Average combines per-seed results into the per-seed mean of every field,
+// per flow and in total. All fields — including the Events, PktsDelivered
+// and Transfers counters, which the seed implementation inconsistently
+// summed — carry mean semantics; integer counters are rounded to the
+// nearest integer. Results must come from the same scenario (same flows in
+// the same order). Fields are folded in slice order, so the output is
+// bit-identical for a fixed result order regardless of how the runs were
+// scheduled.
 func Average(results []*Result) *Result {
 	if len(results) == 0 {
 		return nil
@@ -48,19 +56,27 @@ func Average(results []*Result) *Result {
 		avg.Flows[i].ID = results[0].Flows[i].ID
 		avg.Flows[i].Kind = results[0].Flows[i].Kind
 	}
+	var events float64
+	pkts := make([]float64, len(avg.Flows))
+	transfers := make([]float64, len(avg.Flows))
 	for _, r := range results {
 		avg.TotalMbps += r.TotalMbps / n
 		avg.Fairness += r.Fairness / n
-		avg.Events += r.Events
+		events += float64(r.Events) / n
 		for i, f := range r.Flows {
 			avg.Flows[i].ThroughputMbps += f.ThroughputMbps / n
 			avg.Flows[i].MeanDelay += f.MeanDelay / sim.Time(len(results))
 			avg.Flows[i].ReorderRate += f.ReorderRate / n
-			avg.Flows[i].PktsDelivered += f.PktsDelivered
-			avg.Flows[i].Transfers += f.Transfers
+			pkts[i] += float64(f.PktsDelivered) / n
+			transfers[i] += float64(f.Transfers) / n
 			avg.Flows[i].MoS += f.MoS / n
 			avg.Flows[i].LossRate += f.LossRate / n
 		}
+	}
+	avg.Events = uint64(math.Round(events))
+	for i := range avg.Flows {
+		avg.Flows[i].PktsDelivered = int64(math.Round(pkts[i]))
+		avg.Flows[i].Transfers = int64(math.Round(transfers[i]))
 	}
 	return avg
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"ripple/internal/campaign/pool"
 	"ripple/internal/routing"
 	"ripple/internal/sim"
 	"ripple/internal/topology"
@@ -57,6 +58,74 @@ func TestRunSeedsAveragesConcurrently(t *testing.T) {
 	}
 	if math.Abs(avg.TotalMbps-want) > 1e-9 {
 		t.Fatalf("average = %v, want %v", avg.TotalMbps, want)
+	}
+}
+
+// TestAverageMeansEveryField pins the fix for the seed repo's semantics
+// bug: Events, PktsDelivered and Transfers were summed across seeds while
+// every other field was averaged. All fields now carry mean semantics.
+func TestAverageMeansEveryField(t *testing.T) {
+	a := &Result{
+		TotalMbps: 10, Fairness: 1, Events: 1000, Duration: sim.Second,
+		Flows: []FlowResult{{
+			ID: 1, Kind: FTP, ThroughputMbps: 10, MeanDelay: 40 * sim.Millisecond,
+			ReorderRate: 0.2, PktsDelivered: 100, Transfers: 4, MoS: 4, LossRate: 0.1,
+		}},
+	}
+	b := &Result{
+		TotalMbps: 20, Fairness: 0.5, Events: 3000, Duration: sim.Second,
+		Flows: []FlowResult{{
+			ID: 1, Kind: FTP, ThroughputMbps: 20, MeanDelay: 80 * sim.Millisecond,
+			ReorderRate: 0.4, PktsDelivered: 301, Transfers: 7, MoS: 2, LossRate: 0.3,
+		}},
+	}
+	avg := Average([]*Result{a, b})
+	if avg.TotalMbps != 15 || avg.Fairness != 0.75 {
+		t.Errorf("TotalMbps/Fairness = %v/%v", avg.TotalMbps, avg.Fairness)
+	}
+	if avg.Events != 2000 {
+		t.Errorf("Events = %d, want mean 2000 (not sum 4000)", avg.Events)
+	}
+	f := avg.Flows[0]
+	if f.ID != 1 || f.Kind != FTP {
+		t.Errorf("flow identity lost: %+v", f)
+	}
+	if f.ThroughputMbps != 15 || f.MeanDelay != 60*sim.Millisecond {
+		t.Errorf("ThroughputMbps/MeanDelay = %v/%v", f.ThroughputMbps, f.MeanDelay)
+	}
+	if math.Abs(f.ReorderRate-0.3) > 1e-12 || math.Abs(f.LossRate-0.2) > 1e-12 {
+		t.Errorf("ReorderRate/LossRate = %v/%v", f.ReorderRate, f.LossRate)
+	}
+	if f.PktsDelivered != 201 {
+		t.Errorf("PktsDelivered = %d, want rounded mean 201 (not sum 401)", f.PktsDelivered)
+	}
+	if f.Transfers != 6 {
+		t.Errorf("Transfers = %d, want rounded mean 6 (not sum 11)", f.Transfers)
+	}
+	if f.MoS != 3 {
+		t.Errorf("MoS = %v", f.MoS)
+	}
+	if Average(nil) != nil {
+		t.Error("Average(nil) must be nil")
+	}
+}
+
+// TestRunSeedsMatchesAnyPoolSize asserts seed-indexed determinism: the
+// same seeds produce bit-identical averages whether runs execute serially
+// or across many workers.
+func TestRunSeedsMatchesAnyPoolSize(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4}
+	_, serial, err := RunSeedsOn(pool.New(1), smokeConfig(0), seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wide, err := RunSeedsOn(pool.New(8), smokeConfig(0), seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.TotalMbps != wide.TotalMbps || serial.Events != wide.Events {
+		t.Fatalf("pool size changed results: %v/%d vs %v/%d",
+			serial.TotalMbps, serial.Events, wide.TotalMbps, wide.Events)
 	}
 }
 

@@ -1,0 +1,79 @@
+package stats
+
+import "math"
+
+// Welford accumulates mean and variance incrementally (Welford's online
+// algorithm), so batch layers can stream per-seed metrics into a summary
+// without retaining every sample. The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds one sample into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples folded in so far.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (0 with no samples).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 below two samples).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// CI95 returns the half-width of the two-sided 95% confidence interval for
+// the mean, using the Student t critical value for the sample's degrees of
+// freedom (0 below two samples). A cell's report is Mean() ± CI95().
+func (w *Welford) CI95() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return tCrit95(w.n-1) * math.Sqrt(w.Variance()/float64(w.n))
+}
+
+// Summary snapshots the accumulator for reporting.
+func (w *Welford) Summary() Summary {
+	return Summary{N: w.n, Mean: w.Mean(), Variance: w.Variance(), CI95: w.CI95()}
+}
+
+// Summary is a finished mean ± 95% CI report for one metric of one cell.
+type Summary struct {
+	N        int64
+	Mean     float64
+	Variance float64
+	CI95     float64
+}
+
+// tTable95 holds two-sided 95% Student t critical values for 1-30 degrees
+// of freedom; beyond 30 the normal value 1.96 is close enough for seed
+// counts a simulation sweep would use.
+var tTable95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+func tCrit95(df int64) float64 {
+	if df < 1 {
+		return 0
+	}
+	if df <= int64(len(tTable95)) {
+		return tTable95[df-1]
+	}
+	return 1.96
+}

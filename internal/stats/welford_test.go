@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWelfordMatchesDirectFormulas(t *testing.T) {
+	xs := []float64{4.2, 5.1, 3.9, 4.8, 5.5, 4.1}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	variance := ss / float64(len(xs)-1)
+
+	if w.N() != int64(len(xs)) {
+		t.Fatalf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-mean) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", w.Mean(), mean)
+	}
+	if math.Abs(w.Variance()-variance) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", w.Variance(), variance)
+	}
+	wantCI := tTable95[len(xs)-2] * math.Sqrt(variance/float64(len(xs)))
+	if math.Abs(w.CI95()-wantCI) > 1e-12 {
+		t.Errorf("CI95 = %v, want %v", w.CI95(), wantCI)
+	}
+}
+
+func TestWelfordDegenerateCases(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.CI95() != 0 {
+		t.Fatal("zero-value accumulator must report zeros")
+	}
+	w.Add(7)
+	if w.Mean() != 7 {
+		t.Fatalf("Mean = %v", w.Mean())
+	}
+	if w.Variance() != 0 || w.CI95() != 0 {
+		t.Fatal("single sample has no variance or CI")
+	}
+	s := w.Summary()
+	if s.N != 1 || s.Mean != 7 {
+		t.Fatalf("Summary = %+v", s)
+	}
+}
+
+func TestWelfordConstantSeries(t *testing.T) {
+	var w Welford
+	for i := 0; i < 100; i++ {
+		w.Add(2.5)
+	}
+	if w.Mean() != 2.5 {
+		t.Fatalf("Mean = %v", w.Mean())
+	}
+	if w.Variance() > 1e-20 {
+		t.Fatalf("Variance = %v, want ~0", w.Variance())
+	}
+}
+
+func TestTCritTailsOff(t *testing.T) {
+	if tCrit95(0) != 0 {
+		t.Error("df 0 must yield 0")
+	}
+	if tCrit95(1) != 12.706 {
+		t.Errorf("df 1 = %v", tCrit95(1))
+	}
+	if tCrit95(2) <= tCrit95(5) {
+		t.Error("critical values must shrink with df")
+	}
+	if tCrit95(1000) != 1.96 {
+		t.Errorf("large df = %v, want 1.96", tCrit95(1000))
+	}
+}

@@ -28,7 +28,6 @@ import (
 	"ripple/internal/routing"
 	"ripple/internal/sim"
 	"ripple/internal/topology"
-	"ripple/internal/trace"
 )
 
 // Time re-exports the simulator's nanosecond time unit.
@@ -152,10 +151,14 @@ type Scenario struct {
 	TraceJSONL io.Writer
 }
 
-// FlowResult summarises one flow of a run.
+// FlowResult summarises one flow of a run. Metrics are means over the
+// scenario's seeds.
 type FlowResult struct {
 	ID             int
 	ThroughputMbps float64
+	// ThroughputCI95 is the 95% confidence half-width of ThroughputMbps
+	// over the scenario's seeds (0 with fewer than two seeds).
+	ThroughputCI95 float64
 	MeanDelay      Time
 	ReorderRate    float64
 	PktsDelivered  int64
@@ -168,6 +171,9 @@ type FlowResult struct {
 type Result struct {
 	Flows     []FlowResult
 	TotalMbps float64
+	// TotalMbpsCI95 is the 95% confidence half-width of TotalMbps over the
+	// scenario's seeds (0 with fewer than two seeds).
+	TotalMbpsCI95 float64
 	// Fairness is Jain's index over per-flow throughputs (1 = equal).
 	Fairness float64
 	Events   uint64
@@ -177,74 +183,37 @@ type Result struct {
 	BusyFraction   float64
 }
 
-// Run executes a scenario and returns seed-averaged results.
+// Run executes a scenario and returns seed-averaged results. Seeds run as
+// independent units on the shared bounded worker pool (see RunBatch).
 func Run(s Scenario) (*Result, error) {
-	cfg, err := s.toConfig()
+	res, err := RunBatch(Campaign{Scenarios: []Scenario{s}})
 	if err != nil {
 		return nil, err
 	}
-	seeds := s.Seeds
-	if len(seeds) == 0 {
-		seeds = []uint64{1}
-	}
-	var rec *trace.Recorder
-	if s.TraceJSONL != nil {
-		// Trace the first seed on its own: seeds run concurrently and the
-		// recorder is not synchronised.
-		rec = &trace.Recorder{W: s.TraceJSONL}
-		traced := *cfg
-		traced.Seed = seeds[0]
-		traced.Trace = rec.Hook()
-		if _, err := network.Run(traced); err != nil {
-			return nil, err
-		}
-		if err := rec.Err(); err != nil {
-			return nil, fmt.Errorf("ripple: trace write: %w", err)
-		}
-	}
-	_, avg, err := network.RunSeeds(*cfg, seeds)
-	if err != nil {
-		return nil, err
-	}
-	out := &Result{TotalMbps: avg.TotalMbps, Fairness: avg.Fairness, Events: avg.Events}
-	if rec != nil {
-		dur := cfg.Duration
-		if dur == 0 {
-			dur = 10 * Second
-		}
-		out.BusyFraction = rec.BusyFraction(dur)
-		out.AirtimePerNode = make(map[NodeID]Time)
-		for id, t := range rec.Airtime() {
-			out.AirtimePerNode[int(id)] = t
-		}
-	}
-	for _, f := range avg.Flows {
-		out.Flows = append(out.Flows, FlowResult{
-			ID:             f.ID,
-			ThroughputMbps: f.ThroughputMbps,
-			MeanDelay:      f.MeanDelay,
-			ReorderRate:    f.ReorderRate,
-			PktsDelivered:  f.PktsDelivered,
-			Transfers:      f.Transfers,
-			MoS:            f.MoS,
-			LossRate:       f.LossRate,
-		})
-	}
-	return out, nil
+	return res[0], nil
 }
 
-// Compare runs the same scenario under several schemes and returns total
-// throughput keyed by the scheme's paper label.
+// Compare runs the same scenario under several schemes — in parallel, as
+// one campaign on the shared pool — and returns total throughput keyed by
+// the scheme's paper label. TraceJSONL is rejected: the schemes' traces
+// would interleave on one writer; trace each scheme with its own Run.
 func Compare(s Scenario, schemes ...Scheme) (map[string]float64, error) {
-	out := make(map[string]float64, len(schemes))
-	for _, k := range schemes {
+	if s.TraceJSONL != nil {
+		return nil, fmt.Errorf("ripple: Compare cannot trace (schemes run in parallel); use Run per scheme with separate writers")
+	}
+	scenarios := make([]Scenario, len(schemes))
+	for i, k := range schemes {
 		sc := s
 		sc.Scheme = k
-		res, err := Run(sc)
-		if err != nil {
-			return nil, err
-		}
-		out[k.String()] = res.TotalMbps
+		scenarios[i] = sc
+	}
+	results, err := RunBatch(Campaign{Scenarios: scenarios})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(schemes))
+	for i, k := range schemes {
+		out[k.String()] = results[i].TotalMbps
 	}
 	return out, nil
 }

@@ -1,0 +1,76 @@
+package ripple
+
+import (
+	"strings"
+	"testing"
+)
+
+// The toConfig error paths: a scenario with an unknown enum value must be
+// rejected with a message naming what was wrong, before any run starts.
+
+func validScenario() Scenario {
+	top, path := LineTopology(2)
+	return Scenario{
+		Topology: top,
+		Scheme:   SchemeRIPPLE,
+		Flows:    []Flow{{ID: 1, Path: path, Traffic: TrafficFTP}},
+		Duration: Second,
+	}
+}
+
+func TestToConfigRejectsUnknownScheme(t *testing.T) {
+	for _, scheme := range []Scheme{0, Scheme(99), Scheme(-1)} {
+		s := validScenario()
+		s.Scheme = scheme
+		if _, err := s.toConfig(); err == nil {
+			t.Errorf("scheme %d: no error", int(scheme))
+		} else if !strings.Contains(err.Error(), "unknown scheme") {
+			t.Errorf("scheme %d: err = %v", int(scheme), err)
+		}
+		// The same failure must surface through Run.
+		if _, err := Run(s); err == nil {
+			t.Errorf("scheme %d: Run accepted it", int(scheme))
+		}
+	}
+}
+
+func TestToConfigRejectsUnknownRadioProfile(t *testing.T) {
+	for _, profile := range []RadioProfile{RadioProfile(4), RadioProfile(99), RadioProfile(-2)} {
+		s := validScenario()
+		s.Radio = profile
+		if _, err := s.toConfig(); err == nil {
+			t.Errorf("profile %d: no error", int(profile))
+		} else if !strings.Contains(err.Error(), "unknown radio profile") {
+			t.Errorf("profile %d: err = %v", int(profile), err)
+		}
+	}
+}
+
+func TestToConfigRejectsUnknownTraffic(t *testing.T) {
+	for _, traffic := range []Traffic{0, Traffic(77)} {
+		s := validScenario()
+		s.Flows = []Flow{{ID: 5, Path: s.Flows[0].Path, Traffic: traffic}}
+		_, err := s.toConfig()
+		if err == nil {
+			t.Errorf("traffic %d: no error", int(traffic))
+			continue
+		}
+		// The message names the offending flow.
+		if !strings.Contains(err.Error(), "unknown traffic") || !strings.Contains(err.Error(), "flow 5") {
+			t.Errorf("traffic %d: err = %v", int(traffic), err)
+		}
+	}
+}
+
+func TestToConfigAcceptsEveryDeclaredSchemeAndProfile(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeDCF, SchemeAFR, SchemePreExOR, SchemeMCExOR, SchemeRIPPLE, SchemeRIPPLENoAgg} {
+		for _, profile := range []RadioProfile{0, RadioDefault, RadioHidden, RadioIdeal} {
+			s := validScenario()
+			s.Scheme = scheme
+			s.Radio = profile
+			if _, err := s.toConfig(); err != nil {
+				t.Errorf("scheme %v profile %d: %v", scheme, int(profile), err)
+			}
+		}
+	}
+}
