@@ -2,6 +2,7 @@ package ripple
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -48,9 +49,9 @@ func TestScenarioMaxAggregationOverride(t *testing.T) {
 	base := Scenario{
 		Topology: top,
 		Scheme:   SchemeRIPPLE,
-		Flows:    []Flow{{ID: 1, Path: path, Traffic: TrafficFTP}},
+		Flows:    []Flow{{ID: 1, Path: path, Traffic: FTP{}}},
 		Duration: Second,
-		Radio:    RadioIdeal,
+		Radio:    IdealRadio(),
 	}
 	full, err := Run(base)
 	if err != nil {
@@ -62,20 +63,20 @@ func TestScenarioMaxAggregationOverride(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if limited.TotalMbps >= full.TotalMbps {
+	if limited.Total.Mean >= full.Total.Mean {
 		t.Fatalf("agg=2 (%.1f) should underperform agg=16 (%.1f)",
-			limited.TotalMbps, full.TotalMbps)
+			limited.Total.Mean, full.Total.Mean)
 	}
 }
 
 func TestScenarioMultiRateAndLowRate(t *testing.T) {
 	top, path := LineTopology(2)
 	base := Scenario{
-		Topology:   top,
-		Scheme:     SchemeDCF,
-		Flows:      []Flow{{ID: 1, Path: path, Traffic: TrafficFTP}},
-		Duration:   Second,
-		LowRatePHY: true,
+		Topology: top,
+		Scheme:   SchemeDCF,
+		Flows:    []Flow{{ID: 1, Path: path, Traffic: FTP{}}},
+		Duration: Second,
+		Radio:    DefaultRadio().WithLowRatePHY(),
 	}
 	slow, err := Run(base)
 	if err != nil {
@@ -87,9 +88,9 @@ func TestScenarioMultiRateAndLowRate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if boosted.TotalMbps <= slow.TotalMbps {
+	if boosted.Total.Mean <= slow.Total.Mean {
 		t.Fatalf("multi-rate %.2f should beat fixed 6 Mbps %.2f",
-			boosted.TotalMbps, slow.TotalMbps)
+			boosted.Total.Mean, slow.Total.Mean)
 	}
 }
 
@@ -98,22 +99,22 @@ func TestScenarioRTSThreshold(t *testing.T) {
 	res, err := Run(Scenario{
 		Topology:     top,
 		Scheme:       SchemeAFR,
-		Flows:        []Flow{{ID: 1, Path: path, Traffic: TrafficFTP}},
+		Flows:        []Flow{{ID: 1, Path: path, Traffic: FTP{}}},
 		Duration:     Second,
 		RTSThreshold: 1,
-		Radio:        RadioIdeal,
+		Radio:        IdealRadio(),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.TotalMbps <= 0 {
+	if res.Total.Mean <= 0 {
 		t.Fatal("RTS-protected AFR delivered nothing")
 	}
 }
 
 func TestRouterAPI(t *testing.T) {
 	top := RoofnetTopology()
-	r, err := NewRouter(top, RadioDefault)
+	r, err := NewRouter(top, DefaultRadio())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,27 +132,27 @@ func TestRouterAPI(t *testing.T) {
 	if q <= 0 || q > 1 {
 		t.Fatalf("LinkQuality = %v", q)
 	}
-	if _, err := NewRouter(top, RadioProfile(99)); err == nil {
-		t.Fatal("unknown profile must error")
+	if _, err := NewRouter(top, DefaultRadio().WithBER(2)); err == nil {
+		t.Fatal("invalid BER must error")
 	}
 	// The discovered route must actually carry traffic.
 	res, err := Run(Scenario{
 		Topology: top,
 		Scheme:   SchemeRIPPLE,
-		Flows:    []Flow{{ID: 1, Path: path, Traffic: TrafficFTP}},
+		Flows:    []Flow{{ID: 1, Path: path, Traffic: FTP{}}},
 		Duration: Second,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.TotalMbps <= 0 {
+	if res.Total.Mean <= 0 {
 		t.Fatal("ETX route carried nothing")
 	}
 }
 
 func TestRouterIdealProfileMatchesGeometry(t *testing.T) {
 	top, _ := LineTopology(3)
-	r, err := NewRouter(top, RadioIdeal)
+	r, err := NewRouter(top, IdealRadio())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,5 +171,139 @@ func TestRouterIdealProfileMatchesGeometry(t *testing.T) {
 	}
 	if q := r.LinkQuality(p[1], p[2]); math.Abs(q-1) > 1e-9 {
 		t.Fatalf("chosen hop quality = %v, want 1", q)
+	}
+}
+
+func TestNetFlowTo(t *testing.T) {
+	top, _ := LineTopology(3)
+	net, err := NewNet(top, IdealRadio())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := net.FlowTo(0, 3, FTP{})
+	if len(f.Path) < 2 || f.Path[0] != 0 || f.Path[len(f.Path)-1] != 3 {
+		t.Fatalf("FlowTo path = %v", f.Path)
+	}
+	sc := net.Scenario(SchemeRIPPLE, f)
+	if sc.Radio != net.Radio || len(sc.Topology.Positions) != 4 {
+		t.Fatalf("Net.Scenario did not carry net state: %+v", sc)
+	}
+	sc.Duration = 500 * Millisecond
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.Mean <= 0 {
+		t.Fatal("endpoint-declared flow carried nothing")
+	}
+	if res.Flows[0].ID != 1 {
+		t.Fatalf("auto-assigned flow ID = %d, want 1", res.Flows[0].ID)
+	}
+}
+
+func TestNetFlowToBadEndpointsErrorAtRun(t *testing.T) {
+	top, _ := LineTopology(2)
+	net, err := NewNet(top, DefaultRadio())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := net.Scenario(SchemeRIPPLE, net.FlowTo(0, 99, FTP{}))
+	sc.Duration = 100 * Millisecond
+	_, runErr := Run(sc)
+	if runErr == nil {
+		t.Fatal("unreachable destination must fail the run")
+	}
+	if !strings.Contains(runErr.Error(), "flow 1") || !strings.Contains(runErr.Error(), "0→99") {
+		t.Fatalf("err = %v, want flow and endpoints named", runErr)
+	}
+}
+
+func TestCBRIntervalThrottlesRate(t *testing.T) {
+	top, path := LineTopology(1)
+	base := Scenario{
+		Topology: top,
+		Scheme:   SchemeDCF,
+		Duration: Second,
+		Radio:    IdealRadio(),
+	}
+	saturated := base
+	saturated.Flows = []Flow{{ID: 1, Path: path, Traffic: CBR{}}}
+	full, err := Run(saturated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1000-byte packets every 10 ms = 0.8 Mbps offered load.
+	paced := base
+	paced.Flows = []Flow{{ID: 1, Path: path, Traffic: CBR{Interval: 10 * Millisecond}}}
+	slow, err := Run(paced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Total.Mean >= full.Total.Mean {
+		t.Fatalf("paced CBR (%.2f) should be below saturation (%.2f)",
+			slow.Total.Mean, full.Total.Mean)
+	}
+	if math.Abs(slow.Total.Mean-0.8) > 0.1 {
+		t.Fatalf("paced CBR = %.3f Mbps, want ≈0.8", slow.Total.Mean)
+	}
+	// Halving the packet size halves the delivered rate.
+	small := base
+	small.Flows = []Flow{{ID: 1, Path: path, Traffic: CBR{Interval: 10 * Millisecond, PacketSize: 500}}}
+	half, err := Run(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(half.Total.Mean-0.4) > 0.05 {
+		t.Fatalf("500-byte paced CBR = %.3f Mbps, want ≈0.4", half.Total.Mean)
+	}
+}
+
+func TestVoIPBitrateParameter(t *testing.T) {
+	top, path := LineTopology(1)
+	run := func(spec VoIP) *Result {
+		t.Helper()
+		res, err := Run(Scenario{
+			Topology: top,
+			Scheme:   SchemeDCF,
+			Radio:    IdealRadio(),
+			Flows:    []Flow{{ID: 1, Path: path, Traffic: spec}},
+			Duration: 4 * Second,
+			Seeds:    []uint64{1, 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	std := run(VoIP{})
+	fat := run(VoIP{BitrateKbps: 192})
+	if fat.Total.Mean <= std.Total.Mean {
+		t.Fatalf("192 kbps codec (%.3f Mbps) should outcarry 96 kbps (%.3f Mbps)",
+			fat.Total.Mean, std.Total.Mean)
+	}
+}
+
+func TestWebParametersChangeWorkload(t *testing.T) {
+	top, path := LineTopology(1)
+	run := func(spec Web) *Result {
+		t.Helper()
+		res, err := Run(Scenario{
+			Topology: top,
+			Scheme:   SchemeDCF,
+			Radio:    IdealRadio(),
+			Flows:    []Flow{{ID: 1, Path: path, Traffic: spec}},
+			Duration: 2 * Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	std := run(Web{})
+	// Tiny transfers with no think time complete far more often.
+	small := run(Web{MeanTransferBytes: 2e3, MeanOffTime: Millisecond})
+	if small.Flows[0].Transfers.Mean <= std.Flows[0].Transfers.Mean {
+		t.Fatalf("2 KB transfers completed %.0f, default 80 KB %.0f — want more",
+			small.Flows[0].Transfers.Mean, std.Flows[0].Transfers.Mean)
 	}
 }

@@ -6,7 +6,6 @@ import (
 
 	"ripple/internal/campaign/pool"
 	"ripple/internal/network"
-	"ripple/internal/stats"
 	"ripple/internal/trace"
 )
 
@@ -127,16 +126,15 @@ func RunBatch(c Campaign) ([]*Result, error) {
 }
 
 // foldResult summarises one scenario's per-seed results (seed order, so
-// the fold is deterministic) into the public Result: the mean of every
-// metric plus Welford 95% confidence half-widths for the throughputs.
+// the fold is deterministic) into the public Result: every metric streams
+// through a Welford accumulator, so each carries its seed mean, 95%
+// confidence half-width, min, max and sample count.
 func foldResult(cfg *network.Config, results []*network.Result, rec *trace.Recorder) *Result {
-	avg := network.Average(results)
-	out := &Result{TotalMbps: avg.TotalMbps, Fairness: avg.Fairness, Events: avg.Events}
-	var total stats.Welford
-	for _, r := range results {
-		total.Add(r.TotalMbps)
+	out := &Result{
+		Total:    foldMetric(results, func(r *network.Result) float64 { return r.TotalMbps }),
+		Fairness: foldMetric(results, func(r *network.Result) float64 { return r.Fairness }),
+		Events:   foldMetric(results, func(r *network.Result) float64 { return float64(r.Events) }),
 	}
-	out.TotalMbpsCI95 = total.CI95()
 	if rec != nil {
 		dur := cfg.Duration
 		if dur == 0 {
@@ -148,21 +146,16 @@ func foldResult(cfg *network.Config, results []*network.Result, rec *trace.Recor
 			out.AirtimePerNode[int(id)] = t
 		}
 	}
-	for i, f := range avg.Flows {
-		var w stats.Welford
-		for _, r := range results {
-			w.Add(r.Flows[i].ThroughputMbps)
-		}
+	for i, f := range results[0].Flows {
 		out.Flows = append(out.Flows, FlowResult{
-			ID:             f.ID,
-			ThroughputMbps: f.ThroughputMbps,
-			ThroughputCI95: w.CI95(),
-			MeanDelay:      f.MeanDelay,
-			ReorderRate:    f.ReorderRate,
-			PktsDelivered:  f.PktsDelivered,
-			Transfers:      f.Transfers,
-			MoS:            f.MoS,
-			LossRate:       f.LossRate,
+			ID:         f.ID,
+			Throughput: foldFlowMetric(results, i, func(f network.FlowResult) float64 { return f.ThroughputMbps }),
+			Delay:      foldFlowMetric(results, i, func(f network.FlowResult) float64 { return f.MeanDelay.Milliseconds() }),
+			Reorder:    foldFlowMetric(results, i, func(f network.FlowResult) float64 { return f.ReorderRate }),
+			Delivered:  foldFlowMetric(results, i, func(f network.FlowResult) float64 { return float64(f.PktsDelivered) }),
+			Transfers:  foldFlowMetric(results, i, func(f network.FlowResult) float64 { return float64(f.Transfers) }),
+			MoS:        foldFlowMetric(results, i, func(f network.FlowResult) float64 { return f.MoS }),
+			Loss:       foldFlowMetric(results, i, func(f network.FlowResult) float64 { return f.LossRate }),
 		})
 	}
 	return out

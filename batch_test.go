@@ -2,8 +2,10 @@ package ripple
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -12,7 +14,7 @@ func batchScenario(scheme Scheme, seeds ...uint64) Scenario {
 	return Scenario{
 		Topology: top,
 		Scheme:   scheme,
-		Flows:    []Flow{{ID: 1, Path: path, Traffic: TrafficFTP}},
+		Flows:    []Flow{{ID: 1, Path: path, Traffic: FTP{}}},
 		Duration: 500 * Millisecond,
 		Seeds:    seeds,
 	}
@@ -61,24 +63,57 @@ func TestRunBatchDeterministicAcrossParallelism(t *testing.T) {
 	}
 }
 
-func TestRunBatchReportsCIs(t *testing.T) {
+// Every metric of a multi-seed run must carry a populated interval; a
+// single-seed run reports the bare value with N=1 and no interval.
+func TestRunBatchReportsTypedMetrics(t *testing.T) {
 	res, err := Run(batchScenario(SchemeRIPPLE, 1, 2, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.TotalMbpsCI95 <= 0 {
-		t.Errorf("TotalMbpsCI95 = %v, want > 0 over three distinct seeds", res.TotalMbpsCI95)
+	checkMetric := func(name string, m Metric, wantCI bool) {
+		t.Helper()
+		if m.N != 3 {
+			t.Errorf("%s.N = %d, want 3", name, m.N)
+		}
+		if wantCI && m.CI95 <= 0 {
+			t.Errorf("%s.CI95 = %v, want > 0 over three distinct seeds", name, m.CI95)
+		}
+		if m.Min > m.Mean || m.Mean > m.Max {
+			t.Errorf("%s: Min %v ≤ Mean %v ≤ Max %v violated", name, m.Min, m.Mean, m.Max)
+		}
 	}
-	if res.Flows[0].ThroughputCI95 <= 0 {
-		t.Errorf("ThroughputCI95 = %v, want > 0", res.Flows[0].ThroughputCI95)
+	checkMetric("Total", res.Total, true)
+	checkMetric("Fairness", res.Fairness, false) // one flow: identically 1
+	checkMetric("Events", res.Events, true)
+	f := res.Flows[0]
+	checkMetric("Throughput", f.Throughput, true)
+	checkMetric("Delay", f.Delay, true)
+	checkMetric("Reorder", f.Reorder, false)
+	checkMetric("Delivered", f.Delivered, true)
+	if f.Delay.Mean <= 0 {
+		t.Errorf("Delay.Mean = %v ms, want > 0", f.Delay.Mean)
 	}
-	// Single seed: no interval.
+
+	// Single seed: no interval, N=1, Min=Mean=Max.
 	one, err := Run(batchScenario(SchemeRIPPLE, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if one.TotalMbpsCI95 != 0 || one.Flows[0].ThroughputCI95 != 0 {
+	if one.Total.CI95 != 0 || one.Flows[0].Throughput.CI95 != 0 {
 		t.Error("single-seed run must not report a CI")
+	}
+	if one.Total.N != 1 || one.Total.Min != one.Total.Mean || one.Total.Max != one.Total.Mean {
+		t.Errorf("single-seed Total = %+v", one.Total)
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if got := (Metric{Mean: 3.14159, N: 1}).String(); got != "3.14" {
+		t.Errorf("single-sample Metric.String() = %q", got)
+	}
+	got := (Metric{Mean: 3.14159, CI95: 0.25, N: 3}).String()
+	if !strings.Contains(got, "±") {
+		t.Errorf("multi-sample Metric.String() = %q, want ± interval", got)
 	}
 }
 
@@ -99,6 +134,34 @@ func TestRunBatchProgressAndEmpty(t *testing.T) {
 	}
 }
 
+// Under Parallel: 1 the runs complete strictly in leaf order, so Progress
+// must see done=1..total exactly once each, in order, with a constant
+// total.
+func TestRunBatchProgressOrderSerial(t *testing.T) {
+	var dones []int
+	var totals []int
+	_, err := RunBatch(Campaign{
+		Scenarios: []Scenario{
+			batchScenario(SchemeDCF, 1, 2),
+			batchScenario(SchemeRIPPLE, 1, 2, 3),
+		},
+		Parallel: 1,
+		Progress: func(done, total int) { dones = append(dones, done); totals = append(totals, total) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3, 4, 5}
+	if !reflect.DeepEqual(dones, want) {
+		t.Fatalf("serial progress done sequence = %v, want %v", dones, want)
+	}
+	for _, total := range totals {
+		if total != 5 {
+			t.Fatalf("progress totals = %v, want all 5", totals)
+		}
+	}
+}
+
 func TestRunBatchTracedScenario(t *testing.T) {
 	var buf bytes.Buffer
 	sc := batchScenario(SchemeRIPPLE, 1, 2)
@@ -115,6 +178,36 @@ func TestRunBatchTracedScenario(t *testing.T) {
 	}
 }
 
+// failWriter fails after the first write, like a full disk mid-trace.
+type failWriter struct{ writes int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > 1 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestRunBatchTraceWriterFailure(t *testing.T) {
+	sc := batchScenario(SchemeRIPPLE, 1)
+	sc.TraceJSONL = &failWriter{}
+	_, err := RunBatch(Campaign{Scenarios: []Scenario{sc}})
+	if err == nil {
+		t.Fatal("failing trace writer must fail the batch")
+	}
+	if !strings.Contains(err.Error(), "trace write") || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("err = %v, want trace write failure naming the cause", err)
+	}
+	// In a multi-scenario campaign the error names the scenario.
+	sc2 := batchScenario(SchemeRIPPLE, 1)
+	sc2.TraceJSONL = &failWriter{}
+	_, err = RunBatch(Campaign{Scenarios: []Scenario{batchScenario(SchemeDCF, 1), sc2}})
+	if err == nil || !strings.Contains(err.Error(), "scenario 1:") {
+		t.Fatalf("err = %v, want scenario-prefixed trace failure", err)
+	}
+}
+
 func TestRunBatchErrorNamesScenario(t *testing.T) {
 	bad := batchScenario(SchemeRIPPLE, 1)
 	bad.Scheme = Scheme(42)
@@ -124,6 +217,18 @@ func TestRunBatchErrorNamesScenario(t *testing.T) {
 	}
 	if got := err.Error(); got != "scenario 1: ripple: unknown scheme 42" {
 		t.Fatalf("err = %q", got)
+	}
+	// A bad flow spec is prefixed the same way.
+	bad2 := batchScenario(SchemeRIPPLE, 1)
+	bad2.Flows[0].Traffic = CBR{Interval: -1}
+	_, err = RunBatch(Campaign{Scenarios: []Scenario{batchScenario(SchemeDCF, 1), bad2}})
+	if err == nil || !strings.HasPrefix(err.Error(), "scenario 1: ") {
+		t.Fatalf("err = %v, want scenario 1 prefix", err)
+	}
+	// Single-scenario batches (ripple.Run) keep errors unprefixed.
+	_, err = RunBatch(Campaign{Scenarios: []Scenario{bad}})
+	if err == nil || strings.Contains(err.Error(), "scenario") {
+		t.Fatalf("single-scenario err = %v, want unprefixed", err)
 	}
 }
 
@@ -135,8 +240,8 @@ func TestCompareRejectsTraceWriter(t *testing.T) {
 	}
 }
 
-func TestCompareRunsSchemesInParallel(t *testing.T) {
-	sc := batchScenario(0, 1)
+func TestCompareReturnsFullResults(t *testing.T) {
+	sc := batchScenario(0, 1, 2)
 	out, err := Compare(sc, SchemeDCF, SchemeRIPPLE, SchemeAFR)
 	if err != nil {
 		t.Fatal(err)
@@ -145,8 +250,14 @@ func TestCompareRunsSchemesInParallel(t *testing.T) {
 		t.Fatalf("Compare = %v", out)
 	}
 	for _, label := range []string{"DCF", "RIPPLE", "AFR"} {
-		if v, ok := out[label]; !ok || v <= 0 || math.IsNaN(v) {
-			t.Errorf("Compare[%s] = %v, %v", label, v, ok)
+		res, ok := out[label]
+		if !ok || res.Total.Mean <= 0 || math.IsNaN(res.Total.Mean) {
+			t.Fatalf("Compare[%s] = %+v, %v", label, res, ok)
+		}
+		// The full result is available per scheme: delay, fairness and
+		// intervals without re-running.
+		if res.Flows[0].Delay.Mean <= 0 || res.Total.CI95 <= 0 || res.Fairness.N != 2 {
+			t.Errorf("Compare[%s] metrics incomplete: %+v", label, res)
 		}
 	}
 	// Compare must agree with running each scheme alone.
@@ -156,7 +267,7 @@ func TestCompareRunsSchemesInParallel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out["RIPPLE"] != res.TotalMbps {
-		t.Errorf("Compare RIPPLE = %v, solo run = %v", out["RIPPLE"], res.TotalMbps)
+	if !reflect.DeepEqual(out["RIPPLE"], res) {
+		t.Errorf("Compare RIPPLE = %+v, solo run = %+v", out["RIPPLE"], res)
 	}
 }

@@ -17,9 +17,16 @@ import (
 	"ripple/internal/sim"
 )
 
-// benchOpt is the per-iteration budget for macro-benchmarks.
+// benchOpt is the per-iteration budget for macro-benchmarks. Under -short
+// (the CI bench smoke step) the simulated duration shrinks so every
+// benchmark can run once quickly while still exercising the full
+// pool/fold path.
 func benchOpt() experiments.Options {
-	return experiments.Options{Seeds: []uint64{1}, Duration: sim.Second}
+	opt := experiments.Options{Seeds: []uint64{1}, Duration: sim.Second}
+	if testing.Short() {
+		opt.Duration = 100 * sim.Millisecond
+	}
+	return opt
 }
 
 // reportCells publishes selected table cells as benchmark metrics.
@@ -305,18 +312,18 @@ func BenchmarkCampaignSuiteSeedFanout(b *testing.B) {
 // events processed per wall second for a saturated RIPPLE run.
 func BenchmarkEngineThroughput(b *testing.B) {
 	top, path := LineTopology(3)
-	var events uint64
+	var events float64
 	for i := 0; i < b.N; i++ {
 		res, err := Run(Scenario{
 			Topology: top,
 			Scheme:   SchemeRIPPLE,
-			Flows:    []Flow{{ID: 1, Path: path, Traffic: TrafficFTP}},
+			Flows:    []Flow{{ID: 1, Path: path, Traffic: FTP{}}},
 			Duration: Second,
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
-		events += res.Events
+		events += res.Events.Mean
 	}
-	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+	b.ReportMetric(events/float64(b.N), "events/run")
 }

@@ -6,6 +6,7 @@
 //	ripplesim -topo line -hops 3 -scheme ripple -traffic ftp -dur 10
 //	ripplesim -topo fig1 -scheme dcf -route 0 -flows 3
 //	ripplesim -topo hidden -hidden 5 -scheme afr
+//	ripplesim -topo line -traffic cbr -cbrint 5 -cbrsize 200 -ber 1e-5
 package main
 
 import (
@@ -33,8 +34,10 @@ func run() int {
 		hidden    = flag.Int("hidden", 0, "hidden interferer flows (hidden topology)")
 		durSec    = flag.Float64("dur", 10, "simulated seconds")
 		seeds     = flag.Int("seeds", 1, "seeds to average over")
-		ber       = flag.Float64("ber", 1e-6, "channel bit error rate")
+		ber       = flag.Float64("ber", 0, "channel bit error rate (0 = profile default, 1e-6)")
 		lowRate   = flag.Bool("lowrate", false, "6 Mbps PHY (Table III setting)")
+		cbrMs     = flag.Float64("cbrint", 0, "CBR emission interval in ms (0 = saturating)")
+		cbrBytes  = flag.Int("cbrsize", 0, "CBR payload bytes (0 = PHY packet size)")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON")
 		traceOut  = flag.String("trace", "", "write per-frame JSONL trace to this file")
 		multiRate = flag.Bool("multirate", false, "enable the multi-rate PHY extension")
@@ -46,8 +49,6 @@ func run() int {
 
 	sc := ripple.Scenario{
 		Duration:     ripple.Time(*durSec * float64(ripple.Second)),
-		BitErrorRate: *ber,
-		LowRatePHY:   *lowRate,
 		MultiRate:    *multiRate,
 		RTSThreshold: *rts,
 	}
@@ -82,15 +83,25 @@ func run() int {
 		return 2
 	}
 
-	kind := map[string]ripple.Traffic{
-		"ftp": ripple.TrafficFTP, "web": ripple.TrafficWeb,
-		"voip": ripple.TrafficVoIP, "cbr": ripple.TrafficCBR,
-	}[strings.ToLower(*traffic)]
-	if kind == 0 {
+	var kind ripple.TrafficSpec
+	switch strings.ToLower(*traffic) {
+	case "ftp":
+		kind = ripple.FTP{}
+	case "web":
+		kind = ripple.Web{}
+	case "voip":
+		kind = ripple.VoIP{}
+	case "cbr":
+		kind = ripple.CBR{
+			Interval:   ripple.Time(*cbrMs * float64(ripple.Millisecond)),
+			PacketSize: *cbrBytes,
+		}
+	default:
 		fmt.Fprintf(os.Stderr, "unknown traffic %q\n", *traffic)
 		return 2
 	}
 
+	rad := ripple.DefaultRadio()
 	switch strings.ToLower(*topo) {
 	case "line":
 		top, path := ripple.LineTopology(*hops)
@@ -130,18 +141,18 @@ func run() int {
 	case "hidden":
 		top, main, interferers := ripple.HiddenTopology(*hidden)
 		sc.Topology = top
-		sc.Radio = ripple.RadioHidden
+		rad = ripple.HiddenRadio()
 		sc.Flows = []ripple.Flow{{ID: 1, Path: main, Traffic: kind}}
 		for i, p := range interferers {
 			sc.Flows = append(sc.Flows, ripple.Flow{
-				ID: i + 2, Path: p, Traffic: ripple.TrafficCBR,
+				ID: i + 2, Path: p, Traffic: ripple.CBR{},
 				Start: 50 * ripple.Millisecond,
 			})
 		}
 	case "wigle":
 		top, paths, _ := ripple.WigleTopology()
 		sc.Topology = top
-		sc.Radio = ripple.RadioHidden
+		rad = ripple.HiddenRadio()
 		n := min(max(*nFlows, 1), len(paths))
 		for i := 0; i < n; i++ {
 			sc.Flows = append(sc.Flows, ripple.Flow{
@@ -153,6 +164,13 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topo)
 		return 2
 	}
+	if *ber > 0 {
+		rad = rad.WithBER(*ber)
+	}
+	if *lowRate {
+		rad = rad.WithLowRatePHY()
+	}
+	sc.Radio = rad
 
 	campaign := ripple.Campaign{Scenarios: []ripple.Scenario{sc}, Parallel: *parallel}
 	if *progress {
@@ -183,15 +201,20 @@ func run() int {
 		}
 		return 0
 	}
-	fmt.Printf("scheme=%s topo=%s dur=%.0fs seeds=%d\n", sc.Scheme, *topo, *durSec, *seeds)
+	fmt.Printf("scheme=%s topo=%s radio=%s dur=%.0fs seeds=%d\n", sc.Scheme, *topo, sc.Radio, *durSec, *seeds)
 	for _, f := range res.Flows {
-		line := fmt.Sprintf("flow %2d: %8.3f Mbps  delay %-10v reorder %5.2f%%",
-			f.ID, f.ThroughputMbps, f.MeanDelay, 100*f.ReorderRate)
-		if f.MoS > 0 {
-			line += fmt.Sprintf("  MoS %.2f loss %.1f%%", f.MoS, 100*f.LossRate)
+		line := fmt.Sprintf("flow %2d: %8.3f Mbps  delay %8.2fms  reorder %5.2f%%",
+			f.ID, f.Throughput.Mean, f.Delay.Mean, 100*f.Reorder.Mean)
+		if f.MoS.Mean > 0 {
+			line += fmt.Sprintf("  MoS %.2f loss %.1f%%", f.MoS.Mean, 100*f.Loss.Mean)
 		}
 		fmt.Println(line)
 	}
-	fmt.Printf("total: %.3f Mbps\n", res.TotalMbps)
+	if res.Total.N >= 2 {
+		fmt.Printf("total: %.3f ±%.3f Mbps (95%% CI over %d seeds)\n",
+			res.Total.Mean, res.Total.CI95, res.Total.N)
+	} else {
+		fmt.Printf("total: %.3f Mbps\n", res.Total.Mean)
+	}
 	return 0
 }

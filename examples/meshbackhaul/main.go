@@ -21,9 +21,9 @@ func main() {
 	scenario := ripple.Scenario{
 		Topology: top,
 		Flows: []ripple.Flow{
-			{ID: 1, Path: routes.Flow1, Traffic: ripple.TrafficFTP},
-			{ID: 2, Path: routes.Flow2, Traffic: ripple.TrafficFTP, Start: 100 * ripple.Millisecond},
-			{ID: 3, Path: routes.Flow3, Traffic: ripple.TrafficFTP, Start: 200 * ripple.Millisecond},
+			{ID: 1, Path: routes.Flow1, Traffic: ripple.FTP{}},
+			{ID: 2, Path: routes.Flow2, Traffic: ripple.FTP{}, Start: 100 * ripple.Millisecond},
+			{ID: 3, Path: routes.Flow3, Traffic: ripple.FTP{}, Start: 200 * ripple.Millisecond},
 		},
 		Duration: 5 * ripple.Second,
 		Seeds:    []uint64{1, 2, 3},
@@ -36,10 +36,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%s: total %.2f Mbps\n", scheme, res.TotalMbps)
+		fmt.Printf("%s: total %v Mbps, fairness %.3f\n", scheme, res.Total, res.Fairness.Mean)
 		for _, f := range res.Flows {
-			fmt.Printf("  flow %d: %6.2f Mbps, mean delay %v, reorder %.2f%%\n",
-				f.ID, f.ThroughputMbps, f.MeanDelay, 100*f.ReorderRate)
+			fmt.Printf("  flow %d: %6.2f Mbps, mean delay %.1f ms, reorder %.2f%%\n",
+				f.ID, f.Throughput.Mean, f.Delay.Mean, 100*f.Reorder.Mean)
 		}
 	}
 }

@@ -1,5 +1,7 @@
 // Quickstart: run one long-lived TCP flow over a lossy 3-hop wireless path
-// and compare RIPPLE against plain 802.11 forwarding.
+// and compare RIPPLE against plain 802.11 forwarding. Compare returns each
+// scheme's full result, so throughput, delay and confidence intervals all
+// come from one campaign.
 //
 //	go run ./examples/quickstart
 package main
@@ -17,7 +19,7 @@ func main() {
 	scenario := ripple.Scenario{
 		Topology: top,
 		Flows: []ripple.Flow{
-			{ID: 1, Path: path, Traffic: ripple.TrafficFTP},
+			{Path: path, Traffic: ripple.FTP{}},
 		},
 		Duration: 5 * ripple.Second,
 		Seeds:    []uint64{1, 2, 3},
@@ -35,6 +37,8 @@ func main() {
 
 	fmt.Println("3-hop TCP transfer, shadowing channel (BER 1e-6):")
 	for _, label := range []string{"DCF", "AFR", "RIPPLE-noagg", "RIPPLE"} {
-		fmt.Printf("  %-14s %6.2f Mbps\n", label, results[label])
+		res := results[label]
+		fmt.Printf("  %-14s %6.2f ±%.2f Mbps   delay %6.1f ms\n",
+			label, res.Total.Mean, res.Total.CI95, res.Flows[0].Delay.Mean)
 	}
 }

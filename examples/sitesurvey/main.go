@@ -1,8 +1,8 @@
 // Sitesurvey: plan routes over a mesh deployment before running traffic.
-// Uses the ETX router to inspect link qualities and pick paths over the
-// Roofnet-like topology, then validates the chosen route with a short
-// simulation and an airtime trace — the workflow a mesh operator would use
-// with this library.
+// Builds a Net (topology + ETX router under one radio), inspects link
+// qualities of candidate gateway pairs over the Roofnet-like topology,
+// then validates the best pair with endpoint-declared flows and an airtime
+// trace — the workflow a mesh operator would use with this library.
 //
 //	go run ./examples/sitesurvey
 package main
@@ -16,16 +16,16 @@ import (
 )
 
 func main() {
-	top := ripple.RoofnetTopology()
-	router, err := ripple.NewRouter(top, ripple.RadioDefault)
+	net, err := ripple.NewNet(ripple.RoofnetTopology(), ripple.DefaultRadio())
 	if err != nil {
 		log.Fatal(err)
 	}
+	router := net.Router()
 
 	// Survey: candidate gateway pairs across the mesh.
 	pairs := [][2]int{{0, 8}, {0, 12}, {0, 16}, {1, 21}}
 	fmt.Println("ETX route survey:")
-	var best ripple.Path
+	best := [2]int{-1, -1}
 	bestETX := 1e18
 	for _, pr := range pairs {
 		path, err := router.Path(pr[0], pr[1])
@@ -41,33 +41,33 @@ func main() {
 			fmt.Printf("      link %d→%d delivery %.1f%%\n", path[i], path[i+1], 100*q)
 		}
 		if etx < bestETX {
-			bestETX, best = etx, path
+			bestETX, best = etx, pr
 		}
 	}
-	if best == nil {
+	if best[0] < 0 {
 		log.Fatal("no usable route found")
 	}
 
-	// Validate the best route with traffic and capture an airtime trace.
+	// Validate the best pair with traffic and capture an airtime trace. The
+	// flow is declared by endpoints: the net computes the forwarder list.
 	traceFile, err := os.CreateTemp("", "sitesurvey-*.jsonl")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer os.Remove(traceFile.Name())
-	res, err := ripple.Run(ripple.Scenario{
-		Topology:   top,
-		Scheme:     ripple.SchemeRIPPLE,
-		Flows:      []ripple.Flow{{ID: 1, Path: best, Traffic: ripple.TrafficFTP}},
-		Duration:   2 * ripple.Second,
-		TraceJSONL: traceFile,
-	})
+	flow := net.FlowTo(best[0], best[1], ripple.FTP{})
+	sc := net.Scenario(ripple.SchemeRIPPLE, flow)
+	sc.Duration = 2 * ripple.Second
+	sc.TraceJSONL = traceFile
+	res, err := ripple.Run(sc)
 	if err != nil {
 		log.Fatal(err)
 	}
+	route := flow.Path
 	fmt.Printf("\nvalidation run on %v: %.2f Mbps, channel busy %.0f%%\n",
-		best, res.TotalMbps, 100*res.BusyFraction)
+		route, res.Total.Mean, 100*res.BusyFraction)
 	fmt.Println("airtime per station:")
-	for _, n := range best {
+	for _, n := range route {
 		fmt.Printf("  node %2d: %v\n", n, res.AirtimePerNode[n])
 	}
 	fmt.Printf("full trace written to %s (inspect with cmd/rippletrace)\n", traceFile.Name())

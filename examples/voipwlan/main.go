@@ -18,31 +18,32 @@ func main() {
 	top := ripple.Fig1Topology()
 	routes := ripple.Route0()
 
+	// A 64 kbps call with a 30 ms packetisation cadence — the codec knobs
+	// are public API v2 fields (zero values keep the paper's 96 kbps/20 ms).
+	call := ripple.VoIP{BitrateKbps: 64, PacketInterval: 30 * ripple.Millisecond}
+
 	var flows []ripple.Flow
 	pairs := []ripple.Path{routes.Flow1, routes.Flow2, routes.Flow3}
-	id := 1
 	for _, p := range pairs {
 		for k := 0; k < 10; k++ {
 			flows = append(flows, ripple.Flow{
-				ID:      id,
 				Path:    p,
-				Traffic: ripple.TrafficVoIP,
+				Traffic: call,
 				Start:   ripple.Time(k) * 30 * ripple.Millisecond,
 			})
-			id++
 		}
 	}
 
 	scenario := ripple.Scenario{
-		Topology:     top,
-		Flows:        flows,
-		Duration:     10 * ripple.Second,
-		Seeds:        []uint64{1, 2},
-		LowRatePHY:   true, // both PHY rates 6 Mbps, as in Table III
-		BitErrorRate: 1e-6,
+		Topology: top,
+		Flows:    flows,
+		Duration: 10 * ripple.Second,
+		Seeds:    []uint64{1, 2},
+		// Both PHY rates 6 Mbps, as in Table III, on the clear channel.
+		Radio: ripple.DefaultRadio().WithLowRatePHY().WithBER(1e-6),
 	}
 
-	fmt.Println("30 VoIP calls on a 6 Mbps mesh:")
+	fmt.Println("30 VoIP calls (64 kbps codec) on a 6 Mbps mesh:")
 	for _, scheme := range []ripple.Scheme{ripple.SchemeDCF, ripple.SchemeAFR, ripple.SchemeRIPPLE} {
 		sc := scenario
 		sc.Scheme = scheme
@@ -52,8 +53,8 @@ func main() {
 		}
 		var mos, loss float64
 		for _, f := range res.Flows {
-			mos += f.MoS
-			loss += f.LossRate
+			mos += f.MoS.Mean
+			loss += f.Loss.Mean
 		}
 		n := float64(len(res.Flows))
 		fmt.Printf("  %-8s mean MoS %.2f, mean loss %.1f%%\n", scheme, mos/n, 100*loss/n)

@@ -1,8 +1,9 @@
 // Webworkload: interactive web browsing over a wireless mesh (the §IV-D
 // setting) — thirty short TCP connections with Pareto-distributed transfer
-// sizes (mean 80 KB) and one-second think times. Short transfers never
-// leave slow start, so per-packet signalling overhead dominates; the
-// example reports completed transfers and total goodput per scheme.
+// sizes and exponential think times, both tuned through the public Web
+// traffic spec. Short transfers never leave slow start, so per-packet
+// signalling overhead dominates; the example reports completed transfers
+// and total goodput per scheme.
 //
 //	go run ./examples/webworkload
 package main
@@ -18,17 +19,21 @@ func main() {
 	top := ripple.Fig1Topology()
 	routes := ripple.Route0()
 
+	// The workload knobs are public API v2 fields: halve the paper's 80 KB
+	// mean transfer and think for half a second between clicks.
+	browse := ripple.Web{
+		MeanTransferBytes: 40e3,
+		MeanOffTime:       500 * ripple.Millisecond,
+	}
+
 	var flows []ripple.Flow
-	id := 1
 	for _, p := range []ripple.Path{routes.Flow1, routes.Flow2, routes.Flow3} {
 		for k := 0; k < 10; k++ {
 			flows = append(flows, ripple.Flow{
-				ID:      id,
 				Path:    p,
-				Traffic: ripple.TrafficWeb,
+				Traffic: browse,
 				Start:   ripple.Time(k) * 20 * ripple.Millisecond,
 			})
-			id++
 		}
 	}
 
@@ -39,7 +44,7 @@ func main() {
 		Seeds:    []uint64{1, 2},
 	}
 
-	fmt.Println("30 web-browsing connections (Pareto 80 KB transfers):")
+	fmt.Println("30 web-browsing connections (Pareto 40 KB transfers):")
 	for _, scheme := range []ripple.Scheme{ripple.SchemeDCF, ripple.SchemeAFR, ripple.SchemeRIPPLE} {
 		sc := scenario
 		sc.Scheme = scheme
@@ -47,11 +52,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		var transfers int64
+		var transfers float64
 		for _, f := range res.Flows {
-			transfers += f.Transfers
+			transfers += f.Transfers.Mean
 		}
-		fmt.Printf("  %-8s total %6.2f Mbps, %d transfers completed\n",
-			scheme, res.TotalMbps, transfers)
+		fmt.Printf("  %-8s total %6.2f ±%.2f Mbps, %.0f transfers completed\n",
+			scheme, res.Total.Mean, res.Total.CI95, transfers)
 	}
 }

@@ -82,6 +82,14 @@ type FlowSpec struct {
 	Start sim.Time
 	// CBRInterval overrides the CBR emission interval (0 = saturating).
 	CBRInterval sim.Time
+	// CBRPacketBytes overrides the CBR payload size (0 = Phy.PacketBytes).
+	CBRPacketBytes int
+	// TCP, VoIP and Web, when non-nil, override the scenario-wide model
+	// configs for this flow only. Overrides are used as-is — callers must
+	// supply complete configs (Normalize does not touch them).
+	TCP  *transport.TCPConfig
+	VoIP *transport.VoIPConfig
+	Web  *traffic.WebConfig
 }
 
 // Config is a complete scenario description.
@@ -270,24 +278,40 @@ func Run(cfg Config) (*Result, error) {
 		sendDst := schemes[dst].Send
 		switch f.Kind {
 		case FTP, Web:
-			conn := transport.NewTCP(eng, cfg.TCP, f.ID, src, dst, sendSrc, sendDst, fs)
+			tcpCfg := cfg.TCP
+			if f.TCP != nil {
+				tcpCfg = *f.TCP
+			}
+			conn := transport.NewTCP(eng, tcpCfg, f.ID, src, dst, sendSrc, sendDst, fs)
 			endpoints[endpointKey{f.ID, src}] = conn
 			endpoints[endpointKey{f.ID, dst}] = conn
 			if f.Kind == FTP {
 				start := f.Start
 				eng.At(start, conn.Start)
 			} else {
-				web := traffic.NewWeb(eng, cfg.Web, conn, cfg.TCP.MSS, sim.NewRNG(cfg.Seed, 10000+uint64(f.ID)))
+				webCfg := cfg.Web
+				if f.Web != nil {
+					webCfg = *f.Web
+				}
+				web := traffic.NewWeb(eng, webCfg, conn, tcpCfg.MSS, sim.NewRNG(cfg.Seed, 10000+uint64(f.ID)))
 				eng.At(f.Start, web.Start)
 			}
 		case VoIPTraffic:
-			v := transport.NewVoIP(eng, cfg.VoIP, f.ID, src, dst, sendSrc, fs,
+			voipCfg := cfg.VoIP
+			if f.VoIP != nil {
+				voipCfg = *f.VoIP
+			}
+			v := transport.NewVoIP(eng, voipCfg, f.ID, src, dst, sendSrc, fs,
 				sim.NewRNG(cfg.Seed, 10000+uint64(f.ID)))
 			endpoints[endpointKey{f.ID, dst}] = v
 			eng.At(f.Start, v.Start)
 		case CBRTraffic:
 			// CBRInterval zero selects backlogged (saturating) mode.
-			c := transport.NewCBR(eng, f.ID, src, dst, cfg.Phy.PacketBytes, f.CBRInterval, sendSrc, fs)
+			bytes := cfg.Phy.PacketBytes
+			if f.CBRPacketBytes > 0 {
+				bytes = f.CBRPacketBytes
+			}
+			c := transport.NewCBR(eng, f.ID, src, dst, bytes, f.CBRInterval, sendSrc, fs)
 			endpoints[endpointKey{f.ID, dst}] = c
 			eng.At(f.Start, c.Start)
 		default:

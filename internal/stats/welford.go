@@ -6,14 +6,21 @@ import "math"
 // algorithm), so batch layers can stream per-seed metrics into a summary
 // without retaining every sample. The zero value is ready to use.
 type Welford struct {
-	n    int64
-	mean float64
-	m2   float64
+	n        int64
+	mean     float64
+	m2       float64
+	min, max float64
 }
 
 // Add folds one sample into the accumulator.
 func (w *Welford) Add(x float64) {
 	w.n++
+	if w.n == 1 || x < w.min {
+		w.min = x
+	}
+	if w.n == 1 || x > w.max {
+		w.max = x
+	}
 	d := x - w.mean
 	w.mean += d / float64(w.n)
 	w.m2 += d * (x - w.mean)
@@ -24,6 +31,12 @@ func (w *Welford) N() int64 { return w.n }
 
 // Mean returns the running mean (0 with no samples).
 func (w *Welford) Mean() float64 { return w.mean }
+
+// Min returns the smallest sample seen (0 with no samples).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest sample seen (0 with no samples).
+func (w *Welford) Max() float64 { return w.max }
 
 // Variance returns the unbiased sample variance (0 below two samples).
 func (w *Welford) Variance() float64 {
@@ -48,7 +61,8 @@ func (w *Welford) CI95() float64 {
 
 // Summary snapshots the accumulator for reporting.
 func (w *Welford) Summary() Summary {
-	return Summary{N: w.n, Mean: w.Mean(), Variance: w.Variance(), CI95: w.CI95()}
+	return Summary{N: w.n, Mean: w.Mean(), Variance: w.Variance(),
+		CI95: w.CI95(), Min: w.Min(), Max: w.Max()}
 }
 
 // Summary is a finished mean ± 95% CI report for one metric of one cell.
@@ -57,6 +71,7 @@ type Summary struct {
 	Mean     float64
 	Variance float64
 	CI95     float64
+	Min, Max float64
 }
 
 // tTable95 holds two-sided 95% Student t critical values for 1-30 degrees

@@ -82,3 +82,34 @@ func TestTCritTailsOff(t *testing.T) {
 		t.Errorf("large df = %v, want 1.96", tCrit95(1000))
 	}
 }
+
+func TestWelfordMinMax(t *testing.T) {
+	var w Welford
+	if w.Min() != 0 || w.Max() != 0 {
+		t.Fatal("zero-value accumulator must report zero min/max")
+	}
+	for _, x := range []float64{3.5, -2, 7, 0.5} {
+		w.Add(x)
+	}
+	if w.Min() != -2 || w.Max() != 7 {
+		t.Fatalf("min/max = %v/%v, want -2/7", w.Min(), w.Max())
+	}
+	s := w.Summary()
+	if s.Min != -2 || s.Max != 7 {
+		t.Fatalf("Summary min/max = %+v", s)
+	}
+	// All-negative series: the first sample must seed both bounds.
+	var neg Welford
+	neg.Add(-5)
+	neg.Add(-3)
+	if neg.Min() != -5 || neg.Max() != -3 {
+		t.Fatalf("negative series min/max = %v/%v", neg.Min(), neg.Max())
+	}
+	// All-positive series must not keep a spurious zero minimum.
+	var pos Welford
+	pos.Add(4)
+	pos.Add(9)
+	if pos.Min() != 4 || pos.Max() != 9 {
+		t.Fatalf("positive series min/max = %v/%v", pos.Min(), pos.Max())
+	}
+}

@@ -1,0 +1,64 @@
+package ripple
+
+import "fmt"
+
+// Net bundles a topology with its ETX router so flows can be declared by
+// endpoints — the forwarder list between a source and destination is
+// computed from the link model instead of threaded through by hand:
+//
+//	net, _ := ripple.NewNet(top, ripple.DefaultRadio())
+//	res, err := ripple.Run(net.Scenario(ripple.SchemeRIPPLE,
+//		net.FlowTo(0, 3, ripple.FTP{}),
+//		net.FlowTo(5, 7, ripple.VoIP{}),
+//	))
+//
+// The same Radio configures route discovery and the simulated medium, so
+// the ETX metric always matches the channel the packets will see.
+type Net struct {
+	// Topology is the station layout the net was built over.
+	Topology Topology
+	// Radio is the propagation environment of both router and medium.
+	Radio Radio
+
+	router *Router
+}
+
+// NewNet builds the ETX link table for a topology under the given radio.
+func NewNet(top Topology, r Radio) (*Net, error) {
+	router, err := NewRouter(top, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Net{Topology: top, Radio: r, router: router}, nil
+}
+
+// Router returns the net's ETX router, for path inspection beyond FlowTo.
+func (n *Net) Router() *Router { return n.router }
+
+// FlowTo declares a flow from src to dst carrying the given traffic, with
+// the minimum-ETX path as its forwarder list. A route-discovery failure
+// (unreachable destination, station outside the topology) is carried
+// inside the returned Flow and surfaces, with the endpoints named, when
+// the scenario runs — so flow declarations compose without per-call error
+// checks. The flow's ID is assigned from its position in Scenario.Flows
+// (see Flow.ID).
+func (n *Net) FlowTo(src, dst NodeID, t TrafficSpec) Flow {
+	path, err := n.router.Path(src, dst)
+	if err != nil {
+		return Flow{Traffic: t, err: fmt.Errorf("no route %d→%d: %w", src, dst, err)}
+	}
+	return Flow{Path: path, Traffic: t}
+}
+
+// Scenario assembles a scenario over this net: the topology and radio are
+// prefilled so the run uses exactly the environment the routes were
+// computed for. Tune the remaining knobs (Duration, Seeds, …) on the
+// returned value.
+func (n *Net) Scenario(scheme Scheme, flows ...Flow) Scenario {
+	return Scenario{
+		Topology: n.Topology,
+		Radio:    n.Radio,
+		Scheme:   scheme,
+		Flows:    flows,
+	}
+}

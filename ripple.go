@@ -6,16 +6,16 @@
 //
 // A minimal run:
 //
-//	top, path := ripple.LineTopology(3)
-//	res, err := ripple.Run(ripple.Scenario{
-//		Topology: top,
-//		Scheme:   ripple.SchemeRIPPLE,
-//		Flows:    []ripple.Flow{{ID: 1, Path: path, Traffic: ripple.TrafficFTP}},
-//		Duration: 10 * ripple.Second,
-//		Seeds:    []uint64{1, 2, 3},
-//	})
+//	top, _ := ripple.LineTopology(3)
+//	net, _ := ripple.NewNet(top, ripple.DefaultRadio())
+//	sc := net.Scenario(ripple.SchemeRIPPLE, net.FlowTo(0, 3, ripple.FTP{}))
+//	sc.Duration = 10 * ripple.Second
+//	sc.Seeds = []uint64{1, 2, 3}
+//	res, err := ripple.Run(sc)
 //
-// Results report per-flow goodput, delay, reordering and (for VoIP) MoS.
+// Results report per-flow goodput, delay, reordering and (for VoIP) MoS;
+// every metric is a Metric carrying the seed mean with a 95% confidence
+// half-width, min, max and sample count.
 package ripple
 
 import (
@@ -24,10 +24,8 @@ import (
 
 	"ripple/internal/network"
 	"ripple/internal/phys"
-	"ripple/internal/radio"
 	"ripple/internal/routing"
 	"ripple/internal/sim"
-	"ripple/internal/topology"
 )
 
 // Time re-exports the simulator's nanosecond time unit.
@@ -69,21 +67,6 @@ const (
 	SchemeRIPPLENoAgg
 )
 
-// Traffic selects a flow's workload.
-type Traffic int
-
-// The available workloads.
-const (
-	// TrafficFTP is a long-lived backlogged TCP transfer.
-	TrafficFTP Traffic = iota + 1
-	// TrafficWeb is the ON/OFF Pareto short-transfer TCP workload.
-	TrafficWeb
-	// TrafficVoIP is a 96 kbps on-off voice stream (MoS-scored).
-	TrafficVoIP
-	// TrafficCBR is a saturated constant-bit-rate datagram stream.
-	TrafficCBR
-)
-
 // Topology is a set of station positions in metres.
 type Topology struct {
 	Name      string
@@ -93,31 +76,29 @@ type Topology struct {
 // Position is a station location in metres.
 type Position struct{ X, Y float64 }
 
-// Flow describes one traffic flow.
+// Flow describes one traffic flow. Declare flows either explicitly — a
+// Path from a topology constructor plus a TrafficSpec — or by endpoints
+// with Net.FlowTo, which computes the forwarder list.
 type Flow struct {
-	ID      int
-	Path    Path
-	Traffic Traffic
-	Start   Time
+	// ID labels the flow in results. Zero is auto-assigned the smallest
+	// unused positive integer in declaration order (explicit IDs are
+	// never reused).
+	ID int
+	// Path runs source..destination; for opportunistic schemes it doubles
+	// as the prioritised forwarder list.
+	Path Path
+	// Traffic is the flow's workload model: FTP, Web, VoIP or CBR.
+	Traffic TrafficSpec
+	// Start delays the flow's first packet.
+	Start Time
+
+	// err carries a deferred Net.FlowTo route-discovery failure.
+	err error
 }
 
-// RadioProfile selects the wireless propagation environment.
-type RadioProfile int
-
-// The available radio profiles.
-const (
-	// RadioDefault is the paper's shadowing model: path-loss exponent 5,
-	// 8 dB deviation, 281 mW transmit power, ~258 m half-loss range.
-	RadioDefault RadioProfile = iota + 1
-	// RadioHidden narrows carrier sensing (≈1.3× decode range) for the
-	// hidden-terminal scenarios, as the paper tunes per experiment.
-	RadioHidden
-	// RadioIdeal disables shadowing and bit errors (for calibration).
-	RadioIdeal
-)
-
 // Scenario is a complete experiment description. Zero values select the
-// paper's defaults (216 Mbps PHY, BER 1e-6, 10 s duration, seed 1).
+// paper's defaults (216 Mbps PHY, default radio with BER 1e-6, 10 s
+// duration, seed 1).
 type Scenario struct {
 	Topology Topology
 	Scheme   Scheme
@@ -125,13 +106,9 @@ type Scenario struct {
 	Duration Time
 	// Seeds runs the scenario once per seed (concurrently) and averages.
 	Seeds []uint64
-	// Radio selects the propagation profile (default RadioDefault).
-	Radio RadioProfile
-	// BitErrorRate overrides the channel BER (default 1e-6, "clear";
-	// the paper's "noisy" channel is 1e-5).
-	BitErrorRate float64
-	// LowRatePHY switches both PHY rates to 6 Mbps (Table III setting).
-	LowRatePHY bool
+	// Radio selects the propagation environment and PHY rate setting; the
+	// zero value is DefaultRadio().
+	Radio Radio
 	// MaxForwarders caps forwarder lists (default 5, paper Remark 4).
 	MaxForwarders int
 	// MaxAggregation caps packets per frame for RIPPLE and AFR
@@ -151,40 +128,44 @@ type Scenario struct {
 	TraceJSONL io.Writer
 }
 
-// FlowResult summarises one flow of a run. Metrics are means over the
-// scenario's seeds.
+// FlowResult summarises one flow of a run. Every field is aggregated over
+// the scenario's seeds.
 type FlowResult struct {
-	ID             int
-	ThroughputMbps float64
-	// ThroughputCI95 is the 95% confidence half-width of ThroughputMbps
-	// over the scenario's seeds (0 with fewer than two seeds).
-	ThroughputCI95 float64
-	MeanDelay      Time
-	ReorderRate    float64
-	PktsDelivered  int64
-	Transfers      int64
-	MoS            float64 // VoIP only
-	LossRate       float64 // VoIP only
+	ID int
+	// Throughput is the flow's goodput in Mbps.
+	Throughput Metric
+	// Delay is the mean one-way packet delay in milliseconds.
+	Delay Metric
+	// Reorder is the fraction of packets delivered out of order.
+	Reorder Metric
+	// Delivered counts packets delivered to the destination.
+	Delivered Metric
+	// Transfers counts completed transfers (Web workload).
+	Transfers Metric
+	// MoS is the Mean Opinion Score (VoIP only).
+	MoS Metric
+	// Loss is the fraction of packets lost or over delay budget (VoIP
+	// only).
+	Loss Metric
 }
 
-// Result summarises a scenario (averaged over seeds).
+// Result summarises a scenario, aggregated over its seeds.
 type Result struct {
-	Flows     []FlowResult
-	TotalMbps float64
-	// TotalMbpsCI95 is the 95% confidence half-width of TotalMbps over the
-	// scenario's seeds (0 with fewer than two seeds).
-	TotalMbpsCI95 float64
+	Flows []FlowResult
+	// Total is the summed flow throughput in Mbps.
+	Total Metric
 	// Fairness is Jain's index over per-flow throughputs (1 = equal).
-	Fairness float64
-	Events   uint64
+	Fairness Metric
+	// Events counts simulation events processed per run.
+	Events Metric
 	// AirtimePerNode and BusyFraction are populated when the scenario set
 	// TraceJSONL (measured on the first seed's run).
 	AirtimePerNode map[NodeID]Time
 	BusyFraction   float64
 }
 
-// Run executes a scenario and returns seed-averaged results. Seeds run as
-// independent units on the shared bounded worker pool (see RunBatch).
+// Run executes a scenario and returns seed-aggregated results. Seeds run
+// as independent units on the shared bounded worker pool (see RunBatch).
 func Run(s Scenario) (*Result, error) {
 	res, err := RunBatch(Campaign{Scenarios: []Scenario{s}})
 	if err != nil {
@@ -194,10 +175,12 @@ func Run(s Scenario) (*Result, error) {
 }
 
 // Compare runs the same scenario under several schemes — in parallel, as
-// one campaign on the shared pool — and returns total throughput keyed by
-// the scheme's paper label. TraceJSONL is rejected: the schemes' traces
-// would interleave on one writer; trace each scheme with its own Run.
-func Compare(s Scenario, schemes ...Scheme) (map[string]float64, error) {
+// one campaign on the shared pool — and returns each scheme's full Result
+// keyed by its paper label, so delay, fairness and confidence intervals
+// are available without re-running. TraceJSONL is rejected: the schemes'
+// traces would interleave on one writer; trace each scheme with its own
+// Run.
+func Compare(s Scenario, schemes ...Scheme) (map[string]*Result, error) {
 	if s.TraceJSONL != nil {
 		return nil, fmt.Errorf("ripple: Compare cannot trace (schemes run in parallel); use Run per scheme with separate writers")
 	}
@@ -211,9 +194,9 @@ func Compare(s Scenario, schemes ...Scheme) (map[string]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string]float64, len(schemes))
+	out := make(map[string]*Result, len(schemes))
 	for i, k := range schemes {
-		out[k.String()] = results[i].TotalMbps
+		out[k.String()] = results[i]
 	}
 	return out, nil
 }
@@ -245,21 +228,9 @@ func (s Scenario) toConfig() (*network.Config, error) {
 	if kind == 0 {
 		return nil, fmt.Errorf("ripple: unknown scheme %d", int(s.Scheme))
 	}
-	var rc radio.Config
-	switch s.Radio {
-	case RadioHidden:
-		rc = topology.HiddenRadio()
-	case RadioIdeal:
-		rc = radio.DefaultConfig()
-		rc.ShadowSigmaDB = 0
-		rc.BitErrorRate = 0
-	case RadioDefault, 0:
-		rc = radio.DefaultConfig()
-	default:
-		return nil, fmt.Errorf("ripple: unknown radio profile %d", int(s.Radio))
-	}
-	if s.BitErrorRate > 0 && s.Radio != RadioIdeal {
-		rc.BitErrorRate = s.BitErrorRate
+	rc, err := s.Radio.config()
+	if err != nil {
+		return nil, err
 	}
 	cfg := &network.Config{
 		Radio:         rc,
@@ -267,7 +238,7 @@ func (s Scenario) toConfig() (*network.Config, error) {
 		Duration:      s.Duration,
 		MaxForwarders: s.MaxForwarders,
 	}
-	if s.LowRatePHY {
+	if s.Radio.lowRate {
 		cfg.Phy = phys.LowRate()
 	}
 	if s.MaxAggregation > 0 {
@@ -276,31 +247,44 @@ func (s Scenario) toConfig() (*network.Config, error) {
 	}
 	cfg.MultiRate.Enabled = s.MultiRate
 	cfg.RTSThreshold = s.RTSThreshold
-	cfg.Positions = make([]radio.Pos, len(s.Topology.Positions))
+	cfg.Positions = make([]radioPos, len(s.Topology.Positions))
 	for i, p := range s.Topology.Positions {
-		cfg.Positions[i] = radio.Pos{X: p.X, Y: p.Y}
+		cfg.Positions[i] = radioPos{X: p.X, Y: p.Y}
 	}
+	// Auto-assigned IDs (Flow.ID zero) take the smallest unused positive
+	// integers in declaration order, skipping explicitly set IDs so mixing
+	// the two styles cannot manufacture a duplicate.
+	taken := make(map[int]bool, len(s.Flows))
 	for _, f := range s.Flows {
+		if f.ID != 0 {
+			taken[f.ID] = true
+		}
+	}
+	nextID := 1
+	for _, f := range s.Flows {
+		id := f.ID
+		if id == 0 {
+			for taken[nextID] {
+				nextID++
+			}
+			id = nextID
+			taken[id] = true
+		}
+		if f.err != nil {
+			return nil, fmt.Errorf("ripple: flow %d: %w", id, f.err)
+		}
+		if f.Traffic == nil {
+			return nil, fmt.Errorf("ripple: flow %d: no traffic model (set Traffic to FTP{}, Web{}, VoIP{} or CBR{})", id)
+		}
 		path := make(routing.Path, len(f.Path))
-		for i, n := range f.Path {
-			path[i] = pktNode(n)
+		for j, n := range f.Path {
+			path[j] = pktNode(n)
 		}
-		var kind network.TrafficKind
-		switch f.Traffic {
-		case TrafficFTP:
-			kind = network.FTP
-		case TrafficWeb:
-			kind = network.Web
-		case TrafficVoIP:
-			kind = network.VoIPTraffic
-		case TrafficCBR:
-			kind = network.CBRTraffic
-		default:
-			return nil, fmt.Errorf("ripple: flow %d: unknown traffic %d", f.ID, int(f.Traffic))
+		spec := network.FlowSpec{ID: id, Path: path, Start: f.Start}
+		if err := f.Traffic.applyTo(&spec); err != nil {
+			return nil, fmt.Errorf("ripple: flow %d: %w", id, err)
 		}
-		cfg.Flows = append(cfg.Flows, network.FlowSpec{
-			ID: f.ID, Path: path, Kind: kind, Start: f.Start,
-		})
+		cfg.Flows = append(cfg.Flows, spec)
 	}
 	return cfg, nil
 }

@@ -1,19 +1,22 @@
 package ripple
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestRunSmoke(t *testing.T) {
 	top, path := LineTopology(3)
 	res, err := Run(Scenario{
 		Topology: top,
 		Scheme:   SchemeRIPPLE,
-		Flows:    []Flow{{ID: 1, Path: path, Traffic: TrafficFTP}},
+		Flows:    []Flow{{ID: 1, Path: path, Traffic: FTP{}}},
 		Duration: Second,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Flows) != 1 || res.Flows[0].ThroughputMbps <= 0 {
+	if len(res.Flows) != 1 || res.Flows[0].Throughput.Mean <= 0 {
 		t.Fatalf("result = %+v", res)
 	}
 }
@@ -23,7 +26,7 @@ func TestRunRejectsUnknownScheme(t *testing.T) {
 	_, err := Run(Scenario{
 		Topology: top,
 		Scheme:   Scheme(99),
-		Flows:    []Flow{{ID: 1, Path: path, Traffic: TrafficFTP}},
+		Flows:    []Flow{{ID: 1, Path: path, Traffic: FTP{}}},
 		Duration: Second,
 	})
 	if err == nil {
@@ -31,16 +34,16 @@ func TestRunRejectsUnknownScheme(t *testing.T) {
 	}
 }
 
-func TestRunRejectsUnknownTraffic(t *testing.T) {
+func TestRunRejectsMissingTraffic(t *testing.T) {
 	top, path := LineTopology(2)
 	_, err := Run(Scenario{
 		Topology: top,
 		Scheme:   SchemeDCF,
-		Flows:    []Flow{{ID: 1, Path: path, Traffic: Traffic(99)}},
+		Flows:    []Flow{{ID: 1, Path: path}},
 		Duration: Second,
 	})
-	if err == nil {
-		t.Fatal("unknown traffic must error")
+	if err == nil || !strings.Contains(err.Error(), "no traffic model") {
+		t.Fatalf("missing traffic spec: err = %v", err)
 	}
 }
 
@@ -48,9 +51,9 @@ func TestCompareReturnsAllSchemes(t *testing.T) {
 	top, path := LineTopology(2)
 	sc := Scenario{
 		Topology: top,
-		Flows:    []Flow{{ID: 1, Path: path, Traffic: TrafficFTP}},
+		Flows:    []Flow{{ID: 1, Path: path, Traffic: FTP{}}},
 		Duration: Second,
-		Radio:    RadioIdeal,
+		Radio:    IdealRadio(),
 	}
 	got, err := Compare(sc, SchemeDCF, SchemeRIPPLE)
 	if err != nil {
@@ -59,7 +62,7 @@ func TestCompareReturnsAllSchemes(t *testing.T) {
 	if len(got) != 2 {
 		t.Fatalf("Compare = %v", got)
 	}
-	if got["RIPPLE"] <= 0 || got["DCF"] <= 0 {
+	if got["RIPPLE"].Total.Mean <= 0 || got["DCF"].Total.Mean <= 0 {
 		t.Fatalf("Compare = %v", got)
 	}
 }
@@ -103,25 +106,44 @@ func TestTopologyConstructorsExposePaperLayouts(t *testing.T) {
 
 func TestRadioProfiles(t *testing.T) {
 	top, path := LineTopology(1)
-	for _, prof := range []RadioProfile{RadioDefault, RadioHidden, RadioIdeal} {
+	for _, r := range []Radio{{}, DefaultRadio(), HiddenRadio(), IdealRadio(),
+		DefaultRadio().WithBER(1e-5), DefaultRadio().WithLowRatePHY()} {
 		_, err := Run(Scenario{
 			Topology: top,
 			Scheme:   SchemeDCF,
-			Radio:    prof,
-			Flows:    []Flow{{ID: 1, Path: path, Traffic: TrafficCBR}},
+			Radio:    r,
+			Flows:    []Flow{{ID: 1, Path: path, Traffic: CBR{}}},
 			Duration: 100 * Millisecond,
 		})
 		if err != nil {
-			t.Errorf("profile %d: %v", int(prof), err)
+			t.Errorf("radio %v: %v", r, err)
 		}
 	}
-	if _, err := Run(Scenario{
-		Topology: top,
-		Scheme:   SchemeDCF,
-		Radio:    RadioProfile(99),
-		Flows:    []Flow{{ID: 1, Path: path, Traffic: TrafficCBR}},
-		Duration: 100 * Millisecond,
-	}); err == nil {
-		t.Error("unknown radio profile must error")
+	for _, bad := range []float64{-1e-6, 1, 2} {
+		if _, err := Run(Scenario{
+			Topology: top,
+			Scheme:   SchemeDCF,
+			Radio:    DefaultRadio().WithBER(bad),
+			Flows:    []Flow{{ID: 1, Path: path, Traffic: CBR{}}},
+			Duration: 100 * Millisecond,
+		}); err == nil {
+			t.Errorf("BER %g must error", bad)
+		}
+	}
+}
+
+func TestRadioString(t *testing.T) {
+	cases := map[string]Radio{
+		"default":                  DefaultRadio(),
+		"hidden":                   HiddenRadio(),
+		"ideal":                    IdealRadio(),
+		"default(ber=1e-05)":       DefaultRadio().WithBER(1e-5),
+		"default(lowrate)":         DefaultRadio().WithLowRatePHY(),
+		"ideal(ber=0.001,lowrate)": IdealRadio().WithBER(1e-3).WithLowRatePHY(),
+	}
+	for want, r := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Radio.String() = %q, want %q", got, want)
+		}
 	}
 }

@@ -6,7 +6,6 @@ import (
 	"ripple/internal/pkt"
 	"ripple/internal/radio"
 	"ripple/internal/routing"
-	"ripple/internal/topology"
 )
 
 // Route discovery. The paper treats forwarder selection as orthogonal to
@@ -17,23 +16,18 @@ import (
 
 // Router computes minimum-ETX paths over a topology.
 type Router struct {
-	table *routing.Table
+	table    *routing.Table
+	stations int
 }
 
-// NewRouter builds the ETX link table for a topology under the given radio
-// profile (RadioDefault when zero).
-func NewRouter(top Topology, profile RadioProfile) (*Router, error) {
-	var rc radio.Config
-	switch profile {
-	case RadioHidden:
-		rc = topology.HiddenRadio()
-	case RadioIdeal:
-		rc = radio.DefaultConfig()
-		rc.ShadowSigmaDB = 0
-	case RadioDefault, 0:
-		rc = radio.DefaultConfig()
-	default:
-		return nil, fmt.Errorf("ripple: unknown radio profile %d", int(profile))
+// NewRouter builds the ETX link table for a topology under the given
+// radio (the zero Radio is DefaultRadio()). The link model is resolved by
+// the same profile→config mapping the simulator uses, so routes are
+// computed over exactly the channel the packets will see.
+func NewRouter(top Topology, r Radio) (*Router, error) {
+	rc, err := r.config()
+	if err != nil {
+		return nil, err
 	}
 	positions := make([]radio.Pos, len(top.Positions))
 	for i, p := range top.Positions {
@@ -42,12 +36,17 @@ func NewRouter(top Topology, profile RadioProfile) (*Router, error) {
 	tab := routing.NewTable(len(positions), func(a, b pkt.NodeID) float64 {
 		return 1 - rc.LossProb(radio.Dist(positions[a], positions[b]))
 	}, 0.1)
-	return &Router{table: tab}, nil
+	return &Router{table: tab, stations: len(positions)}, nil
 }
 
 // Path returns the minimum-ETX path between two stations, usable directly
 // as a Flow.Path (and as the forwarder list for opportunistic schemes).
 func (r *Router) Path(src, dst NodeID) (Path, error) {
+	for _, n := range []NodeID{src, dst} {
+		if n < 0 || n >= r.stations {
+			return nil, fmt.Errorf("station %d outside topology (%d stations)", n, r.stations)
+		}
+	}
 	p, err := r.table.ShortestPath(pkt.NodeID(src), pkt.NodeID(dst))
 	if err != nil {
 		return nil, err

@@ -5,15 +5,16 @@ import (
 	"testing"
 )
 
-// The toConfig error paths: a scenario with an unknown enum value must be
-// rejected with a message naming what was wrong, before any run starts.
+// The toConfig error paths: a scenario with an unknown scheme, an invalid
+// radio, a missing traffic model or out-of-range traffic parameters must
+// be rejected with a message naming what was wrong, before any run starts.
 
 func validScenario() Scenario {
 	top, path := LineTopology(2)
 	return Scenario{
 		Topology: top,
 		Scheme:   SchemeRIPPLE,
-		Flows:    []Flow{{ID: 1, Path: path, Traffic: TrafficFTP}},
+		Flows:    []Flow{{ID: 1, Path: path, Traffic: FTP{}}},
 		Duration: Second,
 	}
 }
@@ -34,43 +35,142 @@ func TestToConfigRejectsUnknownScheme(t *testing.T) {
 	}
 }
 
-func TestToConfigRejectsUnknownRadioProfile(t *testing.T) {
-	for _, profile := range []RadioProfile{RadioProfile(4), RadioProfile(99), RadioProfile(-2)} {
+func TestToConfigRejectsInvalidBER(t *testing.T) {
+	for _, ber := range []float64{-1, -1e-9, 1, 1.5} {
 		s := validScenario()
-		s.Radio = profile
+		s.Radio = DefaultRadio().WithBER(ber)
 		if _, err := s.toConfig(); err == nil {
-			t.Errorf("profile %d: no error", int(profile))
-		} else if !strings.Contains(err.Error(), "unknown radio profile") {
-			t.Errorf("profile %d: err = %v", int(profile), err)
+			t.Errorf("BER %g: no error", ber)
+		} else if !strings.Contains(err.Error(), "bit error rate") {
+			t.Errorf("BER %g: err = %v", ber, err)
 		}
+	}
+	// WithBER(0) is valid: an explicit error-free channel.
+	s := validScenario()
+	s.Radio = DefaultRadio().WithBER(0)
+	if _, err := s.toConfig(); err != nil {
+		t.Errorf("WithBER(0): %v", err)
 	}
 }
 
-func TestToConfigRejectsUnknownTraffic(t *testing.T) {
-	for _, traffic := range []Traffic{0, Traffic(77)} {
+func TestToConfigRejectsMissingTraffic(t *testing.T) {
+	s := validScenario()
+	s.Flows = []Flow{{ID: 5, Path: s.Flows[0].Path}}
+	_, err := s.toConfig()
+	if err == nil {
+		t.Fatal("nil traffic: no error")
+	}
+	// The message names the offending flow.
+	if !strings.Contains(err.Error(), "no traffic model") || !strings.Contains(err.Error(), "flow 5") {
+		t.Errorf("nil traffic: err = %v", err)
+	}
+}
+
+func TestToConfigRejectsInvalidTrafficParams(t *testing.T) {
+	cases := []struct {
+		name    string
+		traffic TrafficSpec
+		errPart string
+	}{
+		{"negative CBR interval", CBR{Interval: -Second}, "CBR interval"},
+		{"negative CBR size", CBR{PacketSize: -1}, "CBR packet size"},
+		{"pareto shape below 1", Web{ParetoShape: 0.5}, "Pareto shape"},
+		{"negative web bytes", Web{MeanTransferBytes: -1}, "web parameter"},
+		{"negative voip rate", VoIP{BitrateKbps: -96}, "VoIP parameter"},
+		{"negative tcp mss", FTP{TCP: TCPParams{MSS: -1}}, "TCP parameter"},
+		{"negative tcp rto", FTP{TCP: TCPParams{MSS: 1000, RTOMin: -Second}}, "TCP parameter"},
+	}
+	for _, c := range cases {
 		s := validScenario()
-		s.Flows = []Flow{{ID: 5, Path: s.Flows[0].Path, Traffic: traffic}}
+		s.Flows[0].Traffic = c.traffic
 		_, err := s.toConfig()
 		if err == nil {
-			t.Errorf("traffic %d: no error", int(traffic))
+			t.Errorf("%s: no error", c.name)
 			continue
 		}
-		// The message names the offending flow.
-		if !strings.Contains(err.Error(), "unknown traffic") || !strings.Contains(err.Error(), "flow 5") {
-			t.Errorf("traffic %d: err = %v", int(traffic), err)
+		if !strings.Contains(err.Error(), c.errPart) || !strings.Contains(err.Error(), "flow 1") {
+			t.Errorf("%s: err = %v", c.name, err)
 		}
 	}
 }
 
-func TestToConfigAcceptsEveryDeclaredSchemeAndProfile(t *testing.T) {
+func TestToConfigAcceptsEveryDeclaredSchemeAndRadio(t *testing.T) {
 	for _, scheme := range []Scheme{SchemeDCF, SchemeAFR, SchemePreExOR, SchemeMCExOR, SchemeRIPPLE, SchemeRIPPLENoAgg} {
-		for _, profile := range []RadioProfile{0, RadioDefault, RadioHidden, RadioIdeal} {
+		for _, r := range []Radio{{}, DefaultRadio(), HiddenRadio(), IdealRadio(), DefaultRadio().WithBER(1e-5)} {
 			s := validScenario()
 			s.Scheme = scheme
-			s.Radio = profile
+			s.Radio = r
 			if _, err := s.toConfig(); err != nil {
-				t.Errorf("scheme %v profile %d: %v", scheme, int(profile), err)
+				t.Errorf("scheme %v radio %v: %v", scheme, r, err)
 			}
 		}
+	}
+}
+
+func TestToConfigAutoAssignsFlowIDs(t *testing.T) {
+	s := validScenario()
+	p := s.Flows[0].Path
+	s.Flows = []Flow{
+		{Path: p, Traffic: FTP{}},
+		{Path: p, Traffic: VoIP{}},
+	}
+	cfg, err := s.toConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Flows[0].ID != 1 || cfg.Flows[1].ID != 2 {
+		t.Fatalf("auto IDs = %d, %d, want 1, 2", cfg.Flows[0].ID, cfg.Flows[1].ID)
+	}
+	// Mixing explicit and auto IDs must not collide: auto assignment
+	// skips IDs that are explicitly taken.
+	s.Flows = []Flow{
+		{Path: p, Traffic: FTP{}},
+		{ID: 1, Path: p, Traffic: FTP{}},
+		{Path: p, Traffic: FTP{}},
+	}
+	cfg, err = s.toConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Flows[0].ID != 2 || cfg.Flows[1].ID != 1 || cfg.Flows[2].ID != 3 {
+		t.Fatalf("mixed IDs = %d, %d, %d, want 2, 1, 3",
+			cfg.Flows[0].ID, cfg.Flows[1].ID, cfg.Flows[2].ID)
+	}
+}
+
+func TestToConfigPerFlowTrafficParams(t *testing.T) {
+	s := validScenario()
+	p := s.Flows[0].Path
+	s.Flows = []Flow{
+		{ID: 1, Path: p, Traffic: VoIP{BitrateKbps: 64, PacketInterval: 10 * Millisecond}},
+		{ID: 2, Path: p, Traffic: VoIP{}},
+		{ID: 3, Path: p, Traffic: Web{MeanTransferBytes: 20e3, TCP: TCPParams{MaxCwnd: 8}}},
+		{ID: 4, Path: p, Traffic: CBR{Interval: 5 * Millisecond, PacketSize: 200}},
+	}
+	cfg, err := s.toConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := cfg.Flows[0].VoIP
+	if v == nil || v.BitsPerSecond != 64e3 || v.PacketInterval != 10*Millisecond {
+		t.Fatalf("per-flow VoIP config = %+v", v)
+	}
+	// Unset fields keep the paper defaults.
+	if v.DelayBudget != 52*Millisecond {
+		t.Fatalf("VoIP delay budget = %v, want paper default", v.DelayBudget)
+	}
+	if d := cfg.Flows[1].VoIP; d == nil || d.BitsPerSecond != 96e3 {
+		t.Fatalf("default VoIP config = %+v", d)
+	}
+	w := cfg.Flows[2]
+	if w.Web == nil || w.Web.MeanTransferBytes != 20e3 || w.Web.ParetoShape != 1.5 {
+		t.Fatalf("per-flow web config = %+v", w.Web)
+	}
+	if w.TCP == nil || w.TCP.MaxCwnd != 8 || w.TCP.MSS != 1000 {
+		t.Fatalf("per-flow TCP config = %+v", w.TCP)
+	}
+	c := cfg.Flows[3]
+	if c.CBRInterval != 5*Millisecond || c.CBRPacketBytes != 200 {
+		t.Fatalf("per-flow CBR config = %+v", c)
 	}
 }

@@ -40,7 +40,7 @@ func RegularTopology(nFlows int) (Topology, []Path) {
 
 // HiddenTopology returns the Fig. 5(b) hidden-collision layout: the main
 // 3-hop flow plus nHidden single-hop interferer flows whose sources are
-// hidden from the main source. Use RadioHidden with it.
+// hidden from the main source. Use HiddenRadio() with it.
 func HiddenTopology(nHidden int) (Topology, Path, []Path) {
 	t, main, hidden := topology.Hidden(nHidden)
 	out := make([]Path, len(hidden))
@@ -51,7 +51,7 @@ func HiddenTopology(nHidden int) (Topology, Path, []Path) {
 }
 
 // WigleTopology returns the Fig. 9 access-point topology, the eight Fig. 10
-// flow paths, and the hidden S→R pair. Use RadioHidden for the ±hidden
+// flow paths, and the hidden S→R pair. Use HiddenRadio() for the ±hidden
 // variants.
 func WigleTopology() (Topology, []Path, Path) {
 	t, flows, hidden := topology.Wigle()

@@ -13,7 +13,7 @@ func TestRunWithTraceJSONL(t *testing.T) {
 	res, err := Run(Scenario{
 		Topology:   top,
 		Scheme:     SchemeRIPPLE,
-		Flows:      []Flow{{ID: 1, Path: path, Traffic: TrafficFTP}},
+		Flows:      []Flow{{ID: 1, Path: path, Traffic: FTP{}}},
 		Duration:   200 * Millisecond,
 		TraceJSONL: &buf,
 	})
@@ -57,7 +57,7 @@ func TestRunFairnessIndex(t *testing.T) {
 	top, paths := RegularTopology(3)
 	flows := make([]Flow, len(paths))
 	for i, p := range paths {
-		flows[i] = Flow{ID: i + 1, Path: p, Traffic: TrafficFTP,
+		flows[i] = Flow{ID: i + 1, Path: p, Traffic: FTP{},
 			Start: Time(i) * 50 * Millisecond}
 	}
 	res, err := Run(Scenario{
@@ -70,7 +70,7 @@ func TestRunFairnessIndex(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Symmetric parallel flows should share fairly.
-	if res.Fairness < 0.7 {
-		t.Fatalf("Jain fairness = %.3f over symmetric flows", res.Fairness)
+	if res.Fairness.Mean < 0.7 {
+		t.Fatalf("Jain fairness = %.3f over symmetric flows", res.Fairness.Mean)
 	}
 }

@@ -1,0 +1,198 @@
+package ripple
+
+import (
+	"fmt"
+
+	"ripple/internal/network"
+	"ripple/internal/traffic"
+	"ripple/internal/transport"
+)
+
+// TrafficSpec configures a flow's workload. The implementations are the
+// traffic model structs FTP, Web, VoIP and CBR; their zero values select
+// the paper's parameters, and every knob the internal models expose is a
+// public field, so sweep-style experiments can vary codec cadence, Pareto
+// shape, CBR rate or TCP windows per flow.
+type TrafficSpec interface {
+	// applyTo validates the spec and writes it into the flow.
+	applyTo(f *network.FlowSpec) error
+}
+
+// TCPParams tunes the TCP model of an FTP or Web flow. Zero fields keep
+// the paper's defaults (1000-byte MSS, 42-packet receiver window, NewReno
+// fast retransmit at 3 dupacks).
+type TCPParams struct {
+	MSS         int     // data packet payload bytes
+	AckBytes    int     // ACK packet bytes
+	InitialCwnd float64 // packets
+	MaxCwnd     float64 // receiver window, packets
+	SSThresh    float64 // initial slow-start threshold, packets
+	DupThresh   int     // dupacks triggering fast retransmit
+	RTOMin      Time
+	RTOInit     Time
+	RTOMax      Time
+}
+
+// toInternal resolves the params against the paper defaults, or returns
+// nil when every field is zero (use the scenario-wide default config).
+func (p TCPParams) toInternal() (*transport.TCPConfig, error) {
+	if p == (TCPParams{}) {
+		return nil, nil
+	}
+	if p.MSS < 0 || p.AckBytes < 0 || p.InitialCwnd < 0 || p.MaxCwnd < 0 ||
+		p.SSThresh < 0 || p.DupThresh < 0 ||
+		p.RTOMin < 0 || p.RTOInit < 0 || p.RTOMax < 0 {
+		return nil, fmt.Errorf("negative TCP parameter: %+v", p)
+	}
+	c := transport.DefaultTCPConfig()
+	if p.MSS > 0 {
+		c.MSS = p.MSS
+	}
+	if p.AckBytes > 0 {
+		c.AckBytes = p.AckBytes
+	}
+	if p.InitialCwnd > 0 {
+		c.InitialCwnd = p.InitialCwnd
+	}
+	if p.MaxCwnd > 0 {
+		c.MaxCwnd = p.MaxCwnd
+	}
+	if p.SSThresh > 0 {
+		c.SSThresh = p.SSThresh
+	}
+	if p.DupThresh > 0 {
+		c.DupThresh = p.DupThresh
+	}
+	if p.RTOMin > 0 {
+		c.RTOMin = p.RTOMin
+	}
+	if p.RTOInit > 0 {
+		c.RTOInit = p.RTOInit
+	}
+	if p.RTOMax > 0 {
+		c.RTOMax = p.RTOMax
+	}
+	return &c, nil
+}
+
+// FTP is a long-lived backlogged TCP transfer (§IV-A).
+type FTP struct {
+	// TCP overrides the flow's TCP model (zero = paper defaults).
+	TCP TCPParams
+}
+
+func (t FTP) applyTo(f *network.FlowSpec) error {
+	tcp, err := t.TCP.toInternal()
+	if err != nil {
+		return err
+	}
+	f.Kind = network.FTP
+	f.TCP = tcp
+	return nil
+}
+
+// Web is the ON/OFF short-transfer TCP workload (§IV-D): transfer sizes
+// follow a Pareto distribution, OFF (reading) periods are exponential.
+type Web struct {
+	// MeanTransferBytes is the Pareto mean transfer size (default 80 KB).
+	MeanTransferBytes float64
+	// ParetoShape is the Pareto tail index; must exceed 1 for the mean to
+	// exist (default 1.5).
+	ParetoShape float64
+	// MeanOffTime is the mean think time between transfers (default 1 s).
+	MeanOffTime Time
+	// TCP overrides the flow's TCP model (zero = paper defaults).
+	TCP TCPParams
+}
+
+func (t Web) applyTo(f *network.FlowSpec) error {
+	if t.MeanTransferBytes < 0 || t.MeanOffTime < 0 {
+		return fmt.Errorf("negative web parameter: %+v", t)
+	}
+	if t.ParetoShape != 0 && t.ParetoShape <= 1 {
+		return fmt.Errorf("web Pareto shape %g must exceed 1", t.ParetoShape)
+	}
+	tcp, err := t.TCP.toInternal()
+	if err != nil {
+		return err
+	}
+	c := traffic.DefaultWebConfig()
+	if t.MeanTransferBytes > 0 {
+		c.MeanTransferBytes = t.MeanTransferBytes
+	}
+	if t.ParetoShape > 0 {
+		c.ParetoShape = t.ParetoShape
+	}
+	if t.MeanOffTime > 0 {
+		c.OffMean = t.MeanOffTime
+	}
+	f.Kind = network.Web
+	f.Web = &c
+	f.TCP = tcp
+	return nil
+}
+
+// VoIP is the on-off voice stream (§IV-E), scored with the paper's
+// R-factor → Mean Opinion Score model.
+type VoIP struct {
+	// BitrateKbps is the codec rate during talkspurts (default 96).
+	BitrateKbps float64
+	// PacketInterval is the packetisation cadence (default 20 ms).
+	PacketInterval Time
+	// MeanOnTime and MeanOffTime are the exponential talkspurt and silence
+	// durations (default 1.5 s each).
+	MeanOnTime  Time
+	MeanOffTime Time
+	// DelayBudget is the one-way delay a packet may spend in flight before
+	// it counts as lost for MoS purposes (default 52 ms).
+	DelayBudget Time
+}
+
+func (t VoIP) applyTo(f *network.FlowSpec) error {
+	if t.BitrateKbps < 0 || t.PacketInterval < 0 || t.MeanOnTime < 0 ||
+		t.MeanOffTime < 0 || t.DelayBudget < 0 {
+		return fmt.Errorf("negative VoIP parameter: %+v", t)
+	}
+	c := transport.DefaultVoIPConfig()
+	if t.BitrateKbps > 0 {
+		c.BitsPerSecond = t.BitrateKbps * 1e3
+	}
+	if t.PacketInterval > 0 {
+		c.PacketInterval = t.PacketInterval
+	}
+	if t.MeanOnTime > 0 {
+		c.OnMean = t.MeanOnTime
+	}
+	if t.MeanOffTime > 0 {
+		c.OffMean = t.MeanOffTime
+	}
+	if t.DelayBudget > 0 {
+		c.DelayBudget = t.DelayBudget
+	}
+	f.Kind = network.VoIPTraffic
+	f.VoIP = &c
+	return nil
+}
+
+// CBR is a constant-bit-rate datagram stream.
+type CBR struct {
+	// Interval is the emission interval; 0 keeps the source saturated
+	// (backlogged), the v1 behaviour.
+	Interval Time
+	// PacketSize is the payload in bytes (default: the PHY packet size,
+	// 1000 bytes).
+	PacketSize int
+}
+
+func (t CBR) applyTo(f *network.FlowSpec) error {
+	if t.Interval < 0 {
+		return fmt.Errorf("negative CBR interval %v", t.Interval)
+	}
+	if t.PacketSize < 0 {
+		return fmt.Errorf("negative CBR packet size %d", t.PacketSize)
+	}
+	f.Kind = network.CBRTraffic
+	f.CBRInterval = t.Interval
+	f.CBRPacketBytes = t.PacketSize
+	return nil
+}
