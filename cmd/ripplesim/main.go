@@ -41,6 +41,11 @@ func run() int {
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON")
 		traceOut  = flag.String("trace", "", "write per-frame JSONL trace to this file")
 		multiRate = flag.Bool("multirate", false, "enable the multi-rate PHY extension")
+		routing   = flag.String("routing", "static", "route policy: static|etx|congestion")
+		alpha     = flag.Float64("alpha", 0, "congestion backlog weight in ETX per queued packet (0 = default 0.25)")
+		epochMs   = flag.Float64("epoch", 0, "dynamic-policy recompute interval in ms (0 = default 500)")
+		kRelays   = flag.Int("k", 0, "force routes to k intermediate relays (0 = unsized)")
+		priority  = flag.String("priority", "spaced", "relay sizing rule: spaced|neardst|nearsrc")
 		rts       = flag.Int("rts", 0, "RTS/CTS threshold in bytes for DCF/AFR (0 = off)")
 		parallel  = flag.Int("parallel", 0, "worker pool size for seed runs (0 = GOMAXPROCS)")
 		progress  = flag.Bool("progress", false, "report per-seed progress on stderr")
@@ -51,6 +56,55 @@ func run() int {
 		Duration:     ripple.Time(*durSec * float64(ripple.Second)),
 		MultiRate:    *multiRate,
 		RTSThreshold: *rts,
+	}
+	pol := strings.ToLower(*routing)
+	switch pol {
+	case "static", "":
+		pol = "static"
+		sc.Routing = ripple.StaticRouting()
+	case "etx":
+		sc.Routing = ripple.ETXRouting()
+	case "congestion", "orcd":
+		pol = "congestion"
+		sc.Routing = ripple.CongestionRouting()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown routing policy %q\n", *routing)
+		return 2
+	}
+	// Reject option/policy combinations that would silently do nothing, so
+	// the printed routing label never claims an inert knob was in force.
+	if *alpha > 0 {
+		if pol != "congestion" {
+			fmt.Fprintf(os.Stderr, "-alpha only applies to -routing congestion (got %s)\n", pol)
+			return 2
+		}
+		sc.Routing = sc.Routing.WithAlpha(*alpha)
+	}
+	if *epochMs > 0 {
+		if pol != "congestion" {
+			fmt.Fprintf(os.Stderr, "-epoch only applies to dynamic policies (-routing congestion, got %s)\n", pol)
+			return 2
+		}
+		sc.Routing = sc.Routing.WithEpoch(ripple.Time(*epochMs * float64(ripple.Millisecond)))
+	}
+	if *kRelays > 0 {
+		sc.Routing = sc.Routing.WithForwarders(*kRelays)
+	}
+	switch strings.ToLower(*priority) {
+	case "spaced", "":
+	case "neardst", "nearsrc":
+		if *kRelays <= 0 {
+			fmt.Fprintf(os.Stderr, "-priority only applies together with -k\n")
+			return 2
+		}
+		if strings.ToLower(*priority) == "neardst" {
+			sc.Routing = sc.Routing.WithPriority(ripple.PriorityNearDst)
+		} else {
+			sc.Routing = sc.Routing.WithPriority(ripple.PriorityNearSrc)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown sizing priority %q\n", *priority)
+		return 2
 	}
 	for s := 1; s <= *seeds; s++ {
 		sc.Seeds = append(sc.Seeds, uint64(s))
@@ -201,7 +255,11 @@ func run() int {
 		}
 		return 0
 	}
-	fmt.Printf("scheme=%s topo=%s radio=%s dur=%.0fs seeds=%d\n", sc.Scheme, *topo, sc.Radio, *durSec, *seeds)
+	header := fmt.Sprintf("scheme=%s topo=%s radio=%s", sc.Scheme, *topo, sc.Radio)
+	if rs := sc.Routing.String(); rs != "static" {
+		header += " routing=" + rs
+	}
+	fmt.Printf("%s dur=%.0fs seeds=%d\n", header, *durSec, *seeds)
 	for _, f := range res.Flows {
 		line := fmt.Sprintf("flow %2d: %8.3f Mbps  delay %8.2fms  reorder %5.2f%%",
 			f.ID, f.Throughput.Mean, f.Delay.Mean, 100*f.Reorder.Mean)

@@ -273,5 +273,6 @@ func Ablations() []Runner {
 		{"ablation-multirate", func(o Options) ([]*Table, error) { t, err := AblationMultiRate(o); return wrap(t, err) }},
 		{"ablation-rts", func(o Options) ([]*Table, error) { t, err := AblationRTS(o); return wrap(t, err) }},
 		{"ablation-etx", func(o Options) ([]*Table, error) { t, err := AblationETXRoutes(o); return wrap(t, err) }},
+		{"ablation-routepolicy", func(o Options) ([]*Table, error) { t, err := AblationRoutePolicy(o); return wrap(t, err) }},
 	}
 }

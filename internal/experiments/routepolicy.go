@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ripple/internal/network"
+	"ripple/internal/radio"
+	"ripple/internal/routing"
+	"ripple/internal/sim"
+	"ripple/internal/topology"
+)
+
+// AblationRoutePolicy sweeps the route policy × forwarder-count grid the
+// related work asks about: ETX (De Couto et al.) against ORCD-style
+// congestion diversity (Bhorkar et al.) across forwarder-list sizes
+// (Blomer & Jindal), on the Fig. 1 topology with RIPPLE forwarding. The
+// mix makes the policies disagree: VoIP 0→3 transits station 1 on its
+// minimum-ETX route while a hotspot FTP transfer *originates at* station
+// 1, so congestion diversity diverts the call through station 2. K=0
+// leaves routes unsized (the policy's own length).
+func AblationRoutePolicy(opt Options) (*Table, error) {
+	top := topology.Fig1()
+	rc := radio.DefaultConfig()
+	rc.BitErrorRate = 1e-6
+
+	kinds := []network.RoutePolicyKind{network.RouteETX, network.RouteCongestion}
+	ks := []int{0, 1, 2, 3}
+	rows := make([]string, len(kinds))
+	for i, k := range kinds {
+		rows[i] = k.String()
+	}
+	cols := make([]string, len(ks))
+	for i, k := range ks {
+		if k == 0 {
+			cols[i] = "K=free"
+		} else {
+			cols[i] = fmt.Sprintf("K=%d", k)
+		}
+	}
+	return tableGrid{
+		ID:    "ablation-routepolicy",
+		Title: "Route policy × forwarder count, VoIP+2 FTP on Fig.1, RIPPLE",
+		Unit:  "Mbps total",
+		Rows:  rows,
+		Cols:  cols,
+		Config: func(r, c int) (network.Config, error) {
+			return network.Config{
+				Positions: top.Positions,
+				Radio:     rc,
+				Scheme:    network.Ripple,
+				Routing:   network.RoutingSpec{Kind: kinds[r], K: ks[c]},
+				Flows: []network.FlowSpec{
+					{ID: 1, Path: routing.Path{0, 1, 3}, Kind: network.VoIPTraffic},
+					{ID: 2, Path: routing.Path{0, 2, 4}, Kind: network.FTP,
+						Start: 100 * sim.Millisecond},
+					{ID: 3, Path: routing.Path{1, 7}, Kind: network.FTP,
+						Start: 200 * sim.Millisecond},
+				},
+			}, nil
+		},
+		Metric: func(_, _ int, res *network.Result) float64 { return res.TotalMbps },
+	}.run(opt)
+}

@@ -66,6 +66,15 @@ func (b *RouteBook) Add(flow int, p routing.Path) {
 	b.paths[flow] = p.Limit(b.maxForwarders - 1)
 }
 
+// Update replaces a flow's path mid-run (route policies recompute routes
+// each epoch). The forwarder cap applies exactly as in Add. Schemes read
+// the book per transmission, so traffic still at the source or at stations
+// shared by both routes follows the new path from its next transmission;
+// packets already queued at a station the new route drops have no next hop
+// any more and are dropped there (counted as MACDrops) — re-routing under
+// load is not free, and loss/MoS results reflect that.
+func (b *RouteBook) Update(flow int, p routing.Path) { b.Add(flow, p) }
+
 // Path returns the registered path for a flow (nil if unknown).
 func (b *RouteBook) Path(flow int) routing.Path { return b.paths[flow] }
 

@@ -107,6 +107,9 @@ type Config struct {
 	Web           traffic.WebConfig
 	RippleOpts    core.Options // used by Ripple/RippleNoAgg
 	UnicastMaxAgg int          // aggregation for AFR (default 16)
+	// Routing selects the route policy (see RoutingSpec). The zero value
+	// keeps declared flow paths untouched.
+	Routing RoutingSpec
 	// MultiRate enables the paper's §V future-work extension: per-link PHY
 	// rate selection.
 	MultiRate MultiRateSpec
@@ -123,6 +126,100 @@ type Config struct {
 	// multi-seed run, install it on a single-seed Run: seeds execute
 	// concurrently and the hook is not synchronised.
 	Trace func(at sim.Time, event string, node pkt.NodeID, f *pkt.Frame)
+}
+
+// RoutePolicyKind selects a built-in route policy.
+type RoutePolicyKind int
+
+const (
+	// RouteStatic uses each flow's declared Path as given, never
+	// recomputed — the pre-policy behaviour, and the default.
+	RouteStatic RoutePolicyKind = iota
+	// RouteETX recomputes minimum-ETX routes from the flow endpoints at
+	// run start (De Couto et al.; what ExOR/MORE use).
+	RouteETX
+	// RouteCongestion is the ORCD-style congestion-diversity policy
+	// (Bhorkar et al.): link ETX plus Alpha per queued packet at the relay,
+	// recomputed every Epoch from live queue depths.
+	RouteCongestion
+)
+
+// String names the kind for sweep labels.
+func (k RoutePolicyKind) String() string {
+	switch k {
+	case RouteStatic:
+		return "static"
+	case RouteETX:
+		return "etx"
+	case RouteCongestion:
+		return "congestion"
+	default:
+		return fmt.Sprintf("RoutePolicyKind(%d)", int(k))
+	}
+}
+
+// DefaultRouteEpoch is the default recompute interval of dynamic route
+// policies: long enough for queues to reflect sustained load rather than a
+// single aggregation burst, short enough to re-route several times within
+// the paper's 10 s runs.
+const DefaultRouteEpoch = 500 * sim.Millisecond
+
+// routeSamplesPerEpoch is how many queue-depth samples feed each epoch's
+// congestion measure; the mean over the epoch stands in for ORCD's
+// time-averaged backlog.
+const routeSamplesPerEpoch = 16
+
+// RoutingSpec selects the route policy of a run. The zero value is
+// RouteStatic: flows keep their declared paths and nothing is recomputed,
+// preserving pre-policy behaviour bit for bit.
+type RoutingSpec struct {
+	Kind RoutePolicyKind
+	// Alpha is the congestion-diversity backlog weight in ETX units per
+	// queued packet (0 selects routing.DefaultCongestionAlpha).
+	Alpha float64
+	// Epoch is the recompute interval for dynamic policies
+	// (0 selects DefaultRouteEpoch).
+	Epoch sim.Time
+	// K, when positive, forces every route to carry exactly min(K,
+	// available) intermediate relays — truncating by Rule, padding with
+	// off-route ETX-progress stations. 0 leaves routes unsized. With
+	// RouteStatic the declared paths are sized in place, without
+	// recomputation.
+	K int
+	// Rule orders relays when K truncates (default routing.SizeSpaced).
+	Rule routing.SizingRule
+	// Policy, when non-nil, overrides Kind with a custom routing.Policy
+	// (the K/Rule sizing wrapper still applies).
+	Policy routing.Policy
+}
+
+// active reports whether the spec changes routing at all.
+func (s RoutingSpec) active() bool {
+	return s.Kind != RouteStatic || s.Policy != nil || s.K > 0
+}
+
+// build resolves the spec into a routing.Policy over the run's link table.
+func (s RoutingSpec) build(t *routing.Table) (routing.Policy, error) {
+	pol := s.Policy
+	if pol == nil {
+		switch s.Kind {
+		case RouteStatic:
+			// Static means "declared paths, never recomputed" — Run sizes
+			// those in place without a policy; resolving one here would
+			// silently break that contract.
+			return nil, fmt.Errorf("network: RouteStatic does not resolve to a policy")
+		case RouteETX:
+			pol = routing.NewETXPolicy(t)
+		case RouteCongestion:
+			pol = routing.NewCongestionPolicy(t, s.Alpha)
+		default:
+			return nil, fmt.Errorf("network: unknown route policy kind %d", int(s.Kind))
+		}
+	}
+	if s.K > 0 {
+		pol = routing.Sized(pol, t, s.K, s.Rule)
+	}
+	return pol, nil
 }
 
 // MultiRateSpec configures the multi-rate extension.
@@ -218,8 +315,39 @@ func Run(cfg Config) (*Result, error) {
 	medium.Trace = cfg.Trace
 
 	routes := forward.NewRouteBook(cfg.MaxForwarders)
+	var policy routing.Policy
+	var table *routing.Table
+	if cfg.Routing.active() {
+		// The policy's link table uses the same radio the medium will, so
+		// the metric always matches the channel the packets see (the
+		// minProb floor matches the public Router).
+		table = routing.NewTable(len(cfg.Positions), func(a, b pkt.NodeID) float64 {
+			return 1 - cfg.Radio.LossProb(radio.Dist(cfg.Positions[a], cfg.Positions[b]))
+		}, 0.1)
+		// RouteStatic with K set sizes the declared paths in place; every
+		// other active spec resolves to a policy that recomputes routes
+		// from the flow endpoints.
+		if cfg.Routing.Kind != RouteStatic || cfg.Routing.Policy != nil {
+			pol, err := cfg.Routing.build(table)
+			if err != nil {
+				return nil, err
+			}
+			policy = pol
+		}
+	}
 	for _, f := range cfg.Flows {
-		routes.Add(f.ID, f.Path)
+		switch {
+		case policy != nil:
+			p, err := policy.Route(f.Path.Src(), f.Path.Dst(), nil)
+			if err != nil {
+				return nil, fmt.Errorf("network: flow %d: %s route: %w", f.ID, policy.Name(), err)
+			}
+			routes.Add(f.ID, p)
+		case table != nil:
+			routes.Add(f.ID, routing.Resize(table, f.Path, cfg.Routing.K, cfg.Routing.Rule))
+		default:
+			routes.Add(f.ID, f.Path)
+		}
 	}
 
 	var rateOracle *rateadapt.OracleSelector
@@ -267,6 +395,58 @@ func Run(cfg Config) (*Result, error) {
 		}
 		schemes[i] = newScheme(cfg, env)
 		medium.Attach(id, schemes[i])
+	}
+
+	if policy != nil && policy.Dynamic() {
+		// Re-route from observed queue depths every epoch. An instantaneous
+		// sample at the epoch boundary mostly sees drained queues (the MAC
+		// empties in bursts), so the congestion measure is the mean depth
+		// over several samples per epoch — the time-averaged backlog ORCD's
+		// analysis uses. Everything runs inside the engine's event loop
+		// (single-threaded, deterministic order), so results are
+		// bit-identical at any pool parallelism. A flow whose recompute
+		// fails under the current backlog keeps its previous route —
+		// transient congestion must not kill the flow.
+		epoch := cfg.Routing.Epoch
+		if epoch <= 0 {
+			epoch = DefaultRouteEpoch
+		}
+		interval := epoch / routeSamplesPerEpoch
+		if interval <= 0 {
+			interval = 1
+		}
+		depthSum := make([]int, len(schemes))
+		sampled := 0
+		var sample func()
+		sample = func() {
+			for i, s := range schemes {
+				depthSum[i] += s.QueueLen()
+			}
+			sampled++
+			eng.After(interval, sample)
+		}
+		eng.After(interval, sample)
+		backlog := func(n pkt.NodeID) int {
+			if sampled == 0 {
+				return schemes[n].QueueLen()
+			}
+			return depthSum[n] / sampled
+		}
+		var reroute func()
+		reroute = func() {
+			for _, f := range cfg.Flows {
+				p, err := policy.Route(f.Path.Src(), f.Path.Dst(), backlog)
+				if err == nil {
+					routes.Update(f.ID, p)
+				}
+			}
+			for i := range depthSum {
+				depthSum[i] = 0
+			}
+			sampled = 0
+			eng.After(epoch, reroute)
+		}
+		eng.After(epoch, reroute)
 	}
 
 	flowStats := make([]*stats.Flow, len(cfg.Flows))

@@ -90,42 +90,25 @@ func (q *pq) Pop() any {
 	return it
 }
 
+// LinkCostFunc maps a usable directed link u→v with ETX metric etx to the
+// cost Dijkstra minimises. Policies use it to bend route selection around
+// state the plain ETX table cannot see (queue backlog, energy, trust).
+// Returning +Inf removes the link for this computation.
+type LinkCostFunc func(u, v pkt.NodeID, etx float64) float64
+
 // ShortestPath runs Dijkstra over the ETX table and returns the minimum-ETX
 // path from src to dst, or an error when dst is unreachable.
 func (t *Table) ShortestPath(src, dst pkt.NodeID) (Path, error) {
-	const inf = math.MaxFloat64
-	dist := make([]float64, t.n)
-	prev := make([]pkt.NodeID, t.n)
-	done := make([]bool, t.n)
-	for i := range dist {
-		dist[i] = inf
-		prev[i] = -1
-	}
-	dist[src] = 0
-	q := &pq{{node: src, dist: 0}}
-	for q.Len() > 0 {
-		it := heap.Pop(q).(*pqItem)
-		u := it.node
-		if done[u] {
-			continue
-		}
-		done[u] = true
-		if u == dst {
-			break
-		}
-		for v := 0; v < t.n; v++ {
-			w := t.etx[int(u)*t.n+v]
-			if math.IsInf(w, 1) || done[v] {
-				continue
-			}
-			if nd := dist[u] + w; nd < dist[v] {
-				dist[v] = nd
-				prev[v] = u
-				heap.Push(q, &pqItem{node: pkt.NodeID(v), dist: nd})
-			}
-		}
-	}
-	if dist[dst] == inf {
+	return t.ShortestPathCost(src, dst, nil)
+}
+
+// ShortestPathCost runs Dijkstra with a custom link cost (nil selects the
+// raw ETX metric) and returns the minimum-cost path from src to dst, or an
+// error when dst is unreachable. Only links the table considers usable
+// (finite ETX) are offered to the cost function.
+func (t *Table) ShortestPathCost(src, dst pkt.NodeID, cost LinkCostFunc) (Path, error) {
+	dist, prev := t.dijkstra(src, cost)
+	if math.IsInf(dist[dst], 1) {
 		return nil, fmt.Errorf("routing: no path %d -> %d", src, dst)
 	}
 	var rev Path
@@ -141,3 +124,56 @@ func (t *Table) ShortestPath(src, dst pkt.NodeID) (Path, error) {
 	}
 	return p, nil
 }
+
+// Distances returns the minimum-cost distance from src to every station
+// (nil cost selects raw ETX; +Inf marks unreachable stations). The ETX
+// metric is symmetric (1/(df·dr) does not depend on direction), so
+// Distances(dst, nil) also gives every station's distance *to* dst — the
+// "ETX progress" ordering opportunistic relay selection relies on.
+func (t *Table) Distances(src pkt.NodeID, cost LinkCostFunc) []float64 {
+	dist, _ := t.dijkstra(src, cost)
+	return dist
+}
+
+// dijkstra computes single-source minimum-cost distances and predecessors
+// over the usable links of the table.
+func (t *Table) dijkstra(src pkt.NodeID, cost LinkCostFunc) ([]float64, []pkt.NodeID) {
+	dist := make([]float64, t.n)
+	prev := make([]pkt.NodeID, t.n)
+	done := make([]bool, t.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	q := &pq{{node: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(*pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for v := 0; v < t.n; v++ {
+			w := t.etx[int(u)*t.n+v]
+			if math.IsInf(w, 1) || done[v] {
+				continue
+			}
+			if cost != nil {
+				w = cost(u, pkt.NodeID(v), w)
+				if math.IsInf(w, 1) {
+					continue
+				}
+			}
+			if nd := dist[u] + w; nd < dist[v] {
+				dist[v] = nd
+				prev[v] = u
+				heap.Push(q, &pqItem{node: pkt.NodeID(v), dist: nd})
+			}
+		}
+	}
+	return dist, prev
+}
+
+// Stations returns the number of stations the table was built over.
+func (t *Table) Stations() int { return t.n }

@@ -1,6 +1,10 @@
 // Package routing provides route representations (node paths and forwarder
-// lists), the static Table II routes for the Fig. 1 topology, and ETX-based
-// route discovery (De Couto et al.) over the radio link model.
+// lists), the static Table II routes for the Fig. 1 topology, an ETX link
+// table (De Couto et al.) with pluggable-cost Dijkstra over the radio link
+// model, and the Policy interface with its implementations: static
+// minimum-ETX discovery, ORCD-style congestion-diversity routing that folds
+// live queue backlog into the metric, and a forwarder-list sizing wrapper
+// that forces routes to K relays.
 package routing
 
 import (

@@ -1,0 +1,278 @@
+package routing
+
+import (
+	"math"
+	"testing"
+
+	"ripple/internal/pkt"
+)
+
+// diamondTable builds a 4-station diamond: 0 and 3 are the endpoints, 1 and
+// 2 are alternate relays. Link 0↔1↔3 is slightly better than 0↔2↔3, and no
+// direct 0↔3 link exists.
+//
+//	    1
+//	  /   \
+//	0       3
+//	  \   /
+//	    2
+func diamondTable() *Table {
+	prob := map[[2]pkt.NodeID]float64{
+		{0, 1}: 0.95, {1, 3}: 0.95,
+		{0, 2}: 0.90, {2, 3}: 0.90,
+		{1, 2}: 0.50,
+	}
+	return NewTable(4, func(a, b pkt.NodeID) float64 {
+		if p, ok := prob[[2]pkt.NodeID{a, b}]; ok {
+			return p
+		}
+		if p, ok := prob[[2]pkt.NodeID{b, a}]; ok {
+			return p
+		}
+		return 0
+	}, 0.1)
+}
+
+// lineTable builds an n-station chain with uniform 0.9 links between
+// neighbours only.
+func lineTable(n int) *Table {
+	return NewTable(n, func(a, b pkt.NodeID) float64 {
+		d := int(a) - int(b)
+		if d == 1 || d == -1 {
+			return 0.9
+		}
+		return 0
+	}, 0.1)
+}
+
+func TestETXPolicyMatchesShortestPath(t *testing.T) {
+	tab := diamondTable()
+	pol := NewETXPolicy(tab)
+	if pol.Dynamic() {
+		t.Error("ETX must be static")
+	}
+	got, err := pol.Route(0, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := tab.ShortestPath(0, 3)
+	if len(got) != len(want) {
+		t.Fatalf("policy route %v != ShortestPath %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("policy route %v != ShortestPath %v", got, want)
+		}
+	}
+	if got[1] != 1 {
+		t.Fatalf("min-ETX route must transit the better relay 1, got %v", got)
+	}
+}
+
+// TestCongestionCostMonotone asserts the metric's core property: the cost
+// of a path through a relay never decreases as the relay's backlog grows,
+// and grows strictly while other paths are unaffected.
+func TestCongestionCostMonotone(t *testing.T) {
+	tab := diamondTable()
+	pol := NewCongestionPolicy(tab, 0.25)
+	via1 := Path{0, 1, 3}
+	via2 := Path{0, 2, 3}
+	at1 := func(depth int) BacklogFunc {
+		return func(n pkt.NodeID) int {
+			if n == 1 {
+				return depth
+			}
+			return 0
+		}
+	}
+	prev := math.Inf(-1)
+	base2 := pol.PathCost(via2, at1(0))
+	for _, depth := range []int{0, 1, 2, 5, 10, 50} {
+		c1 := pol.PathCost(via1, at1(depth))
+		if c1 <= prev {
+			t.Fatalf("cost via relay 1 not strictly increasing: %v at depth %d after %v", c1, depth, prev)
+		}
+		prev = c1
+		if c2 := pol.PathCost(via2, at1(depth)); c2 != base2 {
+			t.Fatalf("backlog at 1 changed the cost of %v: %v != %v", via2, c2, base2)
+		}
+	}
+	// The increment per packet is exactly Alpha.
+	d0, d1 := pol.PathCost(via1, at1(0)), pol.PathCost(via1, at1(1))
+	if diff := d1 - d0; math.Abs(diff-0.25) > 1e-12 {
+		t.Fatalf("per-packet increment = %v, want Alpha 0.25", diff)
+	}
+}
+
+func TestCongestionRouteDivertsAroundBacklog(t *testing.T) {
+	tab := diamondTable()
+	pol := NewCongestionPolicy(tab, 0.25)
+	if !pol.Dynamic() {
+		t.Error("congestion policy must be dynamic")
+	}
+	// Unloaded (and with nil backlog) it is plain ETX: via relay 1.
+	p, err := pol.Route(0, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[1] != 1 {
+		t.Fatalf("unloaded route %v, want via 1", p)
+	}
+	// Ten queued packets at relay 1 (2.5 ETX penalty) outweigh the ETX gap
+	// between the relays; the route must divert via 2.
+	p, err = pol.Route(0, 3, func(n pkt.NodeID) int {
+		if n == 1 {
+			return 10
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[1] != 2 {
+		t.Fatalf("loaded route %v, want diversion via 2", p)
+	}
+}
+
+// TestCongestionDestinationExempt asserts backlog at the destination never
+// repels a route — its queue holds traffic it originates, not traffic it
+// must forward.
+func TestCongestionDestinationExempt(t *testing.T) {
+	tab := diamondTable()
+	pol := NewCongestionPolicy(tab, 0.25)
+	heavyDst := func(n pkt.NodeID) int {
+		if n == 3 {
+			return 50
+		}
+		return 0
+	}
+	p, err := pol.Route(0, 3, heavyDst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	etx, _ := tab.ShortestPath(0, 3)
+	if len(p) != len(etx) {
+		t.Fatalf("destination backlog changed the route: %v vs %v", p, etx)
+	}
+	if c := pol.PathCost(Path{0, 1, 3}, heavyDst); c != pol.PathCost(Path{0, 1, 3}, nil) {
+		t.Fatalf("destination backlog leaked into PathCost: %v", c)
+	}
+}
+
+func TestCongestionAlphaDefault(t *testing.T) {
+	if pol := NewCongestionPolicy(diamondTable(), 0); pol.Alpha != DefaultCongestionAlpha {
+		t.Fatalf("Alpha = %v, want default %v", pol.Alpha, DefaultCongestionAlpha)
+	}
+}
+
+func TestSizedTruncationEdgeCases(t *testing.T) {
+	tab := lineTable(7) // route 0..6 has 5 interior relays
+	inner := NewETXPolicy(tab)
+	for _, tc := range []struct {
+		k    int
+		rule SizingRule
+		want Path
+	}{
+		{k: 1, rule: SizeSpaced, want: Path{0, 3, 6}},
+		{k: 1, rule: SizeNearDst, want: Path{0, 5, 6}},
+		{k: 1, rule: SizeNearSrc, want: Path{0, 1, 6}},
+		{k: 2, rule: SizeNearDst, want: Path{0, 4, 5, 6}},
+		{k: 2, rule: SizeNearSrc, want: Path{0, 1, 2, 6}},
+		{k: 0, rule: SizeSpaced, want: Path{0, 6}},
+		// K equal to the candidate count: unchanged.
+		{k: 5, rule: SizeSpaced, want: Path{0, 1, 2, 3, 4, 5, 6}},
+		{k: 5, rule: SizeNearDst, want: Path{0, 1, 2, 3, 4, 5, 6}},
+	} {
+		pol := Sized(inner, tab, tc.k, tc.rule)
+		got, err := pol.Route(0, 6, nil)
+		if err != nil {
+			t.Fatalf("k=%d/%v: %v", tc.k, tc.rule, err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("k=%d/%v: invalid path: %v", tc.k, tc.rule, err)
+		}
+		if len(got) != len(tc.want) {
+			t.Fatalf("k=%d/%v: route %v, want %v", tc.k, tc.rule, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("k=%d/%v: route %v, want %v", tc.k, tc.rule, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestSizedPaddingAddsProgressRelays(t *testing.T) {
+	tab := diamondTable()
+	inner := NewETXPolicy(tab)
+	// The min-ETX route 0-1-3 has one relay; K=2 must pull in the only
+	// other progress-making station, relay 2.
+	pol := Sized(inner, tab, 2, SizeSpaced)
+	got, err := pol.Route(0, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("padded path invalid: %v (%v)", err, got)
+	}
+	if len(got) != 4 || !got.Contains(1) || !got.Contains(2) {
+		t.Fatalf("padded route %v, want both relays present", got)
+	}
+	if got.Src() != 0 || got.Dst() != 3 {
+		t.Fatalf("padding moved the endpoints: %v", got)
+	}
+	// Every consecutive pair must remain a usable link (paths stay
+	// walkable hop-by-hop).
+	for i := 0; i+1 < len(got); i++ {
+		if math.IsInf(tab.LinkETX(got[i], got[i+1]), 1) {
+			t.Fatalf("padded path %v uses unusable link %d->%d", got, got[i], got[i+1])
+		}
+	}
+}
+
+// TestSizedPaddingExhaustsCandidates asserts K beyond the available relay
+// pool keeps the path valid at its maximum reachable size instead of
+// inventing stations.
+func TestSizedPaddingExhaustsCandidates(t *testing.T) {
+	tab := diamondTable()
+	pol := Sized(NewETXPolicy(tab), tab, 10, SizeSpaced)
+	got, err := pol.Route(0, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("invalid path: %v", err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("route %v, want all 4 stations and no more", got)
+	}
+}
+
+func TestSizedNameAndDynamic(t *testing.T) {
+	tab := diamondTable()
+	if name := Sized(NewETXPolicy(tab), tab, 3, SizeSpaced).Name(); name != "etx+k3" {
+		t.Errorf("Name = %q", name)
+	}
+	if name := Sized(NewCongestionPolicy(tab, 0), tab, 2, SizeNearDst).Name(); name != "congestion+k2/neardst" {
+		t.Errorf("Name = %q", name)
+	}
+	if !Sized(NewCongestionPolicy(tab, 0), tab, 2, SizeSpaced).Dynamic() {
+		t.Error("sized congestion must stay dynamic")
+	}
+	if Sized(NewETXPolicy(tab), tab, 2, SizeSpaced).Dynamic() {
+		t.Error("sized ETX must stay static")
+	}
+}
+
+func TestResizeDeclaredPath(t *testing.T) {
+	tab := lineTable(5)
+	// Resize works on hand-declared paths without recomputation.
+	got := Resize(tab, Path{0, 1, 2, 3, 4}, 1, SizeSpaced)
+	if len(got) != 3 || got[0] != 0 || got[2] != 4 {
+		t.Fatalf("Resize = %v", got)
+	}
+	// Negative K clamps to endpoints only.
+	if got := Resize(tab, Path{0, 1, 2, 3, 4}, -1, SizeSpaced); len(got) != 2 {
+		t.Fatalf("Resize(k=-1) = %v", got)
+	}
+}

@@ -19,6 +19,9 @@ type Net struct {
 	Topology Topology
 	// Radio is the propagation environment of both router and medium.
 	Radio Radio
+	// Routing is the route policy prefilled into scenarios built with
+	// Scenario (zero = StaticRouting(); set with WithRouting).
+	Routing Routing
 
 	router *Router
 }
@@ -34,6 +37,19 @@ func NewNet(top Topology, r Radio) (*Net, error) {
 
 // Router returns the net's ETX router, for path inspection beyond FlowTo.
 func (n *Net) Router() *Router { return n.router }
+
+// WithRouting sets the route policy scenarios built from this net will use
+// and returns the net for chaining:
+//
+//	net, _ := ripple.NewNet(top, ripple.DefaultRadio())
+//	sc := net.WithRouting(ripple.CongestionRouting()).Scenario(...)
+//
+// FlowTo keeps declaring flows over the minimum-ETX path either way — a
+// dynamic policy re-routes from the same endpoints once the run starts.
+func (n *Net) WithRouting(r Routing) *Net {
+	n.Routing = r
+	return n
+}
 
 // FlowTo declares a flow from src to dst carrying the given traffic, with
 // the minimum-ETX path as its forwarder list. A route-discovery failure
@@ -58,6 +74,7 @@ func (n *Net) Scenario(scheme Scheme, flows ...Flow) Scenario {
 	return Scenario{
 		Topology: n.Topology,
 		Radio:    n.Radio,
+		Routing:  n.Routing,
 		Scheme:   scheme,
 		Flows:    flows,
 	}

@@ -109,6 +109,10 @@ type Scenario struct {
 	// Radio selects the propagation environment and PHY rate setting; the
 	// zero value is DefaultRadio().
 	Radio Radio
+	// Routing selects the route policy; the zero value is StaticRouting()
+	// (declared flow paths, used as given). See ETXRouting,
+	// CongestionRouting and the WithForwarders sizing option.
+	Routing Routing
 	// MaxForwarders caps forwarder lists (default 5, paper Remark 4).
 	MaxForwarders int
 	// MaxAggregation caps packets per frame for RIPPLE and AFR
@@ -237,6 +241,7 @@ func (s Scenario) toConfig() (*network.Config, error) {
 		Scheme:        kind,
 		Duration:      s.Duration,
 		MaxForwarders: s.MaxForwarders,
+		Routing:       s.Routing.spec(),
 	}
 	if s.Radio.lowRate {
 		cfg.Phy = phys.LowRate()

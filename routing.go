@@ -1,0 +1,140 @@
+package ripple
+
+import (
+	"fmt"
+	"strings"
+
+	"ripple/internal/network"
+	"ripple/internal/routing"
+	"ripple/internal/sim"
+)
+
+// Routing selects how flow routes — and thus the prioritised forwarder
+// lists of the opportunistic schemes — are computed, mirroring the Radio
+// pattern: named policies plus chainable options. The zero value is
+// StaticRouting(): flows keep exactly the paths they were declared with
+// (Net.FlowTo's minimum-ETX path, or an explicit Flow.Path), and nothing
+// is recomputed during the run.
+//
+//	ripple.ETXRouting()                              // min-ETX from endpoints
+//	ripple.CongestionRouting()                       // ORCD-style, routes around queues
+//	ripple.CongestionRouting().WithAlpha(0.5)        // heavier backlog weight
+//	ripple.CongestionRouting().WithEpoch(200 * ripple.Millisecond)
+//	ripple.ETXRouting().WithForwarders(3)            // exactly 3 relays per route
+//	ripple.ETXRouting().WithForwarders(2).WithPriority(ripple.PriorityNearDst)
+//
+// The same radio drives the policy's link metric and the simulated medium,
+// so routes are always computed over the channel the packets will see.
+type Routing struct {
+	kind  network.RoutePolicyKind
+	alpha float64
+	epoch Time
+	k     int
+	rule  routing.SizingRule
+}
+
+// Priority selects which relays survive when WithForwarders resizes a
+// route's candidate set.
+type Priority int
+
+const (
+	// PrioritySpaced keeps evenly spaced relays along the route (default).
+	PrioritySpaced Priority = iota
+	// PriorityNearDst keeps the relays closest to the destination.
+	PriorityNearDst
+	// PriorityNearSrc keeps the relays closest to the source.
+	PriorityNearSrc
+)
+
+// StaticRouting returns the default policy: declared flow paths, used as
+// given and never recomputed. Equivalent to the zero Routing value.
+func StaticRouting() Routing { return Routing{} }
+
+// ETXRouting recomputes each flow's route as the minimum-ETX path between
+// its endpoints at run start (De Couto et al.; the metric ExOR/MORE use).
+// For flows declared with Net.FlowTo this reproduces the declared path; it
+// matters when paths were written by hand or the radio changed.
+func ETXRouting() Routing { return Routing{kind: network.RouteETX} }
+
+// CongestionRouting routes around queue buildup, after Bhorkar et al.'s
+// opportunistic routing with congestion diversity (ORCD): a link into a
+// relay costs its ETX plus alpha per packet sitting in the relay's MAC
+// queue, and routes are recomputed from live queue depths every epoch
+// (default 500 ms; see WithEpoch, WithAlpha).
+func CongestionRouting() Routing { return Routing{kind: network.RouteCongestion} }
+
+// WithAlpha returns a copy with the congestion backlog weight set, in ETX
+// units per queued packet (default 0.25). Only meaningful for
+// CongestionRouting.
+func (r Routing) WithAlpha(alpha float64) Routing {
+	r.alpha = alpha
+	return r
+}
+
+// WithEpoch returns a copy with the dynamic-policy recompute interval set
+// (default 500 ms). Only meaningful for policies that react to load.
+func (r Routing) WithEpoch(epoch Time) Routing {
+	r.epoch = epoch
+	return r
+}
+
+// WithForwarders returns a copy that forces every route to carry exactly
+// min(k, available) intermediate relays: longer routes are truncated by the
+// priority rule, shorter ones padded with off-route stations that make ETX
+// progress toward the destination. k counts relays between the endpoints.
+// This is the forwarder-list-sizing axis of Blomer & Jindal ("How many
+// relays should there be?") — primarily an opportunistic-scheme knob, since
+// padding lengthens the hop-by-hop walk of predetermined schemes.
+func (r Routing) WithForwarders(k int) Routing {
+	r.k = k
+	return r
+}
+
+// WithPriority returns a copy with the relay-sizing priority rule set
+// (default PrioritySpaced). Only meaningful together with WithForwarders.
+func (r Routing) WithPriority(p Priority) Routing {
+	switch p {
+	case PriorityNearDst:
+		r.rule = routing.SizeNearDst
+	case PriorityNearSrc:
+		r.rule = routing.SizeNearSrc
+	default:
+		r.rule = routing.SizeSpaced
+	}
+	return r
+}
+
+// String names the routing configuration for sweep labels, e.g.
+// "congestion(alpha=0.5,epoch=200ms)" or "etx(k=3/neardst)".
+func (r Routing) String() string {
+	name := r.kind.String()
+	var opts []string
+	if r.alpha > 0 {
+		opts = append(opts, fmt.Sprintf("alpha=%g", r.alpha))
+	}
+	if r.epoch > 0 {
+		opts = append(opts, fmt.Sprintf("epoch=%v", r.epoch))
+	}
+	if r.k > 0 {
+		k := fmt.Sprintf("k=%d", r.k)
+		if r.rule != routing.SizeSpaced {
+			k += "/" + r.rule.String()
+		}
+		opts = append(opts, k)
+	}
+	if len(opts) == 0 {
+		return name
+	}
+	return name + "(" + strings.Join(opts, ",") + ")"
+}
+
+// spec resolves the public options into the simulator's routing spec.
+func (r Routing) spec() network.RoutingSpec {
+	return network.RoutingSpec{
+		Kind:  r.kind,
+		Alpha: r.alpha,
+		Epoch: sim.Time(r.epoch),
+		K:     r.k,
+		Rule:  r.rule,
+	}
+}

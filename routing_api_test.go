@@ -1,0 +1,86 @@
+package ripple
+
+import (
+	"testing"
+
+	"ripple/internal/network"
+	"ripple/internal/routing"
+)
+
+func TestRoutingStrings(t *testing.T) {
+	cases := map[string]Routing{
+		"static":                         {},
+		"etx":                            ETXRouting(),
+		"congestion":                     CongestionRouting(),
+		"congestion(alpha=0.5)":          CongestionRouting().WithAlpha(0.5),
+		"congestion(epoch=200ms)":        CongestionRouting().WithEpoch(200 * Millisecond),
+		"etx(k=3)":                       ETXRouting().WithForwarders(3),
+		"etx(k=2/neardst)":               ETXRouting().WithForwarders(2).WithPriority(PriorityNearDst),
+		"static(k=1/nearsrc)":            StaticRouting().WithForwarders(1).WithPriority(PriorityNearSrc),
+		"congestion(alpha=0.5,epoch=1s)": CongestionRouting().WithAlpha(0.5).WithEpoch(Second),
+	}
+	for want, r := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestRoutingSpecMapping(t *testing.T) {
+	r := CongestionRouting().WithAlpha(0.4).WithEpoch(250 * Millisecond).
+		WithForwarders(2).WithPriority(PriorityNearDst)
+	spec := r.spec()
+	want := network.RoutingSpec{
+		Kind:  network.RouteCongestion,
+		Alpha: 0.4,
+		Epoch: 250 * Millisecond,
+		K:     2,
+		Rule:  routing.SizeNearDst,
+	}
+	if spec != want {
+		t.Fatalf("spec = %+v, want %+v", spec, want)
+	}
+	if z := (Routing{}).spec(); z != (network.RoutingSpec{}) {
+		t.Fatalf("zero Routing must map to the zero spec, got %+v", z)
+	}
+}
+
+func TestNetWithRoutingPrefillsScenario(t *testing.T) {
+	top, _ := LineTopology(3)
+	net, err := NewNet(top, DefaultRadio())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := CongestionRouting().WithForwarders(2)
+	sc := net.WithRouting(r).Scenario(SchemeRIPPLE, net.FlowTo(0, 3, FTP{}))
+	if sc.Routing != r {
+		t.Fatalf("Scenario.Routing = %v, want %v", sc.Routing, r)
+	}
+	cfg, err := sc.toConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Routing.Kind != network.RouteCongestion || cfg.Routing.K != 2 {
+		t.Fatalf("config routing = %+v", cfg.Routing)
+	}
+}
+
+func TestScenarioRoutingRuns(t *testing.T) {
+	top, _ := LineTopology(3)
+	net, err := NewNet(top, DefaultRadio())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []Routing{StaticRouting(), ETXRouting(), CongestionRouting(),
+		ETXRouting().WithForwarders(1)} {
+		sc := net.WithRouting(r).Scenario(SchemeRIPPLE, net.FlowTo(0, 3, CBR{}))
+		sc.Duration = 200 * Millisecond
+		res, err := Run(sc)
+		if err != nil {
+			t.Fatalf("%v: %v", r, err)
+		}
+		if res.Total.Mean <= 0 {
+			t.Fatalf("%v: no throughput", r)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+#!/bin/sh
+# check_pkgdoc.sh — fail if any Go package under internal/ (or the public
+# root package) lacks a godoc package comment: a "// Package <name>" (or
+# "// Command <name>" for mains) block immediately above the package clause
+# in at least one non-test file.
+#
+# Usage: sh scripts/check_pkgdoc.sh   (from the repo root)
+set -eu
+
+fail=0
+dirs=$(find internal -type d; echo .)
+for d in $dirs; do
+    # Only directories that actually contain non-test Go files.
+    files=$(find "$d" -maxdepth 1 -name '*.go' ! -name '*_test.go' 2>/dev/null)
+    [ -n "$files" ] || continue
+    ok=0
+    for f in $files; do
+        # The doc comment must be contiguous with the package clause: find
+        # the line "package X" and require the preceding line to be a
+        # comment whose block starts with "// Package" or "// Command".
+        if awk '
+            /^package [a-zA-Z_]/ { pkgline = NR; exit }
+            { lines[NR] = $0 }
+            END {
+                if (pkgline < 2) exit 1
+                # Walk the comment block upward from the package clause.
+                first = ""
+                for (i = pkgline - 1; i >= 1; i--) {
+                    if (lines[i] ~ /^\/\//) { first = lines[i]; continue }
+                    break
+                }
+                if (first ~ /^\/\/ (Package|Command) /) exit 0
+                exit 1
+            }' "$f"; then
+            ok=1
+            break
+        fi
+    done
+    if [ "$ok" -eq 0 ]; then
+        echo "missing package comment: $d" >&2
+        fail=1
+    fi
+done
+exit $fail
