@@ -47,6 +47,7 @@ func run() int {
 		ablations = flag.Bool("ablations", false, "include the DESIGN.md §5 ablations")
 		parallel  = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 		jsonOut   = flag.Bool("json", false, "emit all tables as one JSON array")
+		prune     = flag.Float64("prunesigma", -1, "override radio neighbor pruning in shadowing sigmas (0 = exact/unpruned medium, -1 = per-experiment default)")
 	)
 	flag.Parse()
 
@@ -67,6 +68,9 @@ func run() int {
 	}
 	if *quick {
 		opt = experiments.Quick()
+	}
+	if *prune >= 0 {
+		opt.PruneSigma = prune
 	}
 	if *parallel > 0 {
 		// Resize the process-wide pool: every experiment's grid drains

@@ -35,6 +35,7 @@ func run() int {
 		durSec    = flag.Float64("dur", 10, "simulated seconds")
 		seeds     = flag.Int("seeds", 1, "seeds to average over")
 		ber       = flag.Float64("ber", 0, "channel bit error rate (0 = profile default, 1e-6)")
+		prune     = flag.Float64("prunesigma", -1, "neighbor pruning cutoff in shadowing sigmas (0 = exact/unpruned medium, -1 = profile default 6)")
 		lowRate   = flag.Bool("lowrate", false, "6 Mbps PHY (Table III setting)")
 		cbrMs     = flag.Float64("cbrint", 0, "CBR emission interval in ms (0 = saturating)")
 		cbrBytes  = flag.Int("cbrsize", 0, "CBR payload bytes (0 = PHY packet size)")
@@ -220,6 +221,9 @@ func run() int {
 	}
 	if *ber > 0 {
 		rad = rad.WithBER(*ber)
+	}
+	if *prune >= 0 {
+		rad = rad.WithPruneSigma(*prune)
 	}
 	if *lowRate {
 		rad = rad.WithLowRatePHY()

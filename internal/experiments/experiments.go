@@ -25,6 +25,11 @@ type Options struct {
 	// Progress, when non-nil, is called after each completed run of an
 	// experiment's grid with (done, total). Calls are serialized.
 	Progress func(done, total int)
+	// PruneSigma, when non-nil, overrides radio.Config.PruneSigma in every
+	// scenario of every experiment (0 forces the exact, unpruned medium —
+	// the byte-identical regression baseline; nil keeps each scenario's
+	// profile default).
+	PruneSigma *float64
 }
 
 // Defaults returns the paper's settings: 10-second runs over three seeds.

@@ -3,6 +3,7 @@ package experiments
 import (
 	"ripple/internal/campaign"
 	"ripple/internal/network"
+	"ripple/internal/radio"
 )
 
 // tableGrid declares one figure or table of the paper as a campaign grid:
@@ -46,7 +47,17 @@ func (tg tableGrid) run(opt Options) (*Table, error) {
 			if !tg.PerRow {
 				col = pt.Index("col")
 			}
-			return tg.Config(pt.Index("row"), col)
+			cfg, err := tg.Config(pt.Index("row"), col)
+			if opt.PruneSigma != nil {
+				// Resolve the radio default first: network.Run's Normalize
+				// replaces a zero-valued Radio wholesale, which would
+				// silently clobber the override.
+				if cfg.Radio.PathLossExp == 0 {
+					cfg.Radio = radio.DefaultConfig()
+				}
+				cfg.Radio.PruneSigma = *opt.PruneSigma
+			}
+			return cfg, err
 		},
 	}
 	res, err := g.Run()

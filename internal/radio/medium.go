@@ -3,6 +3,7 @@ package radio
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"ripple/internal/phys"
 	"ripple/internal/pkt"
@@ -41,10 +42,19 @@ type Counters struct {
 	HalfDuplexLost  uint64 // decodable frames lost because receiver was transmitting
 }
 
-// inflight tracks one frame as seen by one receiver.
+// inflight tracks one frame as seen by one receiver. Inflights are pooled
+// per medium (see Medium.newInflight): the embedded begin/end actions are
+// wired to the struct once at allocation, so scheduling a reception costs
+// no heap allocations after warm-up.
 type inflight struct {
-	frame     *pkt.Frame
-	powerDBm  float64
+	m        *Medium
+	dst      *station
+	frame    *pkt.Frame
+	powerDBm float64
+	// powerMW is the same received power in linear milliwatts, converted
+	// once at transmit time so the O(overlap²) interference loop in
+	// beginReception never calls math.Pow.
+	powerMW   float64
 	decodable bool
 	blocked   bool // receiver transmitted during the frame
 	// interfMW accumulates the linear power (mW) of every frame that
@@ -54,13 +64,44 @@ type inflight struct {
 	// can still jointly corrupt a reception (the aggregate hidden-terminal
 	// effect of Fig. 6(b)).
 	interfMW float64
+
+	begin beginReception
+	end   endReception
 }
+
+// beginReception and endReception are the inflight's two scheduled phases,
+// embedded so &inf.begin / &inf.end convert to sim.Action without
+// allocating.
+type beginReception struct{ inf *inflight }
+
+func (a *beginReception) Run() { a.inf.m.beginReception(a.inf.dst, a.inf) }
+
+type endReception struct{ inf *inflight }
+
+func (a *endReception) Run() { a.inf.m.endReception(a.inf.dst, a.inf) }
 
 func (i *inflight) corrupted(captureDB float64) bool {
 	if i.interfMW <= 0 {
 		return false
 	}
 	return i.powerDBm-10*math.Log10(i.interfMW) < captureDB
+}
+
+// txDone is the pooled end-of-own-transmission event.
+type txDone struct {
+	m     *Medium
+	src   *station
+	frame *pkt.Frame
+}
+
+func (a *txDone) Run() {
+	src, f, m := a.src, a.frame, a.m
+	m.recycleTxDone(a)
+	src.txing = false
+	if src.busyRefs() == 0 {
+		src.mac.ChannelIdle()
+	}
+	src.mac.TxDone(f)
 }
 
 // station is the per-node PHY state.
@@ -90,6 +131,38 @@ type Medium struct {
 	rng      *sim.RNG
 	stations []*station
 	Counters Counters
+
+	// Pairwise link cache, built once at NewMedium so Transmit performs no
+	// math.Hypot/math.Log10 per frame. All three are flat n×n matrices
+	// indexed [src*n + dst].
+	n        int
+	meanDBm  []float64  // mean received power before the shadowing draw
+	linkDist []float64  // Euclidean distance in metres
+	linkPD   []sim.Time // propagation delay
+
+	// neighbors lists, per source, the stations that can possibly sense a
+	// transmission. With Config.PruneSigma == 0 it is every other station
+	// in ID order — preserving the pre-cache RNG stream bit for bit. With
+	// PruneSigma > 0 stations whose mean power is more than
+	// PruneSigma×ShadowSigmaDB below the carrier-sense threshold are
+	// pruned, and the survivors are sorted by mean power (strongest
+	// first, ties by ID).
+	neighbors [][]int32
+	// pruned reports whether neighbor pruning is active; pruneCutoff is
+	// the mean-power floor (dBm) below which a pair is pruned, so
+	// meanDBm[src*n+dst] >= pruneCutoff ⇔ dst ∈ neighbors[src]. Transmit
+	// uses the comparison to keep FramesShadowed accounting for pruned
+	// forwarder-list members without an N×N membership matrix.
+	pruned      bool
+	pruneCutoff float64
+
+	// freeInf recycles inflight structs; pOKByBits memoizes the
+	// bitsSurvive survival probability per distinct bit length (the BER is
+	// fixed for the run).
+	freeInf   []*inflight
+	freeTx    []*txDone
+	pOKByBits map[int]float64
+
 	// Trace, when non-nil, receives low-level medium events ("tx", "rx",
 	// "corrupt") with their simulation time, for debugging, tests and the
 	// trace.Recorder. node is the receiving station for rx/corrupt events
@@ -105,7 +178,94 @@ func NewMedium(eng *sim.Engine, cfg Config, p phys.Params, positions []Pos, rng 
 	for i, pos := range positions {
 		m.stations[i] = &station{id: pkt.NodeID(i), pos: pos}
 	}
+	m.buildLinkCache(positions)
+	m.pOKByBits = make(map[int]float64)
 	return m
+}
+
+// buildLinkCache precomputes the pairwise distance / mean-power /
+// propagation-delay matrices and the per-station neighbor lists.
+func (m *Medium) buildLinkCache(positions []Pos) {
+	n := len(positions)
+	m.n = n
+	m.meanDBm = make([]float64, n*n)
+	m.linkDist = make([]float64, n*n)
+	m.linkPD = make([]sim.Time, n*n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := Dist(positions[i], positions[j])
+			p := m.cfg.MeanRxPowerDBm(d)
+			pd := propDelay(d)
+			m.linkDist[i*n+j], m.linkDist[j*n+i] = d, d
+			m.meanDBm[i*n+j], m.meanDBm[j*n+i] = p, p
+			m.linkPD[i*n+j], m.linkPD[j*n+i] = pd, pd
+		}
+	}
+
+	m.pruned = m.cfg.PruneSigma > 0
+	m.pruneCutoff = m.cfg.CSThreshDBm - m.cfg.PruneSigma*m.cfg.ShadowSigmaDB
+	m.neighbors = make([][]int32, n)
+	for i := 0; i < n; i++ {
+		list := make([]int32, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if m.pruned && m.meanDBm[i*n+j] < m.pruneCutoff {
+				continue
+			}
+			list = append(list, int32(j))
+		}
+		if m.pruned {
+			row := m.meanDBm[i*n : i*n+n]
+			sort.Slice(list, func(a, b int) bool {
+				pa, pb := row[list[a]], row[list[b]]
+				if pa != pb {
+					return pa > pb
+				}
+				return list[a] < list[b]
+			})
+		}
+		m.neighbors[i] = list
+	}
+}
+
+// newInflight pops a recycled inflight or allocates one with its begin/end
+// actions wired. The caller must set every reception field.
+func (m *Medium) newInflight() *inflight {
+	if n := len(m.freeInf); n > 0 {
+		inf := m.freeInf[n-1]
+		m.freeInf[n-1] = nil
+		m.freeInf = m.freeInf[:n-1]
+		return inf
+	}
+	inf := &inflight{m: m}
+	inf.begin.inf = inf
+	inf.end.inf = inf
+	return inf
+}
+
+func (m *Medium) recycleInflight(inf *inflight) {
+	inf.frame = nil
+	inf.dst = nil
+	m.freeInf = append(m.freeInf, inf)
+}
+
+func (m *Medium) newTxDone(src *station, f *pkt.Frame) *txDone {
+	if n := len(m.freeTx); n > 0 {
+		t := m.freeTx[n-1]
+		m.freeTx[n-1] = nil
+		m.freeTx = m.freeTx[:n-1]
+		t.src, t.frame = src, f
+		return t
+	}
+	return &txDone{m: m, src: src, frame: f}
+}
+
+func (m *Medium) recycleTxDone(t *txDone) {
+	t.src = nil
+	t.frame = nil
+	m.freeTx = append(m.freeTx, t)
 }
 
 // Attach registers the MAC upcall handler for a station.
@@ -125,11 +285,28 @@ func (m *Medium) Transmitting(id pkt.NodeID) bool { return m.stations[id].txing 
 
 // Distance returns the distance in metres between two stations.
 func (m *Medium) Distance(a, b pkt.NodeID) float64 {
-	return Dist(m.stations[a].pos, m.stations[b].pos)
+	return m.linkDist[int(a)*m.n+int(b)]
+}
+
+// Neighbors returns the station's audible-candidate list (tests and
+// diagnostics). With pruning off it is every other station in ID order.
+func (m *Medium) Neighbors(id pkt.NodeID) []pkt.NodeID {
+	out := make([]pkt.NodeID, len(m.neighbors[id]))
+	for i, j := range m.neighbors[id] {
+		out[i] = pkt.NodeID(j)
+	}
+	return out
 }
 
 // Config returns the radio configuration the medium was built with.
 func (m *Medium) Config() Config { return m.cfg }
+
+// intended reports whether dst is an addressed receiver of f — a
+// forwarder-list member or the unicast receiver — for shadowing-loss
+// accounting.
+func intended(f *pkt.Frame, dst pkt.NodeID) bool {
+	return f.RankOf(dst) >= 0 || f.Rx == dst
+}
 
 // Transmit emits a frame from f.Tx. f.Duration must be set. The call
 // returns the transmission end time. Transmitting while already
@@ -164,44 +341,60 @@ func (m *Medium) Transmit(f *pkt.Frame) sim.Time {
 			inf.blocked = true
 		}
 	}
-	m.eng.At(end, func() {
-		src.txing = false
-		if src.busyRefs() == 0 {
-			src.mac.ChannelIdle()
-		}
-		src.mac.TxDone(f)
-	})
+	m.eng.Do(end, m.newTxDone(src, f))
 
-	for _, dst := range m.stations {
-		if dst.id == f.Tx || dst.mac == nil {
+	base := int(f.Tx) * m.n
+	sigma := m.cfg.ShadowSigmaDB
+	rxThresh := m.cfg.RXThreshDBm
+	if f.RateBps > 0 {
+		// Multi-rate extension: faster rates need more SNR.
+		rxThresh += rateadapt.ThresholdDeltaDB(f.RateBps, m.phy.DataBps)
+	}
+	for _, j := range m.neighbors[f.Tx] {
+		dst := m.stations[j]
+		if dst.mac == nil {
 			continue
 		}
-		d := Dist(src.pos, dst.pos)
-		power := m.cfg.MeanRxPowerDBm(d)
-		if m.cfg.ShadowSigmaDB > 0 {
-			power = m.rng.Norm(power, m.cfg.ShadowSigmaDB)
+		power := m.meanDBm[base+int(j)]
+		if sigma > 0 {
+			power = m.rng.Norm(power, sigma)
 		}
 		if power < m.cfg.CSThreshDBm {
 			// Too weak even to sense: invisible at this receiver. If the
 			// receiver was in the forwarder list, record the shadowing loss.
-			if f.RankOf(dst.id) >= 0 || f.Rx == dst.id {
+			if intended(f, dst.id) {
 				m.Counters.FramesShadowed++
 			}
 			continue
 		}
-		rxThresh := m.cfg.RXThreshDBm
-		if f.RateBps > 0 {
-			// Multi-rate extension: faster rates need more SNR.
-			rxThresh += rateadapt.ThresholdDeltaDB(f.RateBps, m.phy.DataBps)
-		}
-		inf := &inflight{frame: f, powerDBm: power, decodable: power >= rxThresh}
-		if !inf.decodable && (f.RankOf(dst.id) >= 0 || f.Rx == dst.id) {
+		inf := m.newInflight()
+		inf.frame = f
+		inf.dst = dst
+		inf.powerDBm = power
+		inf.powerMW = dbmToMW(power)
+		inf.decodable = power >= rxThresh
+		inf.blocked = false
+		inf.interfMW = 0
+		if !inf.decodable && intended(f, dst.id) {
 			m.Counters.FramesShadowed++
 		}
-		delay := propDelay(d)
-		dstCopy := dst
-		m.eng.At(now+delay, func() { m.beginReception(dstCopy, inf) })
-		m.eng.At(end+delay, func() { m.endReception(dstCopy, inf) })
+		delay := m.linkPD[base+int(j)]
+		m.eng.Do(now+delay, &inf.begin)
+		m.eng.Do(end+delay, &inf.end)
+	}
+	if m.pruned {
+		// Pruned stations never drew a shadowing sample, but an addressed
+		// receiver that was pruned is still a shadowing loss — keep the
+		// counter semantics of the unpruned medium.
+		for _, id := range f.FwdList {
+			if id != f.Tx && m.meanDBm[base+int(id)] < m.pruneCutoff && m.stations[id].mac != nil {
+				m.Counters.FramesShadowed++
+			}
+		}
+		if rx := f.Rx; rx >= 0 && rx != f.Tx && f.RankOf(rx) < 0 &&
+			m.meanDBm[base+int(rx)] < m.pruneCutoff && m.stations[rx].mac != nil {
+			m.Counters.FramesShadowed++
+		}
 	}
 	return end
 }
@@ -210,8 +403,8 @@ func (m *Medium) beginReception(dst *station, inf *inflight) {
 	// Interference accumulates both ways: every overlapping frame adds its
 	// linear power to the other's interference budget.
 	for _, other := range dst.current {
-		other.interfMW += dbmToMW(inf.powerDBm)
-		inf.interfMW += dbmToMW(other.powerDBm)
+		other.interfMW += inf.powerMW
+		inf.interfMW += other.powerMW
 	}
 	if dst.txing {
 		inf.blocked = true
@@ -240,6 +433,7 @@ func (m *Medium) endReception(dst *station, inf *inflight) {
 			dst.mac.ChannelIdle()
 		}
 	}()
+	defer m.recycleInflight(inf)
 
 	if !inf.decodable {
 		return // pure carrier: sensed energy only, no decode attempt
@@ -264,7 +458,10 @@ func (m *Medium) endReception(dst *station, inf *inflight) {
 
 	// Bit-error process: the frame header (MAC header + forwarder list, or
 	// the whole control frame for ACKs) must survive, then each aggregated
-	// sub-packet survives independently.
+	// sub-packet survives independently. A data frame whose sub-packets
+	// all died still reaches the MAC with an all-false bitmap: the header
+	// was readable, so the receiver can acknowledge with an all-zero
+	// bitmap.
 	ber := m.cfg.BitErrorRate
 	var headerBytes int
 	switch f.Kind {
@@ -285,17 +482,9 @@ func (m *Medium) endReception(dst *station, inf *inflight) {
 	var pktOK []bool
 	if f.Kind == pkt.Data {
 		pktOK = make([]bool, len(f.Packets))
-		anyOK := false
 		for i, p := range f.Packets {
 			bits := (p.Bytes + phys.PerPacketCRCBytes) * 8
 			pktOK[i] = m.bitsSurvive(bits, ber)
-			anyOK = anyOK || pktOK[i]
-		}
-		if !anyOK && len(f.Packets) > 0 {
-			// Every sub-packet corrupted: indistinguishable from a bad
-			// frame at the receiver, but the header was readable so the
-			// MAC still learns about it (can send an all-zero bitmap).
-			_ = anyOK
 		}
 	}
 	m.Counters.FramesDelivered++
@@ -306,10 +495,17 @@ func (m *Medium) endReception(dst *station, inf *inflight) {
 }
 
 // bitsSurvive draws whether `bits` consecutive bits all survive BER `ber`.
+// The survival probability is memoized per bit length: the BER is fixed
+// for the medium's lifetime and packet sizes repeat, so each distinct
+// length costs math.Pow exactly once.
 func (m *Medium) bitsSurvive(bits int, ber float64) bool {
 	if ber <= 0 {
 		return true
 	}
-	pOK := math.Pow(1-ber, float64(bits))
+	pOK, ok := m.pOKByBits[bits]
+	if !ok {
+		pOK = math.Pow(1-ber, float64(bits))
+		m.pOKByBits[bits] = pOK
+	}
 	return m.rng.Float64() < pOK
 }

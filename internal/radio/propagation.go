@@ -51,6 +51,16 @@ type Config struct {
 	// BitErrorRate is the i.i.d. BER applied to decodable frames
 	// (paper: 1e-5 "noisy", 1e-6 "clear").
 	BitErrorRate float64
+	// PruneSigma controls receiver pruning in the medium's link cache: a
+	// station whose mean received power is more than PruneSigma shadowing
+	// deviations below the carrier-sense threshold is excluded from a
+	// transmitter's neighbor list and never draws a shadowing sample.
+	// 0 disables pruning and reproduces the unpruned medium's RNG stream
+	// bit for bit; DefaultPruneSigma (the DefaultConfig setting) bounds
+	// the per-receiver false-prune probability by Φ(−6) ≈ 1e−9, which is
+	// statistically indistinguishable from the unpruned medium. With
+	// ShadowSigmaDB == 0 pruning at any PruneSigma is exact.
+	PruneSigma float64
 }
 
 // DefaultRange is the distance (metres) at which a frame is decoded with
@@ -59,6 +69,13 @@ type Config struct {
 // ≈65% — reproducing "the link quality between source and destination is
 // typically poor" while per-hop links are good.
 const DefaultRange = 258.0
+
+// DefaultPruneSigma is DefaultConfig's neighbor-pruning cutoff in shadowing
+// deviations. Six sigma keeps the probability that a pruned receiver would
+// actually have sensed a given frame below Φ(−6) ≈ 1e−9 — far below the
+// resolution of any delivery or delay statistic — while excluding the vast
+// majority of station pairs on large (Roofnet/WiGLE-scale) topologies.
+const DefaultPruneSigma = 6
 
 // DefaultConfig returns the paper's radio environment.
 func DefaultConfig() Config {
@@ -69,6 +86,7 @@ func DefaultConfig() Config {
 		ShadowSigmaDB: 8,
 		CaptureDB:     10,
 		BitErrorRate:  1e-6,
+		PruneSigma:    DefaultPruneSigma,
 	}
 	c.RXThreshDBm = c.MeanRxPowerDBm(DefaultRange)
 	c.CSThreshDBm = c.RXThreshDBm - 13 // carrier-sense range ≈ 1.82× decode range

@@ -2,15 +2,29 @@ package sim
 
 import "container/heap"
 
+// Action is a pre-bound callback that can be scheduled without allocating:
+// the receiver carries its own arguments, so converting a pointer to an
+// Action builds no closure. Hot paths (the radio medium) embed Action
+// implementations in pooled structs and schedule them with Engine.Do.
+type Action interface{ Run() }
+
 // Event is a scheduled callback. Events are ordered by time, with insertion
 // sequence breaking ties so that two events scheduled for the same instant
 // fire in the order they were scheduled. An Event doubles as a cancellable
 // timer handle.
+//
+// Events scheduled with At/After are heap-allocated and never recycled:
+// their handle escapes to the caller, who may Cancel or Reschedule them at
+// any point — including long after they fired. Events scheduled with Do
+// carry an Action instead of a closure and are recycled through the
+// engine's free list the moment they fire; that is safe precisely because
+// Do returns no handle, so no caller can touch a recycled Event.
 type Event struct {
 	at       Time
 	seq      uint64
 	fn       func()
-	index    int // heap index; -1 once popped or cancelled
+	act      Action // non-nil for pooled (Do-scheduled) events
+	index    int    // heap index; -1 once popped or cancelled
 	canceled bool
 }
 
@@ -60,6 +74,9 @@ type Engine struct {
 	stopped bool
 	// processed counts events that have fired, for tests and sanity limits.
 	processed uint64
+	// free holds recycled Do-scheduled events. Only events whose handle
+	// never escaped (Do returns nothing) are pushed here; see Event.
+	free []*Event
 }
 
 // NewEngine returns an empty engine positioned at time zero.
@@ -87,6 +104,32 @@ func (e *Engine) At(t Time, fn func()) *Event {
 // After schedules fn to run d after the current time.
 func (e *Engine) After(d Time, fn func()) *Event {
 	return e.At(e.now+d, fn)
+}
+
+// Do schedules act to run at absolute time t on a pooled event. It is the
+// allocation-free fast path for fire-and-forget events: no handle is
+// returned, so the event cannot be cancelled or rescheduled, and its Event
+// struct is recycled into the engine's free list as soon as it fires.
+// Ordering semantics (time, then insertion sequence) are identical to At.
+func (e *Engine) Do(t Time, act Action) {
+	if t < e.now {
+		t = e.now
+	}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = nil
+	ev.act = act
+	ev.canceled = false
+	e.seq++
+	heap.Push(&e.heap, ev)
 }
 
 // Cancel removes a pending event. Cancelling a nil, already-fired or
@@ -136,7 +179,16 @@ func (e *Engine) Run(until Time) {
 		heap.Pop(&e.heap)
 		e.now = next.at
 		e.processed++
-		next.fn()
+		if next.act != nil {
+			// Recycle before running: the action may schedule more Do
+			// events, which can then reuse this very struct.
+			act := next.act
+			next.act = nil
+			e.free = append(e.free, next)
+			act.Run()
+		} else {
+			next.fn()
+		}
 	}
 	if e.now < until {
 		e.now = until

@@ -191,6 +191,139 @@ func TestEngineOrderingProperty(t *testing.T) {
 	}
 }
 
+// countAction is a reusable Action for pooled-event tests.
+type countAction struct {
+	order *[]int
+	id    int
+}
+
+func (a *countAction) Run() { *a.order = append(*a.order, a.id) }
+
+func TestEngineDoOrdersLikeAt(t *testing.T) {
+	// Do-scheduled (pooled) and At-scheduled events share one clock and one
+	// insertion sequence: same-instant events fire in scheduling order
+	// regardless of which path scheduled them.
+	e := NewEngine()
+	var order []int
+	e.At(5*Microsecond, func() { order = append(order, 0) })
+	e.Do(5*Microsecond, &countAction{&order, 1})
+	e.At(5*Microsecond, func() { order = append(order, 2) })
+	e.Do(3*Microsecond, &countAction{&order, 3})
+	e.Run(Second)
+	want := []int{3, 0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// chainAction re-schedules itself until limit firings, so at most one
+// pooled event is ever pending — the recycling fast path.
+type chainAction struct {
+	e     *Engine
+	n     int
+	limit int
+}
+
+func (a *chainAction) Run() {
+	a.n++
+	if a.n < a.limit {
+		a.e.Do(a.e.Now()+1, a)
+	}
+}
+
+func TestEngineDoRecyclesEvents(t *testing.T) {
+	e := NewEngine()
+	chain := &chainAction{e: e, limit: 1000}
+	e.Do(0, chain)
+	e.Run(Second)
+	if chain.n != 1000 {
+		t.Fatalf("fired %d pooled events, want 1000", chain.n)
+	}
+	// Sequential events recycle through the free list: the pool must be a
+	// couple of structs, not one per event.
+	if len(e.free) == 0 || len(e.free) > 4 {
+		t.Fatalf("free list holds %d events after 1000 sequential Do, want 1..4", len(e.free))
+	}
+}
+
+func TestEngineDoZeroAllocSteadyState(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	act := &countAction{&order, 1}
+	// Warm up the free list and the heap's backing array.
+	e.Do(0, act)
+	e.Run(Microsecond)
+	allocs := testing.AllocsPerRun(1000, func() {
+		order = order[:0]
+		e.Do(e.Now(), act)
+		e.Run(e.Now() + 1)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Do+Run allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestEngineCancelAfterRecycleIsSafe(t *testing.T) {
+	// A fired At-event's handle must stay inert even while the engine is
+	// recycling pooled events underneath: At-events are never pushed to
+	// the free list, so a stale Cancel can only ever hit the caller's own
+	// (fired) event, never a pooled event reusing its memory.
+	e := NewEngine()
+	var order []int
+	handle := e.At(1, func() { order = append(order, 0) })
+	e.Run(Microsecond)
+
+	// Churn the pool, then leave one pooled event pending.
+	act := &countAction{&order, 1}
+	for i := 0; i < 10; i++ {
+		e.Do(e.Now()+Time(i), act)
+	}
+	e.Run(100 * Microsecond)
+	e.Do(Millisecond, &countAction{&order, 2})
+
+	e.Cancel(handle) // stale cancel: must not disturb the pending pooled event
+	e.Run(Second)
+	if got := order[len(order)-1]; got != 2 {
+		t.Fatalf("pending pooled event lost after stale Cancel (last fired id = %d, want 2)", got)
+	}
+}
+
+func TestEngineRescheduleAfterRecycleRearmsOwnEvent(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	handle := e.At(1, func() { count++ })
+	e.Run(Microsecond)
+
+	var order []int
+	act := &countAction{&order, 1}
+	for i := 0; i < 10; i++ {
+		e.Do(e.Now()+Time(i), act)
+	}
+	e.Run(100 * Microsecond)
+
+	// Re-arming the fired handle after pool churn must fire the caller's
+	// own callback exactly once more, not any pooled action.
+	e.Reschedule(handle, 2*Millisecond)
+	e.Run(Second)
+	if count != 2 {
+		t.Fatalf("rescheduled event fired %d times total, want 2", count)
+	}
+}
+
+func TestEngineDoPastSchedulingClampsToNow(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(10*Microsecond, func() {
+		e.Do(5*Microsecond, &countAction{&order, 1}) // in the past
+	})
+	e.Run(Second)
+	if len(order) != 1 {
+		t.Fatal("past-scheduled pooled event must still fire (clamped to now)")
+	}
+}
+
 func TestTimeString(t *testing.T) {
 	cases := []struct {
 		in   Time

@@ -3,6 +3,8 @@ package ripple
 import (
 	"strings"
 	"testing"
+
+	"ripple/internal/radio"
 )
 
 // The toConfig error paths: a scenario with an unknown scheme, an invalid
@@ -50,6 +52,33 @@ func TestToConfigRejectsInvalidBER(t *testing.T) {
 	s.Radio = DefaultRadio().WithBER(0)
 	if _, err := s.toConfig(); err != nil {
 		t.Errorf("WithBER(0): %v", err)
+	}
+}
+
+func TestToConfigPruneSigma(t *testing.T) {
+	// Profile default: pruning on at radio.DefaultPruneSigma.
+	s := validScenario()
+	cfg, err := s.toConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Radio.PruneSigma != radio.DefaultPruneSigma {
+		t.Errorf("default PruneSigma = %g, want %g", cfg.Radio.PruneSigma, float64(radio.DefaultPruneSigma))
+	}
+	// WithPruneSigma(0) is the explicit exact-medium escape hatch.
+	s.Radio = DefaultRadio().WithPruneSigma(0)
+	if cfg, err = s.toConfig(); err != nil {
+		t.Fatal(err)
+	} else if cfg.Radio.PruneSigma != 0 {
+		t.Errorf("WithPruneSigma(0) → PruneSigma = %g, want 0", cfg.Radio.PruneSigma)
+	}
+	if got := s.Radio.String(); !strings.Contains(got, "prune=0") {
+		t.Errorf("Radio.String() = %q, want prune=0 mentioned", got)
+	}
+	// Negative is rejected.
+	s.Radio = DefaultRadio().WithPruneSigma(-1)
+	if _, err := s.toConfig(); err == nil || !strings.Contains(err.Error(), "prune sigma") {
+		t.Errorf("WithPruneSigma(-1): err = %v", err)
 	}
 }
 

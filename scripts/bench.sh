@@ -1,0 +1,60 @@
+#!/bin/sh
+# bench.sh — run the repo's key benchmarks and record them as BENCH_<n>.json.
+#
+# The four benchmarks cover the perf-critical layers: the raw event core
+# (EngineThroughput), a dense-topology figure (Fig3), the event-heavy
+# hidden-terminal figure (Fig6b), and the full campaign engine
+# (CampaignSuitePooled).
+#
+# Usage:
+#   scripts/bench.sh [-short] [-count N] [-label LABEL] [-out FILE] [-enforce]
+#
+#   -short    run on the CI smoke budget (shrinks simulated durations)
+#   -count N  repetitions per benchmark (default 3; the JSON keeps the min)
+#   -label L  run label stored in the JSON (default: short|full)
+#   -out F    JSON file to create or append to (default: next free BENCH_<n>.json)
+#   -enforce  fail if scripts/bench_thresholds.txt is exceeded (CI gate)
+#
+# Appending to an existing file accumulates runs, so a before/after pair
+# lands in one document: run once at the base commit with -label before,
+# then after the change with -label after and the same -out.
+set -eu
+cd "$(dirname "$0")/.."
+
+SHORT=""
+COUNT=3
+LABEL=""
+OUT=""
+ENFORCE=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -short) SHORT="-short" ;;
+    -count) COUNT="$2"; shift ;;
+    -label) LABEL="$2"; shift ;;
+    -out) OUT="$2"; shift ;;
+    -enforce) ENFORCE="-thresholds scripts/bench_thresholds.txt" ;;
+    *) echo "usage: scripts/bench.sh [-short] [-count N] [-label LABEL] [-out FILE] [-enforce]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+if [ -z "$LABEL" ]; then
+  if [ -n "$SHORT" ]; then LABEL=short; else LABEL=full; fi
+fi
+if [ -z "$OUT" ]; then
+  n=1
+  while [ -e "BENCH_$n.json" ]; do n=$((n + 1)); done
+  OUT="BENCH_$n.json"
+fi
+
+PAT='^(BenchmarkEngineThroughput|BenchmarkFig3|BenchmarkFig6b|BenchmarkCampaignSuitePooled)$'
+
+echo "bench: pattern=$PAT count=$COUNT label=$LABEL out=$OUT ${SHORT:+(short)}" >&2
+# Buffer through a temp file rather than a pipe: POSIX sh has no pipefail,
+# and a benchmark that crashes mid-run must fail the script, not record a
+# partial snapshot.
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+go test $SHORT -run '^$' -bench "$PAT" -benchmem -benchtime 1x -count "$COUNT" . > "$RAW"
+go run ./scripts/benchjson -label "$LABEL" -out "$OUT" $ENFORCE < "$RAW"
+echo "bench: wrote $OUT" >&2

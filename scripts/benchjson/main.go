@@ -1,0 +1,220 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// repo's machine-readable BENCH_<n>.json format, appending a labelled run
+// to an existing file so before/after trajectories accumulate in one
+// document. It can also enforce regression thresholds (scripts/bench.sh
+// -enforce uses this in CI).
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchmem . | \
+//	    go run ./scripts/benchjson -label after -out BENCH_1.json \
+//	    [-thresholds scripts/bench_thresholds.txt]
+//
+// Each run records, per benchmark, the minimum ns/op over the -count
+// repetitions (minimum, not mean: scheduler noise only ever adds time)
+// and the B/op, allocs/op and custom metrics of that fastest repetition.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Bench is one benchmark's result within a run.
+type Bench struct {
+	NsOp     float64            `json:"ns_op"`
+	BOp      float64            `json:"b_op,omitempty"`
+	AllocsOp float64            `json:"allocs_op,omitempty"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Run is one labelled invocation of the benchmark suite.
+type Run struct {
+	Label      string            `json:"label"`
+	Date       string            `json:"date"`
+	Benchmarks map[string]*Bench `json:"benchmarks"`
+}
+
+// File is the BENCH_<n>.json document: a run trajectory.
+type File struct {
+	Runs []Run `json:"runs"`
+}
+
+func main() {
+	label := flag.String("label", "bench", "label for this run (e.g. before, after, ci)")
+	out := flag.String("out", "", "JSON file to create or append the run to (default stdout)")
+	thresholds := flag.String("thresholds", "", "threshold file: lines of '<bench> <field> <max>'; exceeding any fails")
+	flag.Parse()
+
+	run := Run{
+		Label:      *label,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Benchmarks: map[string]*Bench{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		// Pass through on stderr so CI logs keep the raw output without
+		// corrupting the JSON document when -out is omitted (stdout).
+		fmt.Fprintln(os.Stderr, line)
+		b, name, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		if prev, exists := run.Benchmarks[name]; !exists || b.NsOp < prev.NsOp {
+			run.Benchmarks[name] = b
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(run.Benchmarks) == 0 {
+		fatal(fmt.Errorf("benchjson: no benchmark lines on stdin"))
+	}
+
+	var doc File
+	if *out != "" {
+		if data, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(data, &doc); err != nil {
+				fatal(fmt.Errorf("benchjson: %s: %w", *out, err))
+			}
+		}
+	}
+	doc.Runs = append(doc.Runs, run)
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+
+	if *thresholds != "" {
+		if err := enforce(*thresholds, run); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkEngineThroughput-8  1  33436583 ns/op  44305 events/run  10347928 B/op  186932 allocs/op
+func parseLine(line string) (*Bench, string, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return nil, "", false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	b := &Bench{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, "", false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsOp = v
+		case "B/op":
+			b.BOp = v
+		case "allocs/op":
+			b.AllocsOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	if b.NsOp == 0 {
+		return nil, "", false
+	}
+	return b, name, true
+}
+
+// enforce reads threshold lines "<bench> <field> <max>" (field one of
+// ns_op, b_op, allocs_op, or a custom metric name) and fails if the run
+// exceeds any of them. Missing benchmarks fail too: a silently-skipped
+// benchmark must not pass the gate.
+func enforce(path string, run Run) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var failed []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return fmt.Errorf("benchjson: %s: bad threshold line %q (want '<bench> <field> <max>')", path, line)
+		}
+		maxV, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return fmt.Errorf("benchjson: %s: bad max in %q: %w", path, line, err)
+		}
+		b, ok := run.Benchmarks[fields[0]]
+		if !ok {
+			failed = append(failed, fmt.Sprintf("%s: benchmark missing from run", fields[0]))
+			continue
+		}
+		var got float64
+		switch fields[1] {
+		case "ns_op":
+			got = b.NsOp
+		case "b_op":
+			got = b.BOp
+		case "allocs_op":
+			got = b.AllocsOp
+		default:
+			// A typo'd or absent metric must fail loudly: reading it as 0
+			// would satisfy any threshold forever.
+			v, ok := b.Metrics[fields[1]]
+			if !ok {
+				return fmt.Errorf("benchjson: %s: unknown field %q for %s (have ns_op, b_op, allocs_op%s)",
+					path, fields[1], fields[0], metricNames(b))
+			}
+			got = v
+		}
+		if got > maxV {
+			failed = append(failed, fmt.Sprintf("%s %s = %g exceeds threshold %g", fields[0], fields[1], got, maxV))
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("benchjson: thresholds exceeded:\n  %s", strings.Join(failed, "\n  "))
+	}
+	fmt.Fprintln(os.Stderr, "benchjson: all thresholds satisfied")
+	return nil
+}
+
+// metricNames lists a benchmark's custom metrics for error messages.
+func metricNames(b *Bench) string {
+	var names []string
+	for k := range b.Metrics {
+		names = append(names, k)
+	}
+	if len(names) == 0 {
+		return ""
+	}
+	return ", " + strings.Join(names, ", ")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
