@@ -14,7 +14,10 @@ import (
 
 	"ripple/internal/campaign/pool"
 	"ripple/internal/experiments"
+	"ripple/internal/network"
+	"ripple/internal/routing"
 	"ripple/internal/sim"
+	"ripple/internal/topology"
 )
 
 // benchOpt is the per-iteration budget for macro-benchmarks. Under -short
@@ -271,12 +274,17 @@ func BenchmarkAblationRTS(b *testing.B) {
 // --- Campaign pool benches ---
 
 // benchCampaignSuite runs the full figure suite (every driver, every cell)
-// through a pool of the given size on a short per-run budget.
+// through a pool of the given size on a short per-run budget. Completed
+// seed-runs are counted through the serialized Progress callback and
+// reported as runs/sec, so setup amortisation (world snapshots shared
+// across each cell's seeds) is visible in the bench JSON, not just ns/op.
 func benchCampaignSuite(b *testing.B, workers int) {
+	runs := 0
 	opt := experiments.Options{
 		Seeds:    []uint64{1, 2, 3},
 		Duration: 150 * sim.Millisecond,
 		Pool:     pool.New(workers),
+		Progress: func(done, total int) { runs++ },
 	}
 	if testing.Short() {
 		opt.Duration = 50 * sim.Millisecond
@@ -287,6 +295,9 @@ func benchCampaignSuite(b *testing.B, workers int) {
 				b.Fatal(err)
 			}
 		}
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(runs)/secs, "runs/sec")
 	}
 }
 
@@ -306,6 +317,45 @@ func BenchmarkCampaignSuitePooled(b *testing.B) {
 // schedule and the comparison understates the pooled engine's gain).
 func BenchmarkCampaignSuiteSeedFanout(b *testing.B) {
 	benchCampaignSuite(b, 3) // = len(Seeds), the old per-call fan-out width
+}
+
+// worldConfig builds a routing-active scenario over n stations laid out on
+// a line at relay spacing, so BuildWorld exercises both the O(N²) radio
+// link plan and the ETX table + per-flow Dijkstra.
+func worldConfig(n int) network.Config {
+	top, path := topology.Line(n - 1)
+	return network.Config{
+		Positions: top.Positions,
+		Scheme:    network.Ripple,
+		Flows: []network.FlowSpec{{
+			ID:   1,
+			Path: routing.Path{path.Src(), path.Dst()},
+			Kind: network.FTP,
+		}},
+		Routing: network.RoutingSpec{Kind: network.RouteETX},
+	}
+}
+
+// benchWorldBuild measures snapshot construction alone.
+func benchWorldBuild(b *testing.B, cfg network.Config) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := network.BuildWorld(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorldBuildFig1 builds the snapshot for a Fig.1-sized topology
+// (8 stations): the per-cell cost every campaign cell pays exactly once.
+func BenchmarkWorldBuildFig1(b *testing.B) {
+	benchWorldBuild(b, worldConfig(len(topology.Fig1().Positions)))
+}
+
+// BenchmarkWorldBuildLarge builds the snapshot for a topology 5× the size
+// of Fig.1 (40 stations), where the O(N²) matrices and Dijkstra dominate.
+func BenchmarkWorldBuildLarge(b *testing.B) {
+	benchWorldBuild(b, worldConfig(5*len(topology.Fig1().Positions)))
 }
 
 // BenchmarkEngineThroughput is a micro-benchmark of the simulation core:

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"ripple/internal/campaign/pool"
 	"ripple/internal/network"
@@ -152,6 +153,11 @@ func (g *Grid) Run() (*Result, error) {
 		seeds = []uint64{1}
 	}
 
+	p := g.Pool
+	if p == nil {
+		p = pool.Shared()
+	}
+
 	// Build every cell's scenario up front, in cell order, so Build errors
 	// surface deterministically and no simulation runs on a broken grid.
 	points := make([]Point, cells)
@@ -167,13 +173,39 @@ func (g *Grid) Run() (*Result, error) {
 		}
 		cfgs[c] = cfg
 	}
-
-	p := g.Pool
-	if p == nil {
-		p = pool.Shared()
+	// Each cell gets its seed-independent world snapshot (radio link plan,
+	// routing table, resolved routes) built exactly once: the cell's S
+	// seed-runs share it read-only, so the O(N²) setup cost is paid per
+	// cell, not per run. The builds themselves fan out across the pool —
+	// for single-seed grids over large topologies they are the dominant
+	// setup cost — and pool.Do reports the lowest-indexed failure, so a
+	// broken cell still surfaces deterministically before any run.
+	if err := p.Do(cells, func(c int) error {
+		if cfgs[c].World != nil {
+			return nil
+		}
+		w, err := network.BuildWorld(cfgs[c])
+		if err != nil {
+			return fmt.Errorf("campaign %s [%s]: %w", g.Name, points[c], err)
+		}
+		cfgs[c].World = w
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	total := cells * len(seeds)
 	results := make([]*network.Result, total)
+	// remaining counts each cell's unfinished seed-runs so the last
+	// finisher can drop the cell's World reference: without this a wide
+	// grid would pin O(cells × N²) of link-plan matrices until Run
+	// returns, where each snapshot is only needed while its cell's seeds
+	// execute. Every unit copies cfgs[cell] before running and decrements
+	// after, so the atomic counter orders the nil store strictly after
+	// every sibling's read.
+	remaining := make([]atomic.Int32, cells)
+	for c := range remaining {
+		remaining[c].Store(int32(len(seeds)))
+	}
 	var done int
 	var progressMu sync.Mutex
 	err := p.Do(total, func(u int) error {
@@ -185,6 +217,9 @@ func (g *Grid) Run() (*Result, error) {
 			return fmt.Errorf("campaign %s [%s] seed %d: %w", g.Name, points[cell], seeds[s], err)
 		}
 		results[u] = res
+		if remaining[cell].Add(-1) == 0 {
+			cfgs[cell].World = nil
+		}
 		if g.Progress != nil {
 			progressMu.Lock()
 			done++

@@ -168,7 +168,12 @@ func TestGridBuildErrorAbortsBeforeRunning(t *testing.T) {
 				return network.Config{}, errors.New("boom")
 			}
 			ran = true // Build for cell 0 still runs, but no simulation may
-			return network.Config{}, nil
+			top, path := topology.Line(2)
+			return network.Config{
+				Positions: top.Positions,
+				Scheme:    network.DCF,
+				Flows:     []network.FlowSpec{{ID: 1, Path: path, Kind: network.FTP}},
+			}, nil
 		},
 	}
 	_, err := g.Run()
@@ -200,8 +205,14 @@ func TestGridRunErrorNamesPointAndSeed(t *testing.T) {
 		Seeds: []uint64{7},
 		Pool:  pool.New(2),
 		Build: func(pt Point) (network.Config, error) {
-			// No flows: network.Run rejects this config at run time.
-			return network.Config{}, nil
+			// An unknown traffic kind passes world construction but makes
+			// network.Run fail once the unit executes.
+			top, path := topology.Line(2)
+			return network.Config{
+				Positions: top.Positions,
+				Scheme:    network.DCF,
+				Flows:     []network.FlowSpec{{ID: 1, Path: path, Kind: network.TrafficKind(99)}},
+			}, nil
 		},
 	}
 	_, err := g.Run()
@@ -212,6 +223,36 @@ func TestGridRunErrorNamesPointAndSeed(t *testing.T) {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("err %q missing %q", err, want)
 		}
+	}
+}
+
+func TestGridInvalidConfigFailsAtWorldBuild(t *testing.T) {
+	runs := 0
+	g := Grid{
+		Name:  "badcfg",
+		Axes:  []Axis{A("n", "0", "1")},
+		Seeds: []uint64{7},
+		Pool:  pool.New(2),
+		Build: func(pt Point) (network.Config, error) {
+			runs++
+			// No flows: rejected when the cell's world snapshot is built,
+			// before any seed-run is scheduled.
+			return network.Config{}, nil
+		},
+	}
+	_, err := g.Run()
+	if err == nil {
+		t.Fatal("invalid scenario must fail the grid")
+	}
+	for _, want := range []string{"campaign badcfg", "[n=0]"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("err %q missing %q", err, want)
+		}
+	}
+	// Build runs for every cell (in cell order) before the pooled world
+	// builds; the lowest-indexed broken cell then fails the whole grid.
+	if runs != 2 {
+		t.Errorf("Build called %d times, want once per cell", runs)
 	}
 }
 

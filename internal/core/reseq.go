@@ -11,13 +11,27 @@ import (
 // corrupted lower one. Rq holds such packets and delivers in order. A hold
 // timeout bounds head-of-line blocking when the source permanently dropped
 // a packet (retry limit), in which case Rq skips the gap.
+//
+// Buffered packets carry a reference (pkt.Pool): the buffer may outlive
+// the source's own hold on a packet, so Rq refs on insert and releases
+// after in-order delivery. The hold timer is one event per stream, revived
+// with Reschedule, so buffering allocates nothing after warm-up.
 type reseq struct {
-	expected int64
-	buf      map[int64]*pkt.Packet
-	holdEv   *sim.Event
+	expected  int64
+	buf       map[int64]*pkt.Packet
+	holdEv    *sim.Event
+	holdArmed bool
+	holdFn    func() // bound once to this stream
 }
 
-func newReseq() *reseq { return &reseq{buf: make(map[int64]*pkt.Packet)} }
+func (r *Ripple) newReseq() *reseq {
+	q := &reseq{buf: make(map[int64]*pkt.Packet)}
+	q.holdFn = func() {
+		q.holdArmed = false
+		r.skipGap(q)
+	}
+	return q
+}
 
 // deliver routes a received packet through Rq (when enabled) to transport.
 func (r *Ripple) deliver(p *pkt.Packet) {
@@ -28,7 +42,7 @@ func (r *Ripple) deliver(p *pkt.Packet) {
 	key := streamKey{flow: p.FlowID, src: p.Src}
 	q, ok := r.rq[key]
 	if !ok {
-		q = newReseq()
+		q = r.newReseq()
 		r.rq[key] = q
 	}
 	switch {
@@ -48,6 +62,7 @@ func (r *Ripple) deliver(p *pkt.Packet) {
 			r.skipGap(q)
 		}
 		q.buf[p.MacSeq] = p
+		p.Ref() // the buffer may outlive the source's hold on the packet
 		r.armHold(q)
 	}
 }
@@ -62,28 +77,30 @@ func (r *Ripple) drain(q *reseq) {
 		delete(q.buf, q.expected)
 		q.expected++
 		r.env.Deliver(p)
+		p.Release() // delivered in order: the buffer's reference ends
 	}
 	if len(q.buf) == 0 {
 		r.env.Eng.Cancel(q.holdEv)
-		q.holdEv = nil
+		q.holdArmed = false
 	} else {
 		r.rearmHold(q)
 	}
 }
 
 func (r *Ripple) armHold(q *reseq) {
-	if q.holdEv != nil && !q.holdEv.Canceled() {
+	if q.holdArmed {
 		return
 	}
 	r.rearmHold(q)
 }
 
 func (r *Ripple) rearmHold(q *reseq) {
-	r.env.Eng.Cancel(q.holdEv)
-	q.holdEv = r.env.Eng.After(r.opt.RqHold, func() {
-		q.holdEv = nil
-		r.skipGap(q)
-	})
+	if q.holdEv == nil {
+		q.holdEv = r.env.Eng.After(r.opt.RqHold, q.holdFn)
+	} else {
+		r.env.Eng.Reschedule(q.holdEv, r.env.Eng.Now()+r.opt.RqHold)
+	}
+	q.holdArmed = true
 }
 
 // skipGap advances expected to the lowest buffered sequence number (the

@@ -111,6 +111,14 @@ type Ripple struct {
 	// piggy tracks local packets riding on relayed frames (LocalAggOnRelay),
 	// keyed by the mTXOP they joined, until the bitmap ACK covers them.
 	piggy map[uint64][]*pkt.Packet
+
+	// Hot-path scratch and free lists: okScratch collects the decoded
+	// sub-packets of one reception (valid only within the handler),
+	// freeRelays recycles pendingRelay structs (each keeps its event and
+	// packet buffer), freeTx recycles the SIFS-delayed transmit actions.
+	okScratch  []*pkt.Packet
+	freeRelays []*pendingRelay
+	freeTx     *delayedTx
 }
 
 type streamKey struct {
@@ -146,6 +154,7 @@ func (r *Ripple) Send(p *pkt.Packet) bool {
 	key := streamKey{flow: p.FlowID, src: p.Src}
 	if !r.queue.Push(p) {
 		r.env.C.QueueDrops++
+		p.Release() // queue full: terminal drop point for the sender's ref
 		return false
 	}
 	p.MacSeq = r.macSeq[key]
@@ -174,10 +183,10 @@ func (r *Ripple) onGrant() {
 		// stream ("when the source (re)transmits, we allow multiple
 		// packets to be aggregated in the (re)transmitted frame").
 		if len(r.inService) < r.opt.MaxAgg {
-			extra := r.queue.PopNWhere(r.opt.MaxAgg-len(r.inService), func(p *pkt.Packet) bool {
-				return p.FlowID == r.svcFlow && p.Dst == r.svcDst
-			})
-			r.inService = append(r.inService, extra...)
+			r.inService = r.queue.PopNWhereInto(r.inService,
+				r.opt.MaxAgg-len(r.inService), func(p *pkt.Packet) bool {
+					return p.FlowID == r.svcFlow && p.Dst == r.svcDst
+				})
 		}
 	} else {
 		head := r.queue.Peek()
@@ -186,7 +195,7 @@ func (r *Ripple) onGrant() {
 		}
 		r.svcFlow = head.FlowID
 		r.svcDst = head.Dst
-		r.inService = r.queue.PopNWhere(r.opt.MaxAgg, func(p *pkt.Packet) bool {
+		r.inService = r.queue.PopNWhereInto(r.inService[:0], r.opt.MaxAgg, func(p *pkt.Packet) bool {
 			return p.FlowID == head.FlowID && p.Dst == head.Dst
 		})
 	}
@@ -196,7 +205,10 @@ func (r *Ripple) onGrant() {
 	fwd := r.env.Routes.FwdList(r.svcFlow, r.env.ID, r.svcDst)
 	if len(fwd) == 0 {
 		r.env.C.MACDrops += uint64(len(r.inService))
-		r.inService = nil
+		for _, p := range r.inService {
+			p.Release()
+		}
+		r.inService = r.inService[:0]
 		r.maybeRequest()
 		return
 	}
@@ -208,7 +220,7 @@ func (r *Ripple) onGrant() {
 		Rx:       pkt.Broadcast,
 		Origin:   r.env.ID,
 		FinalDst: r.svcDst,
-		FwdList:  append([]pkt.NodeID(nil), fwd...),
+		FwdList:  fwd, // RouteBook-owned, immutable until the next route update
 		TxopID:   r.curTxop,
 		Packets:  append([]*pkt.Packet(nil), r.inService...),
 		FlowID:   r.svcFlow,
@@ -282,6 +294,7 @@ func (r *Ripple) dropExpired() {
 	for _, p := range r.inService {
 		if p.Retries > r.env.P.RetryLimit {
 			r.env.C.MACDrops++
+			p.Release() // abandoned by the source: terminal drop point
 			continue
 		}
 		kept = append(kept, p)
@@ -305,13 +318,11 @@ func (r *Ripple) handleAck(f *pkt.Frame) {
 	if pending, ok := r.piggy[f.TxopID]; ok {
 		// The bitmap covers packets we piggybacked onto this mTXOP's
 		// relay; acknowledged ones are done, the rest await reclaim.
-		acked := make(map[uint64]struct{}, len(f.AckedUIDs))
-		for _, id := range f.AckedUIDs {
-			acked[id] = struct{}{}
-		}
 		kept := pending[:0]
 		for _, p := range pending {
-			if _, ok := acked[p.UID]; !ok {
+			if forward.Acked(f.AckedUIDs, p.UID) {
+				p.Release() // delivered: our piggyback custody ends
+			} else {
 				kept = append(kept, p)
 			}
 		}
@@ -322,15 +333,12 @@ func (r *Ripple) handleAck(f *pkt.Frame) {
 		}
 	}
 	if r.exchanging && f.Origin == r.env.ID {
-		acked := make(map[uint64]struct{}, len(f.AckedUIDs))
-		for _, id := range f.AckedUIDs {
-			acked[id] = struct{}{}
-		}
 		matched := f.TxopID == r.curTxop
 		kept := r.inService[:0]
 		for _, p := range r.inService {
-			if _, ok := acked[p.UID]; ok {
+			if forward.Acked(f.AckedUIDs, p.UID) {
 				matched = true
+				p.Release() // acknowledged end to end: the source's ref ends
 				continue
 			}
 			kept = append(kept, p)
@@ -367,15 +375,19 @@ func (r *Ripple) handleAck(f *pkt.Frame) {
 		return
 	}
 	r.armRelay(f.TxopID, f.TxopID, false, myAck,
-		sim.Time(myAck-1)*r.env.P.Slot+r.env.P.SIFS, func() {
-			r.seenAck[f.TxopID] = true
-			relay := f.Clone()
-			relay.Tx = r.env.ID
-			relay.Duration = r.ackDuration(len(relay.FwdList))
-			r.env.C.TxFrames++
-			r.env.C.Relays++
-			r.env.Med.Transmit(relay)
-		})
+		sim.Time(myAck-1)*r.env.P.Slot+r.env.P.SIFS, f, nil)
+}
+
+// fireAckRelay relays a decoded MAC ACK toward the source.
+func (r *Ripple) fireAckRelay(p *pendingRelay) {
+	f := p.frame
+	r.seenAck[f.TxopID] = true
+	relay := f.Clone()
+	relay.Tx = r.env.ID
+	relay.Duration = r.ackDuration(len(relay.FwdList))
+	r.env.C.TxFrames++
+	r.env.C.Relays++
+	r.env.Med.Transmit(relay)
 }
 
 // handleData covers the destination (ACK + deliver) and forwarder (relay)
@@ -385,14 +397,15 @@ func (r *Ripple) handleData(f *pkt.Frame, pktOK []bool) {
 	if myRank < 0 || f.Origin == r.env.ID {
 		return
 	}
-	var okPkts []*pkt.Packet
-	var okUIDs []uint64
+	// okScratch is valid only within this handler; anything retained
+	// (the relay's packet set) is copied at arm time.
+	okPkts := r.okScratch[:0]
 	for i, p := range f.Packets {
 		if i < len(pktOK) && pktOK[i] {
 			okPkts = append(okPkts, p)
-			okUIDs = append(okUIDs, p.UID)
 		}
 	}
+	r.okScratch = okPkts[:0]
 	if len(okPkts) == 0 {
 		// Header decodable but every sub-packet corrupted: stay silent so
 		// a forwarder that fared better can relay; EIFS applies.
@@ -403,13 +416,17 @@ func (r *Ripple) handleData(f *pkt.Frame, pktOK []bool) {
 	if myRank == 0 {
 		// Destination: bitmap-ACK after SIFS, deliver through Rq.
 		r.env.C.RxData++
+		okUIDs := make([]uint64, len(okPkts))
+		for i, p := range okPkts {
+			okUIDs[i] = p.UID
+		}
 		ack := &pkt.Frame{
 			Kind:      pkt.Ack,
 			Tx:        r.env.ID,
 			Rx:        f.Origin,
 			Origin:    f.Origin,
 			FinalDst:  f.Origin,
-			FwdList:   append([]pkt.NodeID(nil), f.FwdList...),
+			FwdList:   f.FwdList, // immutable once transmitted
 			TxopID:    f.TxopID,
 			AckedUIDs: okUIDs,
 			Acker:     r.env.ID,
@@ -417,13 +434,7 @@ func (r *Ripple) handleData(f *pkt.Frame, pktOK []bool) {
 			FlowID:    f.FlowID,
 		}
 		ack.Duration = r.ackDuration(len(ack.FwdList))
-		r.env.Eng.After(r.env.P.SIFS, func() {
-			if r.env.Med.Transmitting(r.env.ID) {
-				return
-			}
-			r.env.C.TxFrames++
-			r.env.Med.Transmit(ack)
-		})
+		r.delayTx(r.env.P.SIFS, ack)
 		for _, p := range okPkts {
 			r.deliver(p)
 		}
@@ -444,19 +455,25 @@ func (r *Ripple) handleData(f *pkt.Frame, pktOK []bool) {
 		return
 	}
 	r.armRelay(f.TxopID^dataRelayTag, f.TxopID, true, myRank,
-		sim.Time(myRank)*r.env.P.Slot+r.env.P.SIFS, func() {
-			r.seenData[f.TxopID] = true
-			relay := f.Clone()
-			relay.Tx = r.env.ID
-			relay.Packets = okPkts
-			if r.opt.LocalAggOnRelay && len(relay.Packets) < r.opt.MaxAgg {
-				r.piggyback(relay)
-			}
-			relay.Duration = r.dataDuration(relay)
-			r.env.C.TxFrames++
-			r.env.C.Relays++
-			r.env.Med.Transmit(relay)
-		})
+		sim.Time(myRank)*r.env.P.Slot+r.env.P.SIFS, f, okPkts)
+}
+
+// fireDataRelay relays the decoded sub-packets of an overheard data frame.
+func (r *Ripple) fireDataRelay(p *pendingRelay) {
+	f := p.frame
+	r.seenData[f.TxopID] = true
+	relay := f.Clone()
+	relay.Tx = r.env.ID
+	// The relay frame outlives the pooled pendingRelay, so it gets its own
+	// copy of the packet set.
+	relay.Packets = append([]*pkt.Packet(nil), p.pkts...)
+	if r.opt.LocalAggOnRelay && len(relay.Packets) < r.opt.MaxAgg {
+		r.piggyback(relay)
+	}
+	relay.Duration = r.dataDuration(relay)
+	r.env.C.TxFrames++
+	r.env.C.Relays++
+	r.env.Med.Transmit(relay)
 }
 
 // piggyback tops a relayed frame up with local packets bound for the same
@@ -495,6 +512,12 @@ func (r *Ripple) reclaimPiggy(txop uint64) {
 const dataRelayTag = 0x8000000000000000
 
 // pendingRelay is a forwarder's armed (or deferred) relay of one frame.
+// Structs are pooled per Ripple agent: each keeps its timer event (revived
+// with Reschedule), its once-bound timer closure and its packet buffer, so
+// arming a relay allocates nothing after warm-up. pkts holds a reference
+// on every retained packet (released when the relay fires or is
+// discarded), which keeps the packets alive even if the source abandons
+// them while the relay is deferred.
 type pendingRelay struct {
 	key      uint64
 	txop     uint64
@@ -502,8 +525,77 @@ type pendingRelay struct {
 	rank     int // my relay rank in the frame's direction
 	wait     sim.Time
 	deadline sim.Time
-	fire     func()
+	frame    *pkt.Frame
+	pkts     []*pkt.Packet // decoded sub-packets (data relays only)
+	run      func()        // bound once: the relay's idle-timer callback
 	ev       *sim.Event
+}
+
+// newRelay pops a recycled pendingRelay or allocates one with its timer
+// callback bound.
+func (r *Ripple) newRelay() *pendingRelay {
+	if n := len(r.freeRelays); n > 0 {
+		p := r.freeRelays[n-1]
+		r.freeRelays[n-1] = nil
+		r.freeRelays = r.freeRelays[:n-1]
+		return p
+	}
+	p := &pendingRelay{}
+	p.run = func() { r.relayTimer(p) }
+	return p
+}
+
+// releaseRelay drops the relay's packet references and recycles the
+// struct. The caller must already have cancelled/consumed its timer and
+// removed it from r.relays. The timer event is explicitly marked cancelled
+// here: a recycled struct whose previous life's event merely *fired* would
+// otherwise look "still armed" to onCarrierIdle's !Canceled() check when
+// its next life is armed during a busy period, and the relay would never
+// be scheduled.
+func (r *Ripple) releaseRelay(p *pendingRelay) {
+	r.env.Eng.Cancel(p.ev)
+	for i, pk := range p.pkts {
+		pk.Release()
+		p.pkts[i] = nil
+	}
+	p.pkts = p.pkts[:0]
+	p.frame = nil
+	r.freeRelays = append(r.freeRelays, p)
+}
+
+// delayedTx transmits a frame after a fixed delay unless the station is
+// mid-transmission by then (the SIFS-spaced ACK rule). Pooled so the
+// per-reception ACK schedule allocates nothing.
+type delayedTx struct {
+	r    *Ripple
+	f    *pkt.Frame
+	next *delayedTx
+}
+
+func (a *delayedTx) Run() {
+	r, f := a.r, a.f
+	a.f = nil
+	a.next = r.freeTx
+	r.freeTx = a
+	if r.env.Med.Transmitting(r.env.ID) {
+		return
+	}
+	r.env.C.TxFrames++
+	r.env.Med.Transmit(f)
+}
+
+// delayTx schedules f for transmission after d, skipping it if the
+// station is transmitting at that instant (matching the inline ACK rule).
+func (r *Ripple) delayTx(d sim.Time, f *pkt.Frame) {
+	a := r.freeTx
+	if a != nil {
+		r.freeTx = a.next
+		a.next = nil
+	} else {
+		a = &delayedTx{r: r}
+	}
+	a.f = f
+	r.env.Eng.Do(r.env.Eng.Now()+d, a)
 }
 
 // findRelay returns the pending relay with the given key, or nil.
@@ -530,8 +622,10 @@ func (r *Ripple) dropRelay(p *pendingRelay) {
 // been idle for `wait`. In strict mode any sensed carrier discards the
 // frame; in deferral mode the wait restarts at the next idle period until
 // the defer deadline, and decoded evidence of higher-priority coverage
-// (suppressRelay) discards it.
-func (r *Ripple) armRelay(key, txop uint64, isData bool, rank int, wait sim.Time, fire func()) {
+// (suppressRelay) discards it. okPkts (data relays) is copied into the
+// relay's own buffer with a reference per packet.
+func (r *Ripple) armRelay(key, txop uint64, isData bool, rank int, wait sim.Time,
+	f *pkt.Frame, okPkts []*pkt.Packet) {
 	busy := r.env.Med.CarrierBusy(r.env.ID)
 	if busy && !r.opt.RelayDefer {
 		r.env.C.RelayCancels++
@@ -540,12 +634,16 @@ func (r *Ripple) armRelay(key, txop uint64, isData bool, rank int, wait sim.Time
 	if old := r.findRelay(key); old != nil {
 		r.env.Eng.Cancel(old.ev)
 		r.dropRelay(old)
+		r.releaseRelay(old)
 	}
-	p := &pendingRelay{
-		key: key, txop: txop, isData: isData, rank: rank,
-		wait:     wait,
-		deadline: r.env.Eng.Now() + r.opt.RelayDeferLimit,
-		fire:     fire,
+	p := r.newRelay()
+	p.key, p.txop, p.isData, p.rank = key, txop, isData, rank
+	p.wait = wait
+	p.deadline = r.env.Eng.Now() + r.opt.RelayDeferLimit
+	p.frame = f
+	p.pkts = append(p.pkts, okPkts...)
+	for _, pk := range p.pkts {
+		pk.Ref()
 	}
 	r.relays = append(r.relays, p)
 	if !busy {
@@ -554,19 +652,35 @@ func (r *Ripple) armRelay(key, txop uint64, isData bool, rank int, wait sim.Time
 }
 
 func (r *Ripple) schedule(p *pendingRelay) {
-	p.ev = r.env.Eng.After(p.wait, func() {
-		if r.env.Med.CarrierBusy(r.env.ID) || r.env.Med.Transmitting(r.env.ID) {
-			// Raced with a carrier transition in the same instant; the
-			// busy handler keeps or discards the pending state.
-			if !r.opt.RelayDefer {
-				r.dropRelay(p)
-				r.env.C.RelayCancels++
-			}
-			return
+	// One timer event per pendingRelay, revived in place: Reschedule gives
+	// it a fresh insertion sequence, so ordering matches a newly created
+	// event exactly.
+	if p.ev == nil {
+		p.ev = r.env.Eng.After(p.wait, p.run)
+		return
+	}
+	r.env.Eng.Reschedule(p.ev, r.env.Eng.Now()+p.wait)
+}
+
+// relayTimer is the relay's idle-wait callback.
+func (r *Ripple) relayTimer(p *pendingRelay) {
+	if r.env.Med.CarrierBusy(r.env.ID) || r.env.Med.Transmitting(r.env.ID) {
+		// Raced with a carrier transition in the same instant; the
+		// busy handler keeps or discards the pending state.
+		if !r.opt.RelayDefer {
+			r.dropRelay(p)
+			r.env.C.RelayCancels++
+			r.releaseRelay(p)
 		}
-		r.dropRelay(p)
-		p.fire()
-	})
+		return
+	}
+	r.dropRelay(p)
+	if p.isData {
+		r.fireDataRelay(p)
+	} else {
+		r.fireAckRelay(p)
+	}
+	r.releaseRelay(p)
 }
 
 // onCarrierBusy pauses (deferral) or discards (strict) every armed relay.
@@ -575,13 +689,15 @@ func (r *Ripple) onCarrierBusy() {
 		for _, p := range r.relays {
 			r.env.Eng.Cancel(p.ev)
 			r.env.C.RelayCancels++
+			r.releaseRelay(p)
 		}
 		r.relays = r.relays[:0]
 		return
 	}
 	for _, p := range r.relays {
+		// Cancel pauses the wait; the event struct stays with the relay
+		// and is revived by schedule at the next idle.
 		r.env.Eng.Cancel(p.ev)
-		p.ev = nil
 	}
 }
 
@@ -600,6 +716,7 @@ func (r *Ripple) onCarrierIdle() {
 		}
 		if now >= p.deadline {
 			r.env.C.RelayCancels++
+			r.releaseRelay(p)
 			continue
 		}
 		kept = append(kept, p)
@@ -619,6 +736,7 @@ func (r *Ripple) suppressRelay(key uint64, coveringRank int) {
 		r.env.Eng.Cancel(p.ev)
 		r.dropRelay(p)
 		r.env.C.RelayCancels++
+		r.releaseRelay(p)
 	}
 }
 

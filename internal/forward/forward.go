@@ -50,12 +50,27 @@ type Counters struct {
 type RouteBook struct {
 	paths         map[int]routing.Path
 	maxForwarders int
+	// fwdCache memoizes FwdList per (flow, from, toward): schemes ask for
+	// the same list on every transmission of a flow, and building it is a
+	// per-frame allocation otherwise. Cached slices are immutable — a
+	// route update replaces the entries, it never rewrites them — so
+	// frames may carry them by reference.
+	fwdCache map[fwdKey][]pkt.NodeID
+}
+
+type fwdKey struct {
+	flow         int
+	from, toward pkt.NodeID
 }
 
 // NewRouteBook creates a route book; maxForwarders caps forwarder lists
 // (the paper's default is 5).
 func NewRouteBook(maxForwarders int) *RouteBook {
-	return &RouteBook{paths: make(map[int]routing.Path), maxForwarders: maxForwarders}
+	return &RouteBook{
+		paths:         make(map[int]routing.Path),
+		maxForwarders: maxForwarders,
+		fwdCache:      make(map[fwdKey][]pkt.NodeID),
+	}
 }
 
 // Add registers the path for a flow (source to destination order). The
@@ -64,6 +79,17 @@ func NewRouteBook(maxForwarders int) *RouteBook {
 // four intermediate stations.
 func (b *RouteBook) Add(flow int, p routing.Path) {
 	b.paths[flow] = p.Limit(b.maxForwarders - 1)
+	b.invalidate(flow)
+}
+
+// invalidate drops a flow's cached forwarder lists (in-flight frames keep
+// the old slices; they are never mutated).
+func (b *RouteBook) invalidate(flow int) {
+	for k := range b.fwdCache {
+		if k.flow == flow {
+			delete(b.fwdCache, k)
+		}
+	}
 }
 
 // Update replaces a flow's path mid-run (route policies recompute routes
@@ -89,13 +115,21 @@ func (b *RouteBook) NextHop(flow int, from, dst pkt.NodeID) (pkt.NodeID, bool) {
 }
 
 // FwdList returns the destination-first prioritised forwarder list for a
-// transmission by `from` toward endpoint `dst` on the given flow.
+// transmission by `from` toward endpoint `dst` on the given flow. The
+// returned slice is owned by the RouteBook and must be treated as
+// immutable (frames embed it directly).
 func (b *RouteBook) FwdList(flow int, from, dst pkt.NodeID) []pkt.NodeID {
+	key := fwdKey{flow: flow, from: from, toward: dst}
+	if list, ok := b.fwdCache[key]; ok {
+		return list
+	}
 	p, ok := b.paths[flow]
 	if !ok {
 		return nil
 	}
-	return p.FwdList(from, dst)
+	list := p.FwdList(from, dst)
+	b.fwdCache[key] = list
+	return list
 }
 
 // OnPath reports whether node n participates in the flow's path.
@@ -134,6 +168,18 @@ func (e *Env) NewContender(grant func()) *mac.Contender {
 	return mac.NewContender(e.Eng, e.P, e.RNG, grant)
 }
 
+// Acked reports whether uid appears in a frame's acknowledged-UID list.
+// A linear scan: the list is bounded by the aggregation limit (16), so it
+// beats building a lookup map per ACK on the hot path.
+func Acked(ackedUIDs []uint64, uid uint64) bool {
+	for _, id := range ackedUIDs {
+		if id == uid {
+			return true
+		}
+	}
+	return false
+}
+
 // dedupe is a bounded set of recently seen identifiers, used to suppress
 // duplicate receptions and duplicate relays.
 type dedupe struct {
@@ -143,7 +189,10 @@ type dedupe struct {
 }
 
 func newDedupe(capacity int) *dedupe {
-	return &dedupe{seen: make(map[uint64]struct{}, capacity), cap: capacity}
+	// The map grows on demand: preallocating `capacity` buckets up front
+	// costs ~100 KB per station per run, which dominated a whole
+	// campaign's allocations before the map ever held a dozen entries.
+	return &dedupe{seen: make(map[uint64]struct{}), cap: capacity}
 }
 
 // Seen reports whether id was seen before, inserting it either way.

@@ -56,6 +56,7 @@ func (x *MCExOR) Send(p *pkt.Packet) bool {
 	p.EnqueuedAt = x.env.Eng.Now()
 	if !x.queue.Push(p) {
 		x.env.C.QueueDrops++
+		p.Release() // queue full: terminal drop point for the sender's ref
 		return false
 	}
 	x.maybeRequest()
@@ -92,6 +93,7 @@ func (x *MCExOR) onGrant() {
 	fwd := x.env.Routes.FwdList(x.cur.FlowID, x.env.ID, x.cur.Dst)
 	if len(fwd) == 0 {
 		x.env.C.MACDrops++
+		x.cur.Release() // no route: terminal drop point
 		x.cur = nil
 		x.maybeRequest()
 		return
@@ -105,7 +107,7 @@ func (x *MCExOR) onGrant() {
 		Rx:       pkt.Broadcast,
 		Origin:   x.env.ID,
 		FinalDst: x.cur.Dst,
-		FwdList:  append([]pkt.NodeID(nil), fwd...),
+		FwdList:  fwd, // RouteBook-owned, immutable until the next route update
 		TxopID:   x.curTxop,
 		Packets:  []*pkt.Packet{x.cur},
 		FlowID:   x.cur.FlowID,
@@ -140,6 +142,9 @@ func (x *MCExOR) collectDone() {
 	}
 	x.exchanging = false
 	if x.heardAck {
+		// Custody transferred (or delivered): the acker holds its own
+		// reference, ours ends here.
+		x.cur.Release()
 		x.cur = nil
 		x.attempts = 0
 		x.cont.Success()
@@ -148,6 +153,7 @@ func (x *MCExOR) collectDone() {
 		x.env.C.AckTimeouts++
 		if x.attempts > x.env.P.RetryLimit {
 			x.env.C.MACDrops++
+			x.cur.Release() // abandoned: terminal drop point
 			x.cur = nil
 			x.attempts = 0
 			x.cont.Success()
@@ -186,12 +192,16 @@ func (x *MCExOR) handleData(f *pkt.Frame, pktOK []bool) {
 	p := f.Packets[0]
 	rx := &mcRx{packet: p, myRank: rank}
 	x.pend[f.TxopID] = rx
+	// The pending closure holds its own reference on the packet until the
+	// compressed-ACK decision (the source may abandon it meanwhile).
+	p.Ref()
 	// Rank r transmits its ACK after (r+1)·SIFS unless it detected an ACK
 	// (any carrier) during the wait.
 	wait := sim.Time(rank+1) * x.env.P.SIFS
 	x.env.Eng.After(wait, func() {
 		delete(x.pend, f.TxopID)
 		if rx.suppressed || x.env.Med.CarrierBusy(x.env.ID) {
+			p.Release()
 			return // a higher-priority station acknowledged first
 		}
 		ack := &pkt.Frame{
@@ -213,21 +223,25 @@ func (x *MCExOR) handleData(f *pkt.Frame, pktOK []bool) {
 		if rank == 0 {
 			if x.rxSeen.Seen(p.UID) {
 				x.env.C.Duplicates++
+				p.Release()
 				return
 			}
 			x.env.Deliver(p)
+			p.Release() // delivered: terminal point
 			return
 		}
 		if x.rxSeen.Seen(p.UID) {
 			x.env.C.Duplicates++
+			p.Release()
 			return
 		}
 		p.EnqueuedAt = x.env.Eng.Now()
 		if !x.queue.Push(p) {
 			x.env.C.QueueDrops++
+			p.Release()
 			return
 		}
-		x.maybeRequest()
+		x.maybeRequest() // custody taken: the closure's ref becomes the queue's
 	})
 }
 

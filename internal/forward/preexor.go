@@ -58,6 +58,7 @@ func (x *PreExOR) Send(p *pkt.Packet) bool {
 	p.EnqueuedAt = x.env.Eng.Now()
 	if !x.queue.Push(p) {
 		x.env.C.QueueDrops++
+		p.Release() // queue full: terminal drop point for the sender's ref
 		return false
 	}
 	x.maybeRequest()
@@ -94,6 +95,7 @@ func (x *PreExOR) onGrant() {
 	fwd := x.env.Routes.FwdList(x.cur.FlowID, x.env.ID, x.cur.Dst)
 	if len(fwd) == 0 {
 		x.env.C.MACDrops++
+		x.cur.Release() // no route: terminal drop point
 		x.cur = nil
 		x.maybeRequest()
 		return
@@ -107,7 +109,7 @@ func (x *PreExOR) onGrant() {
 		Rx:       pkt.Broadcast,
 		Origin:   x.env.ID,
 		FinalDst: x.cur.Dst,
-		FwdList:  append([]pkt.NodeID(nil), fwd...),
+		FwdList:  fwd, // RouteBook-owned, immutable until the next route update
 		TxopID:   x.curTxop,
 		Packets:  []*pkt.Packet{x.cur},
 		FlowID:   x.cur.FlowID,
@@ -150,7 +152,9 @@ func (x *PreExOR) collectDone() {
 	}
 	x.exchanging = false
 	if x.heardRank >= 0 {
-		// Custody transferred to a closer station (or delivered).
+		// Custody transferred to a closer station (or delivered): the
+		// receiver holds its own reference, ours ends here.
+		x.cur.Release()
 		x.cur = nil
 		x.attempts = 0
 		x.cont.Success()
@@ -159,6 +163,7 @@ func (x *PreExOR) collectDone() {
 		x.env.C.AckTimeouts++
 		if x.attempts > x.env.P.RetryLimit {
 			x.env.C.MACDrops++
+			x.cur.Release() // abandoned: terminal drop point
 			x.cur = nil
 			x.attempts = 0
 			x.cont.Success()
@@ -236,24 +241,30 @@ func (x *PreExOR) handleData(f *pkt.Frame, pktOK []bool) {
 		return
 	}
 
-	// Forwarder: decide custody at the end of the ACK schedule.
+	// Forwarder: decide custody at the end of the ACK schedule. The
+	// pending closure holds its own reference on the packet until the
+	// custody decision (the source may abandon it meanwhile).
 	rx := &exorRx{frame: f, packet: p, myRank: rank}
 	x.pend[f.TxopID] = rx
+	p.Ref()
 	x.env.Eng.After(x.scheduleEnd(len(f.FwdList)), func() {
 		delete(x.pend, f.TxopID)
 		if rx.heardHigher {
+			p.Release()
 			return // a closer station has it
 		}
 		if x.rxSeen.Seen(p.UID) {
 			x.env.C.Duplicates++
+			p.Release()
 			return // already took custody of this packet earlier
 		}
 		p.EnqueuedAt = x.env.Eng.Now()
 		if !x.queue.Push(p) {
 			x.env.C.QueueDrops++
+			p.Release()
 			return
 		}
-		x.maybeRequest()
+		x.maybeRequest() // custody taken: the closure's ref becomes the queue's
 	})
 }
 

@@ -42,6 +42,52 @@ type Unicast struct {
 	navBusy  bool
 
 	rxSeen *dedupe
+	// freeTx recycles the SIFS-delayed transmit actions.
+	freeTx *uniDelayedTx
+}
+
+// uniDelayedTx transmits a frame after SIFS unless the station is
+// mid-transmission (and, for the post-CTS data frame, unless the exchange
+// was abandoned meanwhile). Pooled per scheme so the per-reception ACK and
+// RTS/CTS schedules allocate nothing.
+type uniDelayedTx struct {
+	u            *Unicast
+	f            *pkt.Frame
+	needExchange bool // post-CTS data: require the exchange still open
+	next         *uniDelayedTx
+}
+
+func (a *uniDelayedTx) Run() {
+	u, f, need := a.u, a.f, a.needExchange
+	a.f = nil
+	a.next = u.freeTx
+	u.freeTx = a
+	if need && !u.exchanging {
+		return
+	}
+	if u.env.Med.Transmitting(u.env.ID) {
+		return // pathological overlap: skip, the peer times out
+	}
+	if f.Kind == pkt.Data {
+		u.transmitData(f)
+		return
+	}
+	u.env.C.TxFrames++
+	u.env.Med.Transmit(f)
+}
+
+// delayTx schedules f for transmission after d under uniDelayedTx's rules.
+func (u *Unicast) delayTx(d sim.Time, f *pkt.Frame, needExchange bool) {
+	a := u.freeTx
+	if a != nil {
+		u.freeTx = a.next
+		a.next = nil
+	} else {
+		a = &uniDelayedTx{u: u}
+	}
+	a.f = f
+	a.needExchange = needExchange
+	u.env.Eng.Do(u.env.Eng.Now()+d, a)
 }
 
 var _ Scheme = (*Unicast)(nil)
@@ -75,6 +121,7 @@ func (u *Unicast) Send(p *pkt.Packet) bool {
 	p.EnqueuedAt = u.env.Eng.Now()
 	if !u.queue.Push(p) {
 		u.env.C.QueueDrops++
+		p.Release() // queue full: terminal drop point for the sender's ref
 		return false
 	}
 	u.maybeRequest()
@@ -117,12 +164,13 @@ func (u *Unicast) buildBatch() {
 			// No route from here: drop and try the next packet.
 			u.queue.Pop()
 			u.env.C.MACDrops++
+			head.Release()
 			continue
 		}
 		u.svcNext = next
 		u.svcFlow = head.FlowID
 		u.svcDst = head.Dst
-		u.inService = u.queue.PopNWhere(u.maxAgg, func(p *pkt.Packet) bool {
+		u.inService = u.queue.PopNWhereInto(u.inService[:0], u.maxAgg, func(p *pkt.Packet) bool {
 			nh, ok := u.env.Routes.NextHop(p.FlowID, u.env.ID, p.Dst)
 			return ok && nh == next
 		})
@@ -243,7 +291,10 @@ func (u *Unicast) failExchange() {
 	if u.attempts > u.env.P.RetryLimit {
 		// Retry limit exceeded: drop the whole batch, reset the window.
 		u.env.C.MACDrops += uint64(len(u.inService))
-		u.inService = nil
+		for _, p := range u.inService {
+			p.Release()
+		}
+		u.inService = u.inService[:0]
 		u.attempts = 0
 		u.cont.Success() // CW resets after a drop per 802.11
 	} else {
@@ -287,13 +338,7 @@ func (u *Unicast) handleRts(f *pkt.Frame) {
 		Duration: p.CTSTime(),
 		NavDur:   f.NavDur - p.SIFS - p.CTSTime(),
 	}
-	u.env.Eng.After(p.SIFS, func() {
-		if u.env.Med.Transmitting(u.env.ID) {
-			return
-		}
-		u.env.C.TxFrames++
-		u.env.Med.Transmit(cts)
-	})
+	u.delayTx(p.SIFS, cts, false)
 }
 
 func (u *Unicast) handleCts(f *pkt.Frame) {
@@ -308,12 +353,7 @@ func (u *Unicast) handleCts(f *pkt.Frame) {
 	u.awaitCTS = false
 	data := u.dataFrame
 	u.dataFrame = nil
-	u.env.Eng.After(u.env.P.SIFS, func() {
-		if !u.exchanging || u.env.Med.Transmitting(u.env.ID) {
-			return
-		}
-		u.transmitData(data)
-	})
+	u.delayTx(u.env.P.SIFS, data, true)
 }
 
 // setNAV extends the virtual carrier sense; the contender treats the NAV
@@ -346,17 +386,15 @@ func (u *Unicast) handleAck(f *pkt.Frame) {
 	}
 	u.env.Eng.Cancel(u.ackTimer)
 	u.exchanging = false
-	acked := make(map[uint64]struct{}, len(f.AckedUIDs))
-	for _, id := range f.AckedUIDs {
-		acked[id] = struct{}{}
-	}
 	remaining := u.inService[:0]
 	for _, p := range u.inService {
-		if _, ok := acked[p.UID]; ok {
+		if Acked(f.AckedUIDs, p.UID) {
+			p.Release() // the next hop (or endpoint) holds it now
 			continue
 		}
 		if p.Retries > u.env.P.RetryLimit {
 			u.env.C.MACDrops++
+			p.Release()
 			continue
 		}
 		remaining = append(remaining, p)
@@ -378,8 +416,16 @@ func (u *Unicast) handleData(f *pkt.Frame, pktOK []bool) {
 		u.cont.NoteCorrupted()
 		return
 	}
-	// Acknowledge after SIFS. The bitmap lists packets that passed CRC.
-	var ackUIDs []uint64
+	// Acknowledge after SIFS. The bitmap lists packets that passed CRC;
+	// counting first sizes the retained slice exactly (one allocation, no
+	// append growth).
+	nOK := 0
+	for i := range f.Packets {
+		if i < len(pktOK) && pktOK[i] {
+			nOK++
+		}
+	}
+	ackUIDs := make([]uint64, 0, nOK)
 	for i, p := range f.Packets {
 		if i < len(pktOK) && pktOK[i] {
 			ackUIDs = append(ackUIDs, p.UID)
@@ -396,13 +442,7 @@ func (u *Unicast) handleData(f *pkt.Frame, pktOK []bool) {
 		FlowID:    f.FlowID,
 		Duration:  u.ackDuration(),
 	}
-	u.env.Eng.After(u.env.P.SIFS, func() {
-		if u.env.Med.Transmitting(u.env.ID) {
-			return // pathological overlap: skip the ACK, sender times out
-		}
-		u.env.C.TxFrames++
-		u.env.Med.Transmit(ack)
-	})
+	u.delayTx(u.env.P.SIFS, ack, false)
 	// Process the successfully received packets.
 	for i, p := range f.Packets {
 		if i >= len(pktOK) || !pktOK[i] {
@@ -416,9 +456,13 @@ func (u *Unicast) handleData(f *pkt.Frame, pktOK []bool) {
 			u.env.Deliver(p)
 			continue
 		}
-		// Relay toward the destination via our own queue.
+		// Relay toward the destination via our own queue, taking our own
+		// reference: the previous hop releases its hold when it processes
+		// our ACK.
 		p.EnqueuedAt = u.env.Eng.Now()
-		if !u.queue.Push(p) {
+		if u.queue.Push(p) {
+			p.Ref()
+		} else {
 			u.env.C.QueueDrops++
 		}
 	}

@@ -26,8 +26,14 @@ type Contender struct {
 	busy    bool
 	eifs    bool // apply EIFS instead of DIFS on the next deferral
 
+	// deferEv and slotEv are each one event revived in place with
+	// Reschedule, and deferFn/slotFn are their callbacks bound once, so
+	// the per-exchange DIFS/backoff machinery allocates nothing after
+	// warm-up.
 	deferEv   *sim.Event
 	slotEv    *sim.Event
+	deferFn   func()
+	slotFn    func()
 	slotStart sim.Time
 	idleAt    sim.Time
 }
@@ -35,7 +41,13 @@ type Contender struct {
 // NewContender creates a contender. busyNow seeds the initial carrier state
 // (normally false at t=0); grant is invoked exactly once per Request.
 func NewContender(eng *sim.Engine, p phys.Params, rng *sim.RNG, grant func()) *Contender {
-	return &Contender{eng: eng, p: p, rng: rng, grant: grant, cw: p.CWMin, slots: -1}
+	c := &Contender{eng: eng, p: p, rng: rng, grant: grant, cw: p.CWMin, slots: -1}
+	c.deferFn = c.deferDone
+	c.slotFn = func() {
+		c.slots = 0
+		c.doGrant()
+	}
+	return c
 }
 
 // Request asks for one transmission opportunity. It is idempotent while a
@@ -121,8 +133,11 @@ func (c *Contender) startDefer() {
 	if c.eifs {
 		ifs = c.p.EIFS()
 	}
-	c.eng.Cancel(c.deferEv)
-	c.deferEv = c.eng.At(c.idleAt+ifs, c.deferDone)
+	if c.deferEv == nil {
+		c.deferEv = c.eng.At(c.idleAt+ifs, c.deferFn)
+		return
+	}
+	c.eng.Reschedule(c.deferEv, c.idleAt+ifs)
 }
 
 func (c *Contender) deferDone() {
@@ -132,10 +147,11 @@ func (c *Contender) deferDone() {
 		return
 	}
 	c.slotStart = c.eng.Now()
-	c.slotEv = c.eng.After(sim.Time(c.slots)*c.p.Slot, func() {
-		c.slots = 0
-		c.doGrant()
-	})
+	if c.slotEv == nil {
+		c.slotEv = c.eng.After(sim.Time(c.slots)*c.p.Slot, c.slotFn)
+		return
+	}
+	c.eng.Reschedule(c.slotEv, c.eng.Now()+sim.Time(c.slots)*c.p.Slot)
 }
 
 func (c *Contender) doGrant() {
@@ -145,8 +161,9 @@ func (c *Contender) doGrant() {
 }
 
 func (c *Contender) stopSlots() {
-	if c.slotEv != nil {
-		c.eng.Cancel(c.slotEv)
-		c.slotEv = nil
-	}
+	// Cancel only: the event struct stays with the contender and is
+	// revived by the next deferDone. Cancelled-vs-fired state keeps the
+	// OnBusy freeze-credit check exact (a cancelled event is not counting
+	// down; a fired one was).
+	c.eng.Cancel(c.slotEv)
 }

@@ -4,27 +4,55 @@ import "ripple/internal/pkt"
 
 // Queue is the drop-tail MAC interface queue (Sq in the paper). The zero
 // value is unusable; create with NewQueue.
+//
+// The implementation is a growable ring buffer, so every operation —
+// including PushFront, which the retransmission and piggyback-reclaim
+// paths hit per packet — runs in O(1) without allocating. PopN and
+// PopNWhere append into a caller-supplied slice, letting hot callers
+// recycle one scratch buffer across exchanges.
 type Queue struct {
 	limit   int
-	items   []*pkt.Packet
+	buf     []*pkt.Packet // ring storage, len(buf) is a power of two
+	head    int           // index of the first queued packet
+	count   int
 	drops   uint64
 	maxSeen int
 }
 
-// NewQueue creates a queue holding at most limit packets.
+// NewQueue creates a queue holding at most limit packets. (Front
+// reinsertion may transiently exceed the limit; the ring grows on demand.)
 func NewQueue(limit int) *Queue {
-	return &Queue{limit: limit, items: make([]*pkt.Packet, 0, limit)}
+	capacity := 1
+	for capacity < limit {
+		capacity *= 2
+	}
+	return &Queue{limit: limit, buf: make([]*pkt.Packet, capacity)}
+}
+
+// grow doubles the ring, linearising the queue to the front.
+func (q *Queue) grow() {
+	next := make([]*pkt.Packet, 2*len(q.buf))
+	mask := len(q.buf) - 1
+	for i := 0; i < q.count; i++ {
+		next[i] = q.buf[(q.head+i)&mask]
+	}
+	q.buf = next
+	q.head = 0
 }
 
 // Push appends a packet; it reports false (and counts a drop) if full.
 func (q *Queue) Push(p *pkt.Packet) bool {
-	if len(q.items) >= q.limit {
+	if q.count >= q.limit {
 		q.drops++
 		return false
 	}
-	q.items = append(q.items, p)
-	if len(q.items) > q.maxSeen {
-		q.maxSeen = len(q.items)
+	if q.count == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.count)&(len(q.buf)-1)] = p
+	q.count++
+	if q.count > q.maxSeen {
+		q.maxSeen = q.count
 	}
 	return true
 }
@@ -33,70 +61,93 @@ func (q *Queue) Push(p *pkt.Packet) bool {
 // Front insertions are allowed to exceed the limit by the in-service batch
 // so that partial retransmission never loses custody of unacked packets.
 func (q *Queue) PushFront(p *pkt.Packet) {
-	q.items = append([]*pkt.Packet{p}, q.items...)
+	if q.count == len(q.buf) {
+		q.grow()
+	}
+	q.head = (q.head - 1) & (len(q.buf) - 1)
+	q.buf[q.head] = p
+	q.count++
 }
 
 // Pop removes and returns the head packet, or nil when empty.
 func (q *Queue) Pop() *pkt.Packet {
-	if len(q.items) == 0 {
+	if q.count == 0 {
 		return nil
 	}
-	p := q.items[0]
-	q.items[0] = nil
-	q.items = q.items[1:]
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.count--
 	return p
 }
 
 // PopN removes and returns up to n head packets.
 func (q *Queue) PopN(n int) []*pkt.Packet {
-	if n > len(q.items) {
-		n = len(q.items)
+	if n > q.count {
+		n = q.count
 	}
 	if n == 0 {
 		return nil
 	}
-	out := make([]*pkt.Packet, n)
-	copy(out, q.items[:n])
-	for i := 0; i < n; i++ {
-		q.items[i] = nil
+	return q.PopNInto(nil, n)
+}
+
+// PopNInto removes up to n head packets, appending them to dst (which may
+// be a recycled scratch buffer) and returning the extended slice.
+func (q *Queue) PopNInto(dst []*pkt.Packet, n int) []*pkt.Packet {
+	for ; n > 0 && q.count > 0; n-- {
+		dst = append(dst, q.Pop())
 	}
-	q.items = q.items[n:]
-	return out
+	return dst
 }
 
 // PopNWhere removes and returns up to n head-most packets satisfying keep,
 // preserving the order of the remainder. Used by relays that aggregate only
 // packets bound for the same next hop.
 func (q *Queue) PopNWhere(n int, keep func(*pkt.Packet) bool) []*pkt.Packet {
-	if n == 0 || len(q.items) == 0 {
+	if n == 0 || q.count == 0 {
 		return nil
 	}
-	out := make([]*pkt.Packet, 0, n)
-	rest := q.items[:0]
-	for _, p := range q.items {
-		if len(out) < n && keep(p) {
-			out = append(out, p)
-		} else {
-			rest = append(rest, p)
+	return q.PopNWhereInto(nil, n, keep)
+}
+
+// PopNWhereInto is PopNWhere appending into a caller-supplied slice. The
+// remainder is compacted in place within the ring, so the non-selected
+// packets keep their order without allocation.
+func (q *Queue) PopNWhereInto(dst []*pkt.Packet, n int, keep func(*pkt.Packet) bool) []*pkt.Packet {
+	if n == 0 || q.count == 0 {
+		return dst
+	}
+	mask := len(q.buf) - 1
+	taken := 0
+	w := 0 // logical write index of the next kept-back packet
+	for i := 0; i < q.count; i++ {
+		p := q.buf[(q.head+i)&mask]
+		if taken < n && keep(p) {
+			dst = append(dst, p)
+			taken++
+			continue
 		}
+		q.buf[(q.head+w)&mask] = p
+		w++
 	}
-	for i := len(rest); i < len(q.items); i++ {
-		q.items[i] = nil
+	for i := w; i < q.count; i++ {
+		q.buf[(q.head+i)&mask] = nil
 	}
-	q.items = rest
-	return out
+	q.count = w
+	return dst
 }
 
 // Peek returns the head packet without removing it, or nil when empty.
 func (q *Queue) Peek() *pkt.Packet {
-	if len(q.items) == 0 {
+	if q.count == 0 {
 		return nil
 	}
-	return q.items[0]
+	return q.buf[q.head]
 }
 
 // Len returns the number of queued packets.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue) Len() int { return q.count }
 
 // Drops returns the number of packets rejected because the queue was full.
 func (q *Queue) Drops() uint64 { return q.drops }

@@ -126,6 +126,13 @@ type Config struct {
 	// multi-seed run, install it on a single-seed Run: seeds execute
 	// concurrently and the hook is not synchronised.
 	Trace func(at sim.Time, event string, node pkt.NodeID, f *pkt.Frame)
+	// World, when non-nil, is the prebuilt seed-independent snapshot this
+	// run executes on (see BuildWorld). It must have been built from a
+	// Config whose non-seed fields equal this one's; RunSeeds and the
+	// campaign engine set it automatically so all seed-runs of a scenario
+	// share one snapshot. Nil makes Run build a private snapshot — the
+	// results are bit-identical either way.
+	World *World
 }
 
 // RoutePolicyKind selects a built-in route policy.
@@ -304,50 +311,44 @@ type receiver interface {
 	Receive(at pkt.NodeID, p *pkt.Packet)
 }
 
-// Run executes one scenario to completion and returns its results.
+// Run executes one scenario to completion and returns its results. When
+// cfg.World is set, the run executes on that shared snapshot (reading it
+// only); otherwise it builds a private one. Either way the results are
+// bit-identical for a given Config.
 func Run(cfg Config) (*Result, error) {
 	cfg.Normalize()
 	if err := validate(&cfg); err != nil {
 		return nil, err
 	}
+	world := cfg.World
+	if world == nil {
+		w, err := BuildWorld(cfg)
+		if err != nil {
+			return nil, err
+		}
+		world = w
+	} else if err := world.check(&cfg); err != nil {
+		return nil, err
+	}
 	eng := sim.NewEngine()
-	medium := radio.NewMedium(eng, cfg.Radio, cfg.Phy, cfg.Positions, sim.NewRNG(cfg.Seed, 1))
+	medium := radio.NewMediumOn(eng, world.plan, cfg.Phy, sim.NewRNG(cfg.Seed, 1))
 	medium.Trace = cfg.Trace
 
+	// The RouteBook is per-run mutable state (dynamic policies rewrite it
+	// each epoch); it starts from the World's resolved initial routes. The
+	// policy instance is likewise rebuilt per run over the shared,
+	// read-only link table.
 	routes := forward.NewRouteBook(cfg.MaxForwarders)
 	var policy routing.Policy
-	var table *routing.Table
-	if cfg.Routing.active() {
-		// The policy's link table uses the same radio the medium will, so
-		// the metric always matches the channel the packets see (the
-		// minProb floor matches the public Router).
-		table = routing.NewTable(len(cfg.Positions), func(a, b pkt.NodeID) float64 {
-			return 1 - cfg.Radio.LossProb(radio.Dist(cfg.Positions[a], cfg.Positions[b]))
-		}, 0.1)
-		// RouteStatic with K set sizes the declared paths in place; every
-		// other active spec resolves to a policy that recomputes routes
-		// from the flow endpoints.
-		if cfg.Routing.Kind != RouteStatic || cfg.Routing.Policy != nil {
-			pol, err := cfg.Routing.build(table)
-			if err != nil {
-				return nil, err
-			}
-			policy = pol
+	if cfg.Routing.active() && (cfg.Routing.Kind != RouteStatic || cfg.Routing.Policy != nil) {
+		pol, err := cfg.Routing.build(world.table)
+		if err != nil {
+			return nil, err
 		}
+		policy = pol
 	}
-	for _, f := range cfg.Flows {
-		switch {
-		case policy != nil:
-			p, err := policy.Route(f.Path.Src(), f.Path.Dst(), nil)
-			if err != nil {
-				return nil, fmt.Errorf("network: flow %d: %s route: %w", f.ID, policy.Name(), err)
-			}
-			routes.Add(f.ID, p)
-		case table != nil:
-			routes.Add(f.ID, routing.Resize(table, f.Path, cfg.Routing.K, cfg.Routing.Rule))
-		default:
-			routes.Add(f.ID, f.Path)
-		}
+	for i, f := range cfg.Flows {
+		routes.Add(f.ID, world.routes[i])
 	}
 
 	var rateOracle *rateadapt.OracleSelector
@@ -449,6 +450,10 @@ func Run(cfg Config) (*Result, error) {
 		eng.After(epoch, reroute)
 	}
 
+	// One packet pool per run: transports draw from it, and the MAC layer
+	// recycles packets at their terminal delivery/drop points, so the
+	// steady-state packet path allocates nothing.
+	pktPool := &pkt.Pool{}
 	flowStats := make([]*stats.Flow, len(cfg.Flows))
 	for i, f := range cfg.Flows {
 		fs := &stats.Flow{ID: f.ID}
@@ -463,6 +468,7 @@ func Run(cfg Config) (*Result, error) {
 				tcpCfg = *f.TCP
 			}
 			conn := transport.NewTCP(eng, tcpCfg, f.ID, src, dst, sendSrc, sendDst, fs)
+			conn.SetPool(pktPool)
 			endpoints[endpointKey{f.ID, src}] = conn
 			endpoints[endpointKey{f.ID, dst}] = conn
 			if f.Kind == FTP {
@@ -483,6 +489,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 			v := transport.NewVoIP(eng, voipCfg, f.ID, src, dst, sendSrc, fs,
 				sim.NewRNG(cfg.Seed, 10000+uint64(f.ID)))
+			v.SetPool(pktPool)
 			endpoints[endpointKey{f.ID, dst}] = v
 			eng.At(f.Start, v.Start)
 		case CBRTraffic:
@@ -492,6 +499,7 @@ func Run(cfg Config) (*Result, error) {
 				bytes = f.CBRPacketBytes
 			}
 			c := transport.NewCBR(eng, f.ID, src, dst, bytes, f.CBRInterval, sendSrc, fs)
+			c.SetPool(pktPool)
 			endpoints[endpointKey{f.ID, dst}] = c
 			eng.At(f.Start, c.Start)
 		default:

@@ -18,10 +18,19 @@ func RunSeeds(cfg Config, seeds []uint64) ([]*Result, *Result, error) {
 	return RunSeedsOn(pool.Shared(), cfg, seeds)
 }
 
-// RunSeedsOn is RunSeeds scheduled on a specific pool.
+// RunSeedsOn is RunSeeds scheduled on a specific pool. The seed-independent
+// world snapshot (link plan, routing table, initial routes) is built once
+// and shared read-only by every seed-run on the pool.
 func RunSeedsOn(p *pool.Pool, cfg Config, seeds []uint64) ([]*Result, *Result, error) {
 	if len(seeds) == 0 {
 		return nil, nil, fmt.Errorf("network: no seeds")
+	}
+	if cfg.World == nil {
+		w, err := BuildWorld(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.World = w
 	}
 	results := make([]*Result, len(seeds))
 	err := p.Do(len(seeds), func(i int) error {

@@ -1,0 +1,110 @@
+package network
+
+import (
+	"fmt"
+
+	"ripple/internal/pkt"
+	"ripple/internal/radio"
+	"ripple/internal/routing"
+)
+
+// World is the immutable, seed-independent snapshot of a scenario: the
+// radio link plan (pairwise power/distance/delay matrices and neighbor
+// lists), the ETX link table of the routing layer, and every flow's
+// resolved initial route. All of it is a pure function of the Config's
+// non-seed fields, so a campaign cell that fans S seed-runs of one
+// scenario across the worker pool can build the World once and share it
+// by reference — the per-run cost collapses to the mutable state (engine,
+// medium, schemes, transports).
+//
+// Immutability contract: a World is never written after BuildWorld
+// returns, and network.Run only reads it. Per-run mutable derivatives —
+// the RouteBook (routes change each epoch under dynamic policies), the
+// Medium (counters, station PHY state), dynamic policy instances — are
+// created fresh per run *from* the World. Sharing one World across any
+// number of concurrent runs is therefore safe; the shared-world test in
+// this package hammers one instance from many goroutines under -race to
+// enforce the contract.
+//
+// Seed independence is equally load-bearing: nothing in the World depends
+// on Config.Seed, and building it draws no random numbers, so a run on a
+// prebuilt World is RNG-bit-identical to a run that builds everything
+// itself.
+type World struct {
+	plan  *radio.LinkPlan
+	table *routing.Table // nil when the routing spec is inactive
+	// routes holds each flow's resolved initial path, indexed like
+	// Config.Flows. For static specs this is the declared (possibly
+	// K-sized) path; for policy specs it is the policy's unloaded route.
+	routes []routing.Path
+	flows  int
+}
+
+// BuildWorld precomputes the seed-independent part of a scenario. The
+// returned World matches any Config whose non-seed fields equal cfg's;
+// attach it via Config.World to share it across runs.
+func BuildWorld(cfg Config) (*World, error) {
+	cfg.Normalize()
+	if err := validate(&cfg); err != nil {
+		return nil, err
+	}
+	w := &World{
+		plan:  radio.NewLinkPlan(cfg.Radio, cfg.Positions),
+		flows: len(cfg.Flows),
+	}
+	var policy routing.Policy
+	if cfg.Routing.active() {
+		w.table = newLinkTable(&cfg)
+		if cfg.Routing.Kind != RouteStatic || cfg.Routing.Policy != nil {
+			pol, err := cfg.Routing.build(w.table)
+			if err != nil {
+				return nil, err
+			}
+			policy = pol
+		}
+	}
+	w.routes = make([]routing.Path, len(cfg.Flows))
+	for i, f := range cfg.Flows {
+		switch {
+		case policy != nil:
+			p, err := policy.Route(f.Path.Src(), f.Path.Dst(), nil)
+			if err != nil {
+				return nil, fmt.Errorf("network: flow %d: %s route: %w", f.ID, policy.Name(), err)
+			}
+			w.routes[i] = p
+		case w.table != nil:
+			w.routes[i] = routing.Resize(w.table, f.Path, cfg.Routing.K, cfg.Routing.Rule)
+		default:
+			w.routes[i] = f.Path
+		}
+	}
+	return w, nil
+}
+
+// check cheaply verifies that the snapshot plausibly matches the run's
+// config. It cannot prove full equality (that is the caller's contract);
+// it catches the gross mismatches — wrong topology, wrong flow set —
+// that would otherwise corrupt a run silently.
+func (w *World) check(cfg *Config) error {
+	if w.plan.Stations() != len(cfg.Positions) {
+		return fmt.Errorf("network: World built for %d stations, config has %d",
+			w.plan.Stations(), len(cfg.Positions))
+	}
+	if w.flows != len(cfg.Flows) {
+		return fmt.Errorf("network: World built for %d flows, config has %d",
+			w.flows, len(cfg.Flows))
+	}
+	if w.table == nil && cfg.Routing.active() {
+		return fmt.Errorf("network: World built without a link table, config routing is active")
+	}
+	return nil
+}
+
+// newLinkTable builds the routing-layer ETX table over the same radio
+// model the medium uses, so the metric always matches the channel the
+// packets see (the minProb floor matches the public Router).
+func newLinkTable(cfg *Config) *routing.Table {
+	return routing.NewTable(len(cfg.Positions), func(a, b pkt.NodeID) float64 {
+		return 1 - cfg.Radio.LossProb(radio.Dist(cfg.Positions[a], cfg.Positions[b]))
+	}, 0.1)
+}

@@ -1,0 +1,141 @@
+package network
+
+import (
+	"reflect"
+	"testing"
+
+	"ripple/internal/campaign/pool"
+	"ripple/internal/pkt"
+	"ripple/internal/radio"
+	"ripple/internal/routing"
+	"ripple/internal/sim"
+	"ripple/internal/topology"
+)
+
+// worldTestConfig exercises both snapshot halves: the radio link plan and
+// an active routing spec (ETX table + per-flow Dijkstra).
+func worldTestConfig() Config {
+	top, path := topology.Line(4)
+	return Config{
+		Positions: top.Positions,
+		Scheme:    Ripple,
+		Flows: []FlowSpec{
+			{ID: 1, Path: endpointPath(path.Src(), path.Dst()), Kind: FTP},
+		},
+		Routing:  RoutingSpec{Kind: RouteETX},
+		Duration: 400 * sim.Millisecond,
+	}
+}
+
+// endpointPath builds a two-endpoint path (route-policy configs declare
+// endpoints; the concrete relays come from the policy).
+func endpointPath(src, dst pkt.NodeID) routing.Path { return routing.Path{src, dst} }
+
+func TestSharedWorldSeedRunsBitIdentical(t *testing.T) {
+	cfg := worldTestConfig()
+	seeds := []uint64{1, 2, 3, 4}
+
+	// Per-run-built worlds, fully serial.
+	perRun := make([]*Result, len(seeds))
+	for i, s := range seeds {
+		c := cfg
+		c.Seed = s
+		r, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perRun[i] = r
+	}
+
+	// One shared world across a wide pool.
+	w, err := BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := cfg
+	shared.World = w
+	results, _, err := RunSeedsOn(pool.New(8), shared, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range seeds {
+		if !reflect.DeepEqual(perRun[i], results[i]) {
+			t.Fatalf("seed %d: shared-World result differs from per-run-built world:\n%+v\nvs\n%+v",
+				seeds[i], perRun[i], results[i])
+		}
+	}
+}
+
+func TestRunSeedsPoolWidthInvariantWithSharedWorld(t *testing.T) {
+	cfg := worldTestConfig()
+	seeds := []uint64{5, 6, 7}
+	narrow, _, err := RunSeedsOn(pool.New(1), cfg, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, _, err := RunSeedsOn(pool.New(len(seeds)), cfg, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(narrow, wide) {
+		t.Fatal("RunSeeds results depend on pool width")
+	}
+}
+
+// TestSharedWorldRace hammers one World from many concurrent runs. Under
+// -race this enforces the immutability contract: a single write to the
+// shared plan, table or resolved routes from any run fails the test.
+func TestSharedWorldRace(t *testing.T) {
+	cfg := worldTestConfig()
+	cfg.Duration = 150 * sim.Millisecond
+	w, err := BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.World = w
+	seeds := make([]uint64, 16)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	if _, _, err := RunSeedsOn(pool.New(8), cfg, seeds); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorldCheckRejectsMismatch(t *testing.T) {
+	cfg := worldTestConfig()
+	w, err := BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wrongTop := cfg
+	wrongTop.World = w
+	top, path := topology.Line(6)
+	wrongTop.Positions = top.Positions
+	wrongTop.Flows = []FlowSpec{{ID: 1, Path: path, Kind: FTP}}
+	if _, err := Run(wrongTop); err == nil {
+		t.Fatal("Run accepted a World built for a different topology")
+	}
+
+	wrongFlows := cfg
+	wrongFlows.World = w
+	extra := wrongFlows.Flows[0]
+	extra.ID = 2
+	wrongFlows.Flows = append([]FlowSpec{wrongFlows.Flows[0]}, extra)
+	if _, err := Run(wrongFlows); err == nil {
+		t.Fatal("Run accepted a World built for a different flow set")
+	}
+}
+
+func TestBuildWorldReportsRouteErrors(t *testing.T) {
+	cfg := worldTestConfig()
+	// An isolated station far outside radio range makes the ETX route
+	// unreachable.
+	cfg.Positions = append([]radio.Pos(nil), cfg.Positions...)
+	cfg.Positions[len(cfg.Positions)-1].X = 1e9
+	if _, err := BuildWorld(cfg); err == nil {
+		t.Fatal("BuildWorld must surface unreachable-route errors")
+	}
+}

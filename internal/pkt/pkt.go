@@ -46,6 +46,13 @@ type Packet struct {
 	EnqueuedAt sim.Time
 	// Retries counts MAC-layer (re)transmissions of this packet so far.
 	Retries int
+
+	// pool and refs implement per-run recycling (see Pool): refs counts
+	// long-lived holders and the last Release returns the struct to pool.
+	// Both are zero for packets created outside a pool, which makes
+	// Ref/Release no-ops.
+	pool *Pool
+	refs int32
 }
 
 func (p *Packet) String() string {
@@ -138,6 +145,11 @@ type Frame struct {
 	// will occupy the channel; overhearing stations set their network
 	// allocation vector (virtual carrier sense) accordingly.
 	NavDur sim.Time
+
+	// air counts the frame's pending PHY completions while it is on the
+	// medium (see BeginAir/AirDone): the airtime reference that keeps
+	// pooled packets alive until every receiver has processed the frame.
+	air int32
 }
 
 // PayloadBytes returns the MAC payload size of a data frame: MAC header,
@@ -175,14 +187,15 @@ func (f *Frame) RankOf(node NodeID) int {
 	return -1
 }
 
-// Clone returns a shallow copy suitable for relaying: the packet pointers
-// are shared (contents are immutable in flight), but the slices holding
-// per-reception state are fresh.
+// Clone returns a shallow copy suitable for relaying. FwdList, AckedUIDs
+// and the packet pointers are shared with the original: all three are
+// immutable once a frame has been transmitted, and relays either keep them
+// verbatim (ACK relays) or replace the Packets slice wholesale with the
+// sub-packets they actually decoded (data relays). Per-reception state
+// (PktOK, the airtime hold) is reset.
 func (f *Frame) Clone() *Frame {
 	g := *f
-	g.Packets = append([]*Packet(nil), f.Packets...)
 	g.PktOK = nil
-	g.AckedUIDs = append([]uint64(nil), f.AckedUIDs...)
-	g.FwdList = append([]NodeID(nil), f.FwdList...)
+	g.air = 0
 	return &g
 }

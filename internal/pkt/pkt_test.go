@@ -62,7 +62,7 @@ func TestAllOK(t *testing.T) {
 	}
 }
 
-func TestCloneIsolatesSlices(t *testing.T) {
+func TestCloneSharesImmutableResetsPerReception(t *testing.T) {
 	f := &Frame{
 		Kind:      Data,
 		FwdList:   []NodeID{3, 2, 1},
@@ -70,14 +70,17 @@ func TestCloneIsolatesSlices(t *testing.T) {
 		AckedUIDs: []uint64{7},
 		PktOK:     []bool{true, false},
 	}
+	f.BeginAir(2)
 	g := f.Clone()
-	g.FwdList[0] = 9
-	g.Packets[0] = &Packet{UID: 99}
-	g.AckedUIDs[0] = 8
-	if f.FwdList[0] != 3 || f.Packets[0].UID != 1 || f.AckedUIDs[0] != 7 {
-		t.Fatal("Clone must not share mutable slices with the original")
+	// Transmitted frames are immutable, so the clone shares the forwarder
+	// list, ACK bitmap and packet pointers with the original.
+	if &g.FwdList[0] != &f.FwdList[0] || &g.AckedUIDs[0] != &f.AckedUIDs[0] {
+		t.Fatal("Clone should share the immutable slices")
 	}
-	if g.PktOK != nil {
+	if g.Packets[0] != f.Packets[0] {
+		t.Fatal("Clone should share packet pointers")
+	}
+	if g.PktOK != nil || g.air != 0 {
 		t.Fatal("Clone must reset per-reception state")
 	}
 }

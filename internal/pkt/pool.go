@@ -1,0 +1,110 @@
+package pkt
+
+// Pool is a per-run free list of Packets. The hot path of a simulation
+// creates one Packet per transport emission and drops it at a terminal
+// point (delivered to the endpoint, dropped by a full queue, or abandoned
+// at the MAC retry limit); a Pool recycles those structs so a steady-state
+// run allocates no new packets at all.
+//
+// Packets are shared by reference across layers — a source's in-service
+// batch, in-flight frames (including duplicates relayed opportunistically),
+// forwarder custody closures and the destination's resequencing buffer can
+// all hold the same *Packet at once — so recycling is reference-counted:
+// every holder that retains a packet beyond a single callback calls Ref,
+// and Release returns the struct to the pool only when the last reference
+// drops. Forgetting a Release merely leaks the packet to the garbage
+// collector (correct, just not recycled). An unbalanced extra Release is a
+// use-after-free bug the counter cannot fully detect — it looks like a
+// legitimate last release and recycles the struct early — so the guard in
+// Release only catches releases of an already-drained packet; the real
+// nets are the determinism tests and the byte-identical single-seed
+// experiment outputs, which any early recycle perturbs.
+//
+// A Pool belongs to one simulation run on one goroutine (like the Engine it
+// accompanies); it is not safe for concurrent use. Packets created without
+// a pool (plain &Packet{}) ignore Ref/Release entirely, so tests and cold
+// paths need no ceremony.
+type Pool struct {
+	free []*Packet
+}
+
+// Get returns a packet with every field zeroed and one reference held by
+// the caller. The caller transfers that reference into the MAC send queue
+// via Scheme.Send (which releases it when the queue rejects the packet).
+func (pl *Pool) Get() *Packet {
+	var p *Packet
+	if n := len(pl.free); n > 0 {
+		p = pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+	} else {
+		p = &Packet{}
+	}
+	p.pool = pl
+	p.refs = 1
+	return p
+}
+
+// Free reports how many packets are currently pooled (tests).
+func (pl *Pool) Free() int { return len(pl.free) }
+
+// Ref notes an additional long-lived holder of the packet: call it when
+// retaining a received packet beyond the current callback (queueing it for
+// relay, buffering it for resequencing, arming a relay timer over it). A
+// no-op for packets not owned by a Pool.
+func (p *Packet) Ref() {
+	if p.pool != nil {
+		p.refs++
+	}
+}
+
+// Release drops one reference; the last release resets the packet and
+// returns it to its pool. A no-op for packets not owned by a Pool.
+func (p *Packet) Release() {
+	if p.pool == nil {
+		return
+	}
+	if p.refs <= 0 {
+		panic("pkt: packet released more often than referenced")
+	}
+	p.refs--
+	if p.refs > 0 {
+		return
+	}
+	pl := p.pool
+	*p = Packet{}
+	pl.free = append(pl.free, p)
+}
+
+// BeginAir marks a data frame as in flight with n pending PHY completions
+// (the transmitter's own tx-done plus one reception end per scheduled
+// receiver) and takes one reference on every aggregated packet for the
+// frame's airtime. The radio medium calls it at transmit time so packets
+// stay alive for late duplicate receptions even after the source abandons
+// them; each completion calls AirDone and the last one releases the hold.
+// Frames without packets (ACK/RTS/CTS) take no hold and AirDone ignores
+// them.
+func (f *Frame) BeginAir(n int) {
+	if len(f.Packets) == 0 || n <= 0 {
+		return
+	}
+	f.air = int32(n)
+	for _, p := range f.Packets {
+		p.Ref()
+	}
+}
+
+// AirDone retires one pending PHY completion of the frame; the last one
+// releases the airtime hold on the frame's packets.
+func (f *Frame) AirDone() {
+	if f.air == 0 {
+		return
+	}
+	f.air--
+	if f.air > 0 {
+		return
+	}
+	for _, p := range f.Packets {
+		p.Release()
+	}
+}

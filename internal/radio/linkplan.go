@@ -1,0 +1,109 @@
+package radio
+
+import (
+	"sort"
+
+	"ripple/internal/sim"
+)
+
+// LinkPlan is the seed-independent precomputation of a Medium: the pairwise
+// mean-RX-power / distance / propagation-delay matrices and the per-station
+// pruned neighbor lists, all derived purely from the radio Config and the
+// station positions. Building one costs O(N²) in both time and memory —
+// for a campaign cell that fans the same scenario across many seeds it is
+// the dominant per-run setup cost, so NewMediumOn accepts a prebuilt plan
+// and shares it by reference across runs.
+//
+// Immutability contract: a LinkPlan is never written after NewLinkPlan
+// returns. Every Medium built on it — concurrently, from any number of
+// pool workers — only reads it, which is what makes sharing safe; the
+// shared-world race test in internal/network hammers one plan from many
+// goroutines under -race to keep it that way.
+type LinkPlan struct {
+	cfg       Config
+	positions []Pos
+	n         int
+
+	// Flat n×n matrices indexed [src*n + dst].
+	meanDBm  []float64  // mean received power before the shadowing draw
+	linkDist []float64  // Euclidean distance in metres
+	linkPD   []sim.Time // propagation delay
+
+	// neighbors lists, per source, the stations that can possibly sense a
+	// transmission. With Config.PruneSigma == 0 it is every other station
+	// in ID order — preserving the unpruned RNG stream bit for bit. With
+	// PruneSigma > 0 stations whose mean power is more than
+	// PruneSigma×ShadowSigmaDB below the carrier-sense threshold are
+	// pruned, and the survivors are sorted by mean power (strongest first,
+	// ties by ID).
+	neighbors [][]int32
+	// pruned reports whether neighbor pruning is active; pruneCutoff is
+	// the mean-power floor (dBm) below which a pair is pruned, so
+	// meanDBm[src*n+dst] >= pruneCutoff ⇔ dst ∈ neighbors[src].
+	pruned      bool
+	pruneCutoff float64
+}
+
+// NewLinkPlan precomputes the link matrices and neighbor lists for the
+// given radio configuration and station positions.
+func NewLinkPlan(cfg Config, positions []Pos) *LinkPlan {
+	n := len(positions)
+	pl := &LinkPlan{
+		cfg:       cfg,
+		positions: append([]Pos(nil), positions...),
+		n:         n,
+		meanDBm:   make([]float64, n*n),
+		linkDist:  make([]float64, n*n),
+		linkPD:    make([]sim.Time, n*n),
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := Dist(positions[i], positions[j])
+			p := cfg.MeanRxPowerDBm(d)
+			pd := propDelay(d)
+			pl.linkDist[i*n+j], pl.linkDist[j*n+i] = d, d
+			pl.meanDBm[i*n+j], pl.meanDBm[j*n+i] = p, p
+			pl.linkPD[i*n+j], pl.linkPD[j*n+i] = pd, pd
+		}
+	}
+
+	pl.pruned = cfg.PruneSigma > 0
+	pl.pruneCutoff = cfg.CSThreshDBm - cfg.PruneSigma*cfg.ShadowSigmaDB
+	pl.neighbors = make([][]int32, n)
+	for i := 0; i < n; i++ {
+		list := make([]int32, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if pl.pruned && pl.meanDBm[i*n+j] < pl.pruneCutoff {
+				continue
+			}
+			list = append(list, int32(j))
+		}
+		if pl.pruned {
+			row := pl.meanDBm[i*n : i*n+n]
+			sort.Slice(list, func(a, b int) bool {
+				pa, pb := row[list[a]], row[list[b]]
+				if pa != pb {
+					return pa > pb
+				}
+				return list[a] < list[b]
+			})
+		}
+		pl.neighbors[i] = list
+	}
+	return pl
+}
+
+// Config returns the radio configuration the plan was built with.
+func (pl *LinkPlan) Config() Config { return pl.cfg }
+
+// Stations returns the number of stations the plan covers.
+func (pl *LinkPlan) Stations() int { return pl.n }
+
+// Distance returns the distance in metres between two stations.
+func (pl *LinkPlan) Distance(a, b int) float64 { return pl.linkDist[a*pl.n+b] }
+
+// MeanDBm returns the mean received power of the a→b link in dBm.
+func (pl *LinkPlan) MeanDBm(a, b int) float64 { return pl.meanDBm[a*pl.n+b] }

@@ -1,0 +1,88 @@
+package radio
+
+import (
+	"reflect"
+	"testing"
+
+	"ripple/internal/phys"
+	"ripple/internal/pkt"
+	"ripple/internal/sim"
+)
+
+// planPositions is a small asymmetric layout (no two equal distances).
+func planPositions() []Pos {
+	return []Pos{{0, 0}, {110, 0}, {200, 30}, {90, 160}}
+}
+
+func TestLinkPlanMatchesPrivateBuild(t *testing.T) {
+	for _, sigma := range []float64{0, 6} {
+		cfg := DefaultConfig()
+		cfg.PruneSigma = sigma
+		plan := NewLinkPlan(cfg, planPositions())
+
+		eng := sim.NewEngine()
+		rng := sim.NewRNG(7, 1)
+		private := NewMedium(eng, cfg, phys.Default(), planPositions(), rng)
+		shared := NewMediumOn(sim.NewEngine(), plan, phys.Default(), sim.NewRNG(7, 1))
+
+		for a := 0; a < len(planPositions()); a++ {
+			for b := 0; b < len(planPositions()); b++ {
+				if private.Distance(pkt.NodeID(a), pkt.NodeID(b)) != shared.Distance(pkt.NodeID(a), pkt.NodeID(b)) {
+					t.Fatalf("sigma %v: distance(%d,%d) differs", sigma, a, b)
+				}
+			}
+			pa := pkt.NodeID(a)
+			if !reflect.DeepEqual(private.Neighbors(pa), shared.Neighbors(pa)) {
+				t.Fatalf("sigma %v: neighbor list of %d differs", sigma, a)
+			}
+		}
+		if private.Config() != shared.Config() {
+			t.Fatalf("sigma %v: configs differ", sigma)
+		}
+	}
+}
+
+func TestSharedPlanRunIsRNGBitIdentical(t *testing.T) {
+	// Two mediums — one private build, one on a shared plan — fed the same
+	// frame sequence must produce identical counters and shadowing draws.
+	cfg := DefaultConfig()
+	cfg.ShadowSigmaDB = 6
+	plan := NewLinkPlan(cfg, planPositions())
+
+	run := func(m *Medium, eng *sim.Engine) Counters {
+		macs := make([]*nullMAC, plan.Stations())
+		for i := range macs {
+			macs[i] = &nullMAC{}
+			m.Attach(pkt.NodeID(i), macs[i])
+		}
+		for i := 0; i < 50; i++ {
+			tx := pkt.NodeID(i % plan.Stations())
+			f := &pkt.Frame{
+				Kind: pkt.Data, Tx: tx, Rx: pkt.NodeID((i + 1) % plan.Stations()),
+				Packets:  []*pkt.Packet{{UID: uint64(i), Bytes: 500}},
+				Duration: 100 * sim.Microsecond,
+			}
+			m.Transmit(f)
+			eng.Run(sim.Time(i+1) * 300 * sim.Microsecond)
+		}
+		eng.Run(sim.Second)
+		return m.Counters
+	}
+
+	engA := sim.NewEngine()
+	a := run(NewMedium(engA, cfg, phys.Default(), planPositions(), sim.NewRNG(3, 1)), engA)
+	engB := sim.NewEngine()
+	b := run(NewMediumOn(engB, plan, phys.Default(), sim.NewRNG(3, 1)), engB)
+	if a != b {
+		t.Fatalf("counters differ:\nprivate %+v\nshared  %+v", a, b)
+	}
+}
+
+// nullMAC absorbs upcalls.
+type nullMAC struct{}
+
+func (*nullMAC) ChannelBusy()                     {}
+func (*nullMAC) ChannelIdle()                     {}
+func (*nullMAC) FrameReceived(*pkt.Frame, []bool) {}
+func (*nullMAC) FrameCorrupted()                  {}
+func (*nullMAC) TxDone(*pkt.Frame)                {}

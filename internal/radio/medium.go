@@ -3,7 +3,6 @@ package radio
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"ripple/internal/phys"
 	"ripple/internal/pkt"
@@ -22,7 +21,8 @@ type MAC interface {
 	// FrameReceived delivers a successfully decoded frame. pktOK flags
 	// which aggregated sub-packets survived the bit-error process (nil for
 	// ACK frames). The *Frame is shared between receivers: treat as
-	// read-only.
+	// read-only. pktOK is a scratch buffer valid only for the duration of
+	// the call — copy what outlives it.
 	FrameReceived(f *pkt.Frame, pktOK []bool)
 	// FrameCorrupted fires when a decodable frame ended but could not be
 	// understood (collision, capture loss, half-duplex overlap or header
@@ -102,6 +102,7 @@ func (a *txDone) Run() {
 		src.mac.ChannelIdle()
 	}
 	src.mac.TxDone(f)
+	f.AirDone()
 }
 
 // station is the per-node PHY state.
@@ -132,36 +133,22 @@ type Medium struct {
 	stations []*station
 	Counters Counters
 
-	// Pairwise link cache, built once at NewMedium so Transmit performs no
-	// math.Hypot/math.Log10 per frame. All three are flat n×n matrices
-	// indexed [src*n + dst].
-	n        int
-	meanDBm  []float64  // mean received power before the shadowing draw
-	linkDist []float64  // Euclidean distance in metres
-	linkPD   []sim.Time // propagation delay
-
-	// neighbors lists, per source, the stations that can possibly sense a
-	// transmission. With Config.PruneSigma == 0 it is every other station
-	// in ID order — preserving the pre-cache RNG stream bit for bit. With
-	// PruneSigma > 0 stations whose mean power is more than
-	// PruneSigma×ShadowSigmaDB below the carrier-sense threshold are
-	// pruned, and the survivors are sorted by mean power (strongest
-	// first, ties by ID).
-	neighbors [][]int32
-	// pruned reports whether neighbor pruning is active; pruneCutoff is
-	// the mean-power floor (dBm) below which a pair is pruned, so
-	// meanDBm[src*n+dst] >= pruneCutoff ⇔ dst ∈ neighbors[src]. Transmit
-	// uses the comparison to keep FramesShadowed accounting for pruned
-	// forwarder-list members without an N×N membership matrix.
-	pruned      bool
-	pruneCutoff float64
+	// plan is the immutable link precomputation (pairwise matrices and
+	// neighbor lists): Transmit performs no math.Hypot/math.Log10 per
+	// frame. The plan may be shared read-only with other Mediums running
+	// concurrently (see LinkPlan); everything this Medium mutates lives on
+	// the Medium itself.
+	plan *LinkPlan
+	n    int
 
 	// freeInf recycles inflight structs; pOKByBits memoizes the
 	// bitsSurvive survival probability per distinct bit length (the BER is
-	// fixed for the run).
+	// fixed for the run); pktOKBuf is the per-reception sub-packet CRC
+	// scratch handed to MAC.FrameReceived (valid only during the upcall).
 	freeInf   []*inflight
 	freeTx    []*txDone
 	pOKByBits map[int]float64
+	pktOKBuf  []bool
 
 	// Trace, when non-nil, receives low-level medium events ("tx", "rx",
 	// "corrupt") with their simulation time, for debugging, tests and the
@@ -170,64 +157,27 @@ type Medium struct {
 	Trace func(at sim.Time, event string, node pkt.NodeID, f *pkt.Frame)
 }
 
-// NewMedium creates a medium over the given station positions. MACs must be
-// attached with Attach before the first transmission.
+// NewMedium creates a medium over the given station positions, building a
+// private LinkPlan. MACs must be attached with Attach before the first
+// transmission.
 func NewMedium(eng *sim.Engine, cfg Config, p phys.Params, positions []Pos, rng *sim.RNG) *Medium {
-	m := &Medium{eng: eng, cfg: cfg, phy: p, rng: rng}
-	m.stations = make([]*station, len(positions))
-	for i, pos := range positions {
-		m.stations[i] = &station{id: pkt.NodeID(i), pos: pos}
-	}
-	m.buildLinkCache(positions)
-	m.pOKByBits = make(map[int]float64)
-	return m
+	return NewMediumOn(eng, NewLinkPlan(cfg, positions), p, rng)
 }
 
-// buildLinkCache precomputes the pairwise distance / mean-power /
-// propagation-delay matrices and the per-station neighbor lists.
-func (m *Medium) buildLinkCache(positions []Pos) {
-	n := len(positions)
-	m.n = n
-	m.meanDBm = make([]float64, n*n)
-	m.linkDist = make([]float64, n*n)
-	m.linkPD = make([]sim.Time, n*n)
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			d := Dist(positions[i], positions[j])
-			p := m.cfg.MeanRxPowerDBm(d)
-			pd := propDelay(d)
-			m.linkDist[i*n+j], m.linkDist[j*n+i] = d, d
-			m.meanDBm[i*n+j], m.meanDBm[j*n+i] = p, p
-			m.linkPD[i*n+j], m.linkPD[j*n+i] = pd, pd
-		}
+// NewMediumOn creates a medium over a prebuilt — possibly shared — link
+// plan, skipping the O(N²) precomputation. The plan is read-only to the
+// medium; per-run mutable state (station PHY state, counters, RNG, pools)
+// is private, so any number of mediums can run concurrently on one plan.
+// A medium on a shared plan is RNG-bit-identical to one built by NewMedium
+// from the same Config and positions.
+func NewMediumOn(eng *sim.Engine, plan *LinkPlan, p phys.Params, rng *sim.RNG) *Medium {
+	m := &Medium{eng: eng, cfg: plan.cfg, phy: p, rng: rng, plan: plan, n: plan.n}
+	m.stations = make([]*station, plan.n)
+	for i, pos := range plan.positions {
+		m.stations[i] = &station{id: pkt.NodeID(i), pos: pos}
 	}
-
-	m.pruned = m.cfg.PruneSigma > 0
-	m.pruneCutoff = m.cfg.CSThreshDBm - m.cfg.PruneSigma*m.cfg.ShadowSigmaDB
-	m.neighbors = make([][]int32, n)
-	for i := 0; i < n; i++ {
-		list := make([]int32, 0, n-1)
-		for j := 0; j < n; j++ {
-			if j == i {
-				continue
-			}
-			if m.pruned && m.meanDBm[i*n+j] < m.pruneCutoff {
-				continue
-			}
-			list = append(list, int32(j))
-		}
-		if m.pruned {
-			row := m.meanDBm[i*n : i*n+n]
-			sort.Slice(list, func(a, b int) bool {
-				pa, pb := row[list[a]], row[list[b]]
-				if pa != pb {
-					return pa > pb
-				}
-				return list[a] < list[b]
-			})
-		}
-		m.neighbors[i] = list
-	}
+	m.pOKByBits = make(map[int]float64)
+	return m
 }
 
 // newInflight pops a recycled inflight or allocates one with its begin/end
@@ -285,18 +235,21 @@ func (m *Medium) Transmitting(id pkt.NodeID) bool { return m.stations[id].txing 
 
 // Distance returns the distance in metres between two stations.
 func (m *Medium) Distance(a, b pkt.NodeID) float64 {
-	return m.linkDist[int(a)*m.n+int(b)]
+	return m.plan.linkDist[int(a)*m.n+int(b)]
 }
 
 // Neighbors returns the station's audible-candidate list (tests and
 // diagnostics). With pruning off it is every other station in ID order.
 func (m *Medium) Neighbors(id pkt.NodeID) []pkt.NodeID {
-	out := make([]pkt.NodeID, len(m.neighbors[id]))
-	for i, j := range m.neighbors[id] {
+	out := make([]pkt.NodeID, len(m.plan.neighbors[id]))
+	for i, j := range m.plan.neighbors[id] {
 		out[i] = pkt.NodeID(j)
 	}
 	return out
 }
+
+// Plan returns the link plan the medium runs on.
+func (m *Medium) Plan() *LinkPlan { return m.plan }
 
 // Config returns the radio configuration the medium was built with.
 func (m *Medium) Config() Config { return m.cfg }
@@ -343,6 +296,7 @@ func (m *Medium) Transmit(f *pkt.Frame) sim.Time {
 	}
 	m.eng.Do(end, m.newTxDone(src, f))
 
+	plan := m.plan
 	base := int(f.Tx) * m.n
 	sigma := m.cfg.ShadowSigmaDB
 	rxThresh := m.cfg.RXThreshDBm
@@ -350,12 +304,13 @@ func (m *Medium) Transmit(f *pkt.Frame) sim.Time {
 		// Multi-rate extension: faster rates need more SNR.
 		rxThresh += rateadapt.ThresholdDeltaDB(f.RateBps, m.phy.DataBps)
 	}
-	for _, j := range m.neighbors[f.Tx] {
+	receivers := 0
+	for _, j := range plan.neighbors[f.Tx] {
 		dst := m.stations[j]
 		if dst.mac == nil {
 			continue
 		}
-		power := m.meanDBm[base+int(j)]
+		power := plan.meanDBm[base+int(j)]
 		if sigma > 0 {
 			power = m.rng.Norm(power, sigma)
 		}
@@ -378,21 +333,27 @@ func (m *Medium) Transmit(f *pkt.Frame) sim.Time {
 		if !inf.decodable && intended(f, dst.id) {
 			m.Counters.FramesShadowed++
 		}
-		delay := m.linkPD[base+int(j)]
+		delay := plan.linkPD[base+int(j)]
 		m.eng.Do(now+delay, &inf.begin)
 		m.eng.Do(end+delay, &inf.end)
+		receivers++
 	}
-	if m.pruned {
+	// Hold the frame's packets for its airtime: the tx-done event plus one
+	// reception end per scheduled receiver each retire one completion, and
+	// the last retires the hold. This keeps pooled packets alive for late
+	// duplicate deliveries even after the source has abandoned them.
+	f.BeginAir(receivers + 1)
+	if plan.pruned {
 		// Pruned stations never drew a shadowing sample, but an addressed
 		// receiver that was pruned is still a shadowing loss — keep the
 		// counter semantics of the unpruned medium.
 		for _, id := range f.FwdList {
-			if id != f.Tx && m.meanDBm[base+int(id)] < m.pruneCutoff && m.stations[id].mac != nil {
+			if id != f.Tx && plan.meanDBm[base+int(id)] < plan.pruneCutoff && m.stations[id].mac != nil {
 				m.Counters.FramesShadowed++
 			}
 		}
 		if rx := f.Rx; rx >= 0 && rx != f.Tx && f.RankOf(rx) < 0 &&
-			m.meanDBm[base+int(rx)] < m.pruneCutoff && m.stations[rx].mac != nil {
+			plan.meanDBm[base+int(rx)] < plan.pruneCutoff && m.stations[rx].mac != nil {
 			m.Counters.FramesShadowed++
 		}
 	}
@@ -416,7 +377,9 @@ func (m *Medium) beginReception(dst *station, inf *inflight) {
 	}
 }
 
-// dbmToMW converts dBm to linear milliwatts.
+// dbmToMW converts dBm to linear milliwatts. (Exp(x·ln10/10) would be
+// ~2× cheaper but differs from Pow in the last ulp, and the capture
+// comparisons must stay bit-identical across refactors.)
 func dbmToMW(dbm float64) float64 { return math.Pow(10, dbm/10) }
 
 func (m *Medium) endReception(dst *station, inf *inflight) {
@@ -433,6 +396,7 @@ func (m *Medium) endReception(dst *station, inf *inflight) {
 			dst.mac.ChannelIdle()
 		}
 	}()
+	defer inf.frame.AirDone()
 	defer m.recycleInflight(inf)
 
 	if !inf.decodable {
@@ -481,7 +445,12 @@ func (m *Medium) endReception(dst *station, inf *inflight) {
 	}
 	var pktOK []bool
 	if f.Kind == pkt.Data {
-		pktOK = make([]bool, len(f.Packets))
+		// The scratch buffer is reused across receptions: FrameReceived
+		// implementations must not retain it (see the MAC contract).
+		if cap(m.pktOKBuf) < len(f.Packets) {
+			m.pktOKBuf = make([]bool, len(f.Packets))
+		}
+		pktOK = m.pktOKBuf[:len(f.Packets)]
 		for i, p := range f.Packets {
 			bits := (p.Bytes + phys.PerPacketCRCBytes) * 8
 			pktOK[i] = m.bitsSurvive(bits, ber)

@@ -49,6 +49,7 @@ type VoIP struct {
 	uid  uint64
 	on   bool
 	stop bool
+	pool *pkt.Pool
 }
 
 // NewVoIP creates a voice stream; call Start to begin the first on period.
@@ -56,6 +57,10 @@ func NewVoIP(eng *sim.Engine, cfg VoIPConfig, flow int, src, dst pkt.NodeID,
 	send SendFunc, fs *stats.Flow, rng *sim.RNG) *VoIP {
 	return &VoIP{eng: eng, cfg: cfg, flow: flow, src: src, dst: dst, send: send, fs: fs, rng: rng}
 }
+
+// SetPool makes the stream draw its packets from a per-run pool (see
+// TCP.SetPool); nil keeps plain allocation.
+func (v *VoIP) SetPool(pl *pkt.Pool) { v.pool = pl }
 
 // Start begins the on-off cycle.
 func (v *VoIP) Start() { v.beginOn() }
@@ -91,15 +96,19 @@ func (v *VoIP) emit() {
 	v.seq++
 	v.uid++
 	v.fs.VoIPSent++
-	p := &pkt.Packet{
-		UID:     uint64(v.flow)<<33 | 1<<31 | v.uid,
-		FlowID:  v.flow,
-		Seq:     v.seq,
-		Bytes:   v.cfg.PacketBytes(),
-		Src:     v.src,
-		Dst:     v.dst,
-		Created: v.eng.Now(),
+	var p *pkt.Packet
+	if v.pool != nil {
+		p = v.pool.Get()
+	} else {
+		p = &pkt.Packet{}
 	}
+	p.UID = uint64(v.flow)<<33 | 1<<31 | v.uid
+	p.FlowID = v.flow
+	p.Seq = v.seq
+	p.Bytes = v.cfg.PacketBytes()
+	p.Src = v.src
+	p.Dst = v.dst
+	p.Created = v.eng.Now()
 	v.send(p)
 }
 
@@ -134,6 +143,7 @@ type CBR struct {
 	seq  int64
 	uid  uint64
 	stop bool
+	pool *pkt.Pool
 }
 
 // backlogRefill is the refill period of backlogged mode.
@@ -149,6 +159,12 @@ func NewCBR(eng *sim.Engine, flow int, src, dst pkt.NodeID, bytes int,
 	return &CBR{eng: eng, flow: flow, src: src, dst: dst, bytes: bytes,
 		interval: interval, send: send, fs: fs}
 }
+
+// SetPool makes the source draw its packets from a per-run pool (see
+// TCP.SetPool); nil keeps plain allocation. Backlogged CBR is the pool's
+// best customer: packets rejected by the saturated MAC queue recycle
+// immediately, so the refill loop stops allocating at all.
+func (c *CBR) SetPool(pl *pkt.Pool) { c.pool = pl }
 
 // Start begins emission.
 func (c *CBR) Start() {
@@ -185,15 +201,20 @@ func (c *CBR) refill() {
 func (c *CBR) packet() *pkt.Packet {
 	c.seq++
 	c.uid++
-	return &pkt.Packet{
-		UID:     uint64(c.flow)<<33 | 1<<30 | c.uid,
-		FlowID:  c.flow,
-		Seq:     c.seq,
-		Bytes:   c.bytes,
-		Src:     c.src,
-		Dst:     c.dst,
-		Created: c.eng.Now(),
+	var p *pkt.Packet
+	if c.pool != nil {
+		p = c.pool.Get()
+	} else {
+		p = &pkt.Packet{}
 	}
+	p.UID = uint64(c.flow)<<33 | 1<<30 | c.uid
+	p.FlowID = c.flow
+	p.Seq = c.seq
+	p.Bytes = c.bytes
+	p.Src = c.src
+	p.Dst = c.dst
+	p.Created = c.eng.Now()
+	return p
 }
 
 // Receive records a datagram arriving at the destination.

@@ -91,6 +91,11 @@ type TCP struct {
 
 	uidData uint64
 	uidAck  uint64
+
+	// pool, when set, recycles packet structs (see SetPool); rtoFn is the
+	// RTO callback bound once so re-arming the timer allocates nothing.
+	pool  *pkt.Pool
+	rtoFn func()
 }
 
 // NewTCP creates a connection for the given flow between src and dst.
@@ -105,8 +110,23 @@ func NewTCP(eng *sim.Engine, cfg TCPConfig, flow int, src, dst pkt.NodeID,
 		rcvBuf: make(map[int64]bool),
 		limit:  -1,
 	}
+	t.rtoFn = t.onRTO
 	t.resetConnection()
 	return t
+}
+
+// SetPool makes the connection draw its packets from a per-run pool
+// instead of allocating each one. The packets recycle at their terminal
+// delivery/drop points in the MAC layer; nil (the default) keeps plain
+// allocation.
+func (t *TCP) SetPool(pl *pkt.Pool) { t.pool = pl }
+
+// newPacket draws from the pool when one is attached.
+func (t *TCP) newPacket() *pkt.Packet {
+	if t.pool != nil {
+		return t.pool.Get()
+	}
+	return &pkt.Packet{}
 }
 
 // resetConnection restores fresh congestion state (new slow start, RTO)
@@ -179,16 +199,15 @@ func (t *TCP) trySend() {
 
 func (t *TCP) emitData(seq int64, fresh bool) {
 	t.uidData++
-	p := &pkt.Packet{
-		UID:       uint64(t.flow)<<33 | t.uidData,
-		FlowID:    t.flow,
-		Seq:       seq,
-		Bytes:     t.cfg.MSS,
-		Src:       t.src,
-		Dst:       t.dst,
-		Created:   t.eng.Now(),
-		Transport: Segment{Seq: seq},
-	}
+	p := t.newPacket()
+	p.UID = uint64(t.flow)<<33 | t.uidData
+	p.FlowID = t.flow
+	p.Seq = seq
+	p.Bytes = t.cfg.MSS
+	p.Src = t.src
+	p.Dst = t.dst
+	p.Created = t.eng.Now()
+	p.Transport = Segment{Seq: seq}
 	if fresh {
 		t.txTime[seq] = t.eng.Now()
 	} else {
@@ -296,7 +315,14 @@ func (t *TCP) armRTO() {
 	if t.seqUna == t.seqNext {
 		return // nothing outstanding
 	}
-	t.rtoEv = t.eng.After(t.rto, t.onRTO)
+	// Re-arm the one timer event in place: Reschedule revives a fired or
+	// cancelled event with a fresh sequence number, so the hot per-ACK
+	// re-arm allocates nothing after the first call.
+	if t.rtoEv == nil {
+		t.rtoEv = t.eng.After(t.rto, t.rtoFn)
+		return
+	}
+	t.eng.Reschedule(t.rtoEv, t.eng.Now()+t.rto)
 }
 
 func (t *TCP) onRTO() {
@@ -350,16 +376,15 @@ func (t *TCP) onData(p *pkt.Packet, seg Segment) {
 func (t *TCP) emitAck() {
 	t.uidAck++
 	t.ackEmit++
-	p := &pkt.Packet{
-		UID:       uint64(t.flow)<<33 | 1<<32 | t.uidAck,
-		FlowID:    t.flow,
-		Seq:       t.ackEmit,
-		Bytes:     t.cfg.AckBytes,
-		Src:       t.dst,
-		Dst:       t.src,
-		Created:   t.eng.Now(),
-		Transport: Segment{IsAck: true, Ack: t.rcvExpected},
-	}
+	p := t.newPacket()
+	p.UID = uint64(t.flow)<<33 | 1<<32 | t.uidAck
+	p.FlowID = t.flow
+	p.Seq = t.ackEmit
+	p.Bytes = t.cfg.AckBytes
+	p.Src = t.dst
+	p.Dst = t.src
+	p.Created = t.eng.Now()
+	p.Transport = Segment{IsAck: true, Ack: t.rcvExpected}
 	t.sendDst(p)
 }
 

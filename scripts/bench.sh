@@ -56,5 +56,5 @@ echo "bench: pattern=$PAT count=$COUNT label=$LABEL out=$OUT ${SHORT:+(short)}" 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 go test $SHORT -run '^$' -bench "$PAT" -benchmem -benchtime 1x -count "$COUNT" . > "$RAW"
-go run ./scripts/benchjson -label "$LABEL" -out "$OUT" $ENFORCE < "$RAW"
+go run ./scripts/benchjson -label "$LABEL" -out "$OUT" $ENFORCE ${SHORT:+-short} < "$RAW"
 echo "bench: wrote $OUT" >&2

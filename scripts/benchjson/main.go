@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -49,8 +50,17 @@ type File struct {
 func main() {
 	label := flag.String("label", "bench", "label for this run (e.g. before, after, ci)")
 	out := flag.String("out", "", "JSON file to create or append the run to (default stdout)")
-	thresholds := flag.String("thresholds", "", "threshold file: lines of '<bench> <field> <max>'; exceeding any fails")
+	thresholds := flag.String("thresholds", "", "threshold file: lines of '<bench> <field> <max> [short-only]'; exceeding any fails")
+	short := flag.Bool("short", false, "the benchmarks ran on the -short budget (enables short-only thresholds)")
+	delta := flag.String("delta", "", "print a markdown first→last run delta table for the given BENCH JSON and exit (no stdin read)")
 	flag.Parse()
+
+	if *delta != "" {
+		if err := printDelta(*delta); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	run := Run{
 		Label:      *label,
@@ -99,7 +109,7 @@ func main() {
 	}
 
 	if *thresholds != "" {
-		if err := enforce(*thresholds, run); err != nil {
+		if err := enforce(*thresholds, run, *short); err != nil {
 			fatal(err)
 		}
 	}
@@ -145,11 +155,76 @@ func parseLine(line string) (*Bench, string, bool) {
 	return b, name, true
 }
 
-// enforce reads threshold lines "<bench> <field> <max>" (field one of
-// ns_op, b_op, allocs_op, or a custom metric name) and fails if the run
-// exceeds any of them. Missing benchmarks fail too: a silently-skipped
-// benchmark must not pass the gate.
-func enforce(path string, run Run) error {
+// printDelta renders the first→last run comparison of a BENCH JSON as a
+// GitHub-flavored markdown table (the CI bench-smoke job appends it to
+// the job summary). A single-run document prints that run's numbers with
+// an empty delta column.
+func printDelta(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc File
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	if len(doc.Runs) == 0 {
+		return fmt.Errorf("benchjson: %s: no runs", path)
+	}
+	first, last := doc.Runs[0], doc.Runs[len(doc.Runs)-1]
+	fmt.Printf("**%s**: `%s` → `%s`\n\n", path, first.Label, last.Label)
+	fmt.Println("| benchmark | field | " + first.Label + " | " + last.Label + " | Δ |")
+	fmt.Println("| --- | --- | ---: | ---: | ---: |")
+	names := make([]string, 0, len(last.Benchmarks))
+	for name := range last.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := last.Benchmarks[name]
+		a := first.Benchmarks[name]
+		row := func(field string, av, bv float64) {
+			if bv == 0 {
+				return
+			}
+			deltaCol := ""
+			from := ""
+			if a != nil && av != 0 && len(doc.Runs) > 1 {
+				deltaCol = fmt.Sprintf("%+.1f%%", 100*(bv-av)/av)
+				from = fmt.Sprintf("%.4g", av)
+			}
+			fmt.Printf("| %s | %s | %s | %.4g | %s |\n", name, field, from, bv, deltaCol)
+		}
+		var av, avB, avA float64
+		if a != nil {
+			av, avB, avA = a.NsOp, a.BOp, a.AllocsOp
+		}
+		row("ns/op", av, b.NsOp)
+		row("B/op", avB, b.BOp)
+		row("allocs/op", avA, b.AllocsOp)
+		metrics := make([]string, 0, len(b.Metrics))
+		for m := range b.Metrics {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			var amv float64
+			if a != nil {
+				amv = a.Metrics[m]
+			}
+			row(m, amv, b.Metrics[m])
+		}
+	}
+	return nil
+}
+
+// enforce reads threshold lines "<bench> <field> <max> [short-only]"
+// (field one of ns_op, b_op, allocs_op, or a custom metric name) and fails
+// if the run exceeds any of them. Missing benchmarks fail too: a
+// silently-skipped benchmark must not pass the gate. Lines marked
+// short-only gate only -short runs — used for macro-benchmarks whose
+// per-op costs scale with the simulated duration.
+func enforce(path string, run Run, short bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -161,8 +236,14 @@ func enforce(path string, run Run) error {
 			continue
 		}
 		fields := strings.Fields(line)
+		if len(fields) == 4 && fields[3] == "short-only" {
+			if !short {
+				continue
+			}
+			fields = fields[:3]
+		}
 		if len(fields) != 3 {
-			return fmt.Errorf("benchjson: %s: bad threshold line %q (want '<bench> <field> <max>')", path, line)
+			return fmt.Errorf("benchjson: %s: bad threshold line %q (want '<bench> <field> <max> [short-only]')", path, line)
 		}
 		maxV, err := strconv.ParseFloat(fields[2], 64)
 		if err != nil {
