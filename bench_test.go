@@ -358,6 +358,40 @@ func BenchmarkWorldBuildLarge(b *testing.B) {
 	benchWorldBuild(b, worldConfig(5*len(topology.Fig1().Positions)))
 }
 
+// cityBuildConfig is a 5 000-station city with one ETX-routed flow — just
+// enough routing to exercise the table without per-flow Dijkstra noise
+// drowning the plan-construction signal.
+func cityBuildConfig(pruneSigma float64) network.Config {
+	top, _ := topology.CityN(5000, 7)
+	rc := topology.CityRadio()
+	rc.PruneSigma = pruneSigma
+	return network.Config{
+		Positions: top.Positions,
+		Radio:     rc,
+		Scheme:    network.Ripple,
+		Flows: []network.FlowSpec{{
+			ID:   1,
+			Path: routing.Path{0, 5}, // 5 blocks along the first row: multi-hop
+			Kind: network.CBRTraffic,
+		}},
+		Routing: network.RoutingSpec{Kind: network.RouteETX},
+	}
+}
+
+// BenchmarkWorldBuildCity builds the sparse city snapshot (grid-indexed
+// link plan + adjacency ETX table) at N=5000 — the configuration the
+// -scaling sweep runs. Compare against BenchmarkWorldBuildCityDense for
+// the O(N²)→O(N·k) win in both ns/op and B/op.
+func BenchmarkWorldBuildCity(b *testing.B) {
+	benchWorldBuild(b, cityBuildConfig(topology.CityPruneSigma))
+}
+
+// BenchmarkWorldBuildCityDense is the dense baseline: the identical city
+// with pruning off, paying the full N² link plan and ETX matrix.
+func BenchmarkWorldBuildCityDense(b *testing.B) {
+	benchWorldBuild(b, cityBuildConfig(0))
+}
+
 // BenchmarkEngineThroughput is a micro-benchmark of the simulation core:
 // events processed per wall second for a saturated RIPPLE run.
 func BenchmarkEngineThroughput(b *testing.B) {

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	experiments [-run name[,name...]] [-seeds n] [-dur seconds] [-quick]
-//	            [-parallel n] [-json]
+//	            [-parallel n] [-json] [-ablations] [-scaling]
 //
 // With no -run flag every experiment runs in paper order. Every scenario
 // cell of every experiment is scheduled on one bounded worker pool
@@ -45,6 +45,7 @@ func run() int {
 		quick     = flag.Bool("quick", false, "1 seed, 2 simulated seconds")
 		list      = flag.Bool("list", false, "list experiment names and exit")
 		ablations = flag.Bool("ablations", false, "include the DESIGN.md §5 ablations")
+		scaling   = flag.Bool("scaling", false, "include the city-scale sweep (minutes of runtime at N=20k)")
 		parallel  = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 		jsonOut   = flag.Bool("json", false, "emit all tables as one JSON array")
 		prune     = flag.Float64("prunesigma", -1, "override radio neighbor pruning in shadowing sigmas (0 = exact/unpruned medium, -1 = per-experiment default)")
@@ -54,6 +55,9 @@ func run() int {
 	all := experiments.All()
 	if *ablations {
 		all = append(all, experiments.Ablations()...)
+	}
+	if *scaling {
+		all = append(all, experiments.ScalingRunners()...)
 	}
 	if *list {
 		for _, r := range all {
@@ -87,7 +91,7 @@ func run() int {
 		for _, name := range strings.Split(*runList, ",") {
 			name = strings.TrimSpace(name)
 			if !known[name] {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list; ablations need -ablations)\n", name)
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list; ablations need -ablations, scaling needs -scaling)\n", name)
 				return 2
 			}
 			want[name] = true

@@ -9,9 +9,11 @@ import (
 )
 
 // World is the immutable, seed-independent snapshot of a scenario: the
-// radio link plan (pairwise power/distance/delay matrices and neighbor
-// lists), the ETX link table of the routing layer, and every flow's
-// resolved initial route. All of it is a pure function of the Config's
+// radio link plan (per-neighbor power/distance/delay attributes and
+// neighbor lists, sparse when pruning is on), the ETX link table of the
+// routing layer (sparse over the plan's neighbor graph when pruning is
+// on), and every flow's resolved initial route. All of it is a pure
+// function of the Config's
 // non-seed fields, so a campaign cell that fans S seed-runs of one
 // scenario across the worker pool can build the World once and share it
 // by reference — the per-run cost collapses to the mutable state (engine,
@@ -54,7 +56,7 @@ func BuildWorld(cfg Config) (*World, error) {
 	}
 	var policy routing.Policy
 	if cfg.Routing.active() {
-		w.table = newLinkTable(&cfg)
+		w.table = newLinkTable(&cfg, w.plan)
 		if cfg.Routing.Kind != RouteStatic || cfg.Routing.Policy != nil {
 			pol, err := cfg.Routing.build(w.table)
 			if err != nil {
@@ -103,8 +105,27 @@ func (w *World) check(cfg *Config) error {
 // newLinkTable builds the routing-layer ETX table over the same radio
 // model the medium uses, so the metric always matches the channel the
 // packets see (the minProb floor matches the public Router).
-func newLinkTable(cfg *Config) *routing.Table {
-	return routing.NewTable(len(cfg.Positions), func(a, b pkt.NodeID) float64 {
-		return 1 - cfg.Radio.LossProb(radio.Dist(cfg.Positions[a], cfg.Positions[b]))
+//
+// With neighbor pruning on, the table is built sparse over exactly the
+// link plan's neighbor graph instead of probing all N² pairs. This stores
+// and routes over the identical usable link set: a pruned pair's mean
+// power sits PruneSigma shadowing deviations below the carrier-sense
+// threshold, which (with CSThreshDBm ≤ RXThreshDBm, true of every radio
+// profile) puts its delivery probability orders of magnitude below the
+// 0.1 minProb floor — the dense table would mark it unusable anyway.
+func newLinkTable(cfg *Config, plan *radio.LinkPlan) *routing.Table {
+	if plan.Pruned() {
+		// The loss model is a pure function of distance, so forward and
+		// reverse probabilities coincide and the symmetric constructor
+		// applies; iterating the plan's CSR rows hands it each stored
+		// distance without a per-pair lookup.
+		return routing.NewSparseTableSym(plan.Stations(), func(a pkt.NodeID, yield func(int32, float64)) {
+			plan.EachAscNeighbor(int(a), func(j int32, d float64) {
+				yield(j, 1-cfg.Radio.LossProb(d))
+			})
+		}, 0.1)
+	}
+	return routing.NewTable(plan.Stations(), func(a, b pkt.NodeID) float64 {
+		return 1 - cfg.Radio.LossProb(plan.Distance(int(a), int(b)))
 	}, 0.1)
 }

@@ -1,18 +1,28 @@
 package radio
 
 import (
-	"sort"
+	"slices"
 
 	"ripple/internal/sim"
 )
 
-// LinkPlan is the seed-independent precomputation of a Medium: the pairwise
-// mean-RX-power / distance / propagation-delay matrices and the per-station
-// pruned neighbor lists, all derived purely from the radio Config and the
-// station positions. Building one costs O(N²) in both time and memory —
-// for a campaign cell that fans the same scenario across many seeds it is
-// the dominant per-run setup cost, so NewMediumOn accepts a prebuilt plan
-// and shares it by reference across runs.
+// LinkPlan is the seed-independent precomputation of a Medium: per-station
+// neighbor lists with the mean RX power, distance and propagation delay of
+// every kept link, all derived purely from the radio Config and the station
+// positions. For a campaign cell that fans the same scenario across many
+// seeds it is the dominant per-run setup cost, so NewMediumOn accepts a
+// prebuilt plan and shares it by reference across runs.
+//
+// Storage is CSR-style sparse: one flat array per link attribute, with
+// station i's links occupying slots off[i]..off[i+1]. With
+// Config.PruneSigma == 0 every ordered pair is kept (the "dense" plan:
+// O(N²) memory, neighbor lists in ID order, preserving the unpruned RNG
+// stream bit for bit). With PruneSigma > 0 a uniform spatial grid (posGrid)
+// enumerates only candidate pairs within the pruning radius implied by the
+// cutoff, so build time and memory are O(N·k) in the average neighbor count
+// k — the representation that makes 10k+-station worlds affordable — and
+// each station's links are sorted by mean power (strongest first, ties by
+// ID), exactly as the pruned dense build sorted them.
 //
 // Immutability contract: a LinkPlan is never written after NewLinkPlan
 // returns. Every Medium built on it — concurrently, from any number of
@@ -24,76 +34,214 @@ type LinkPlan struct {
 	positions []Pos
 	n         int
 
-	// Flat n×n matrices indexed [src*n + dst].
-	meanDBm  []float64  // mean received power before the shadowing draw
-	linkDist []float64  // Euclidean distance in metres
-	linkPD   []sim.Time // propagation delay
+	// CSR link storage: station i's neighbors are nbrID[off[i]:off[i+1]]
+	// with parallel per-link attributes. Unpruned rows are in ascending ID
+	// order; pruned rows are sorted by mean power (desc, ties by ID).
+	off     []int64
+	nbrID   []int32
+	nbrDBm  []float64  // mean received power before the shadowing draw
+	nbrDist []float64  // Euclidean distance in metres
+	nbrPD   []sim.Time // propagation delay
 
-	// neighbors lists, per source, the stations that can possibly sense a
-	// transmission. With Config.PruneSigma == 0 it is every other station
-	// in ID order — preserving the unpruned RNG stream bit for bit. With
-	// PruneSigma > 0 stations whose mean power is more than
-	// PruneSigma×ShadowSigmaDB below the carrier-sense threshold are
-	// pruned, and the survivors are sorted by mean power (strongest first,
-	// ties by ID).
-	neighbors [][]int32
+	// Pruned rows store a secondary per-row index for O(log k) pair
+	// lookup: lookID is the row's neighbor IDs in ascending order and
+	// lookSlot the row-relative slot each occupies in the power-sorted
+	// primary arrays. Unpruned rows need no index — ID order makes the
+	// slot directly computable.
+	lookID   []int32
+	lookSlot []int32
+
 	// pruned reports whether neighbor pruning is active; pruneCutoff is
 	// the mean-power floor (dBm) below which a pair is pruned, so
-	// meanDBm[src*n+dst] >= pruneCutoff ⇔ dst ∈ neighbors[src].
+	// MeanDBm(a, b) >= pruneCutoff ⇔ b ∈ neighbors(a).
 	pruned      bool
 	pruneCutoff float64
 }
 
-// NewLinkPlan precomputes the link matrices and neighbor lists for the
+// NewLinkPlan precomputes the link attributes and neighbor lists for the
 // given radio configuration and station positions.
 func NewLinkPlan(cfg Config, positions []Pos) *LinkPlan {
-	n := len(positions)
 	pl := &LinkPlan{
 		cfg:       cfg,
 		positions: append([]Pos(nil), positions...),
-		n:         n,
-		meanDBm:   make([]float64, n*n),
-		linkDist:  make([]float64, n*n),
-		linkPD:    make([]sim.Time, n*n),
+		n:         len(positions),
 	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			d := Dist(positions[i], positions[j])
-			p := cfg.MeanRxPowerDBm(d)
-			pd := propDelay(d)
-			pl.linkDist[i*n+j], pl.linkDist[j*n+i] = d, d
-			pl.meanDBm[i*n+j], pl.meanDBm[j*n+i] = p, p
-			pl.linkPD[i*n+j], pl.linkPD[j*n+i] = pd, pd
-		}
-	}
-
 	pl.pruned = cfg.PruneSigma > 0
 	pl.pruneCutoff = cfg.CSThreshDBm - cfg.PruneSigma*cfg.ShadowSigmaDB
-	pl.neighbors = make([][]int32, n)
-	for i := 0; i < n; i++ {
-		list := make([]int32, 0, n-1)
-		for j := 0; j < n; j++ {
-			if j == i {
-				continue
-			}
-			if pl.pruned && pl.meanDBm[i*n+j] < pl.pruneCutoff {
-				continue
-			}
-			list = append(list, int32(j))
-		}
-		if pl.pruned {
-			row := pl.meanDBm[i*n : i*n+n]
-			sort.Slice(list, func(a, b int) bool {
-				pa, pb := row[list[a]], row[list[b]]
-				if pa != pb {
-					return pa > pb
-				}
-				return list[a] < list[b]
-			})
-		}
-		pl.neighbors[i] = list
+	if pl.pruned {
+		pl.buildPruned()
+	} else {
+		pl.buildFull()
 	}
 	return pl
+}
+
+// buildFull keeps every ordered pair, rows in ascending ID order. Slots
+// are computable (fullSlot), so no lookup index is needed.
+func (pl *LinkPlan) buildFull() {
+	n := pl.n
+	edges := n * (n - 1)
+	pl.off = make([]int64, n+1)
+	for i := 1; i <= n; i++ {
+		pl.off[i] = int64(i * (n - 1))
+	}
+	pl.nbrID = make([]int32, edges)
+	pl.nbrDBm = make([]float64, edges)
+	pl.nbrDist = make([]float64, edges)
+	pl.nbrPD = make([]sim.Time, edges)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := Dist(pl.positions[i], pl.positions[j])
+			p := pl.cfg.MeanRxPowerDBm(d)
+			pd := propDelay(d)
+			si := pl.fullSlot(i, j)
+			sj := pl.fullSlot(j, i)
+			pl.nbrID[si], pl.nbrID[sj] = int32(j), int32(i)
+			pl.nbrDBm[si], pl.nbrDBm[sj] = p, p
+			pl.nbrDist[si], pl.nbrDist[sj] = d, d
+			pl.nbrPD[si], pl.nbrPD[sj] = pd, pd
+		}
+	}
+}
+
+// fullSlot is the CSR slot of neighbor b in row a of an unpruned plan,
+// where row a is every other station in ascending ID order.
+func (pl *LinkPlan) fullSlot(a, b int) int {
+	if b < a {
+		return a*(pl.n-1) + b
+	}
+	return a*(pl.n-1) + b - 1
+}
+
+// buildPruned enumerates candidate pairs through the spatial grid and keeps
+// those whose mean power clears the pruning cutoff. Mean power is monotone
+// non-increasing in distance, so every kept pair lies within
+// rangeFor(pruneCutoff) metres; the 0.1% radius margin absorbs the
+// floating-point slack of that inversion, and the exact power predicate is
+// still applied per candidate — the kept set is identical to what a full
+// N² sweep with the same predicate would keep.
+func (pl *LinkPlan) buildPruned() {
+	n := pl.n
+	pl.off = make([]int64, n+1)
+	if n == 0 {
+		return
+	}
+	radius := pl.cfg.rangeFor(pl.pruneCutoff) * 1.001
+	if radius < 1 {
+		// MeanRxPowerDBm clamps d < 1 to 1 m, so sub-metre pairs still
+		// need a cell to meet in even when the cutoff exceeds the 1 m
+		// power (in which case the predicate keeps nothing).
+		radius = 1
+	}
+	rsq := radius * radius
+	grid := newPosGrid(pl.positions, radius)
+
+	// Pass 1: count in-radius candidates — a tight upper bound on the kept
+	// links (the exact predicate can only reject boundary candidates), so
+	// the flat arrays are sized once, with no dense O(N²) reservation.
+	candidates := 0
+	for i := 0; i < n; i++ {
+		grid.eachCandidate(i, pl.positions, rsq, func(int32) { candidates++ })
+	}
+	pl.nbrID = make([]int32, 0, candidates)
+	pl.nbrDBm = make([]float64, 0, candidates)
+	pl.nbrDist = make([]float64, 0, candidates)
+	pl.nbrPD = make([]sim.Time, 0, candidates)
+	pl.lookID = make([]int32, 0, candidates)
+	pl.lookSlot = make([]int32, 0, candidates)
+
+	// Pass 2: compute the exact link attributes per candidate, keep those
+	// clearing the cutoff, and append each row sorted by (power desc, ID).
+	var (
+		ids  []int32
+		dbm  []float64
+		dist []float64
+		perm []int32
+	)
+	for i := 0; i < n; i++ {
+		ids, dbm, dist = ids[:0], dbm[:0], dist[:0]
+		grid.eachCandidate(i, pl.positions, rsq, func(j int32) {
+			d := Dist(pl.positions[i], pl.positions[j])
+			p := pl.cfg.MeanRxPowerDBm(d)
+			if p < pl.pruneCutoff {
+				return
+			}
+			ids = append(ids, j)
+			dbm = append(dbm, p)
+			dist = append(dist, d)
+		})
+		perm = perm[:0]
+		for k := range ids {
+			perm = append(perm, int32(k))
+		}
+		// slices.SortFunc, not sort.Slice: the reflection-based swapper is
+		// the build's hottest path at city scale. Both orders are strict
+		// (the ID tiebreak is unique within a row), so the instability of
+		// either algorithm never shows.
+		slices.SortFunc(perm, func(ka, kb int32) int {
+			if dbm[ka] != dbm[kb] {
+				if dbm[ka] > dbm[kb] {
+					return -1
+				}
+				return 1
+			}
+			return int(ids[ka] - ids[kb])
+		})
+		for _, k := range perm {
+			pl.nbrID = append(pl.nbrID, ids[k])
+			pl.nbrDBm = append(pl.nbrDBm, dbm[k])
+			pl.nbrDist = append(pl.nbrDist, dist[k])
+			pl.nbrPD = append(pl.nbrPD, propDelay(dist[k]))
+		}
+		// Row lookup index: neighbor IDs ascending with their slot in the
+		// power-sorted row.
+		rowStart := int(pl.off[i])
+		rowLen := len(pl.nbrID) - rowStart
+		for k := 0; k < rowLen; k++ {
+			pl.lookSlot = append(pl.lookSlot, int32(k))
+		}
+		look := pl.lookSlot[rowStart:]
+		rowIDs := pl.nbrID[rowStart:]
+		slices.SortFunc(look, func(a, b int32) int { return int(rowIDs[a] - rowIDs[b]) })
+		for _, s := range look {
+			pl.lookID = append(pl.lookID, rowIDs[s])
+		}
+		pl.off[i+1] = int64(len(pl.nbrID))
+	}
+}
+
+// row returns station i's neighbor IDs and the parallel mean-power and
+// propagation-delay arrays (the Medium's transmit fast path).
+func (pl *LinkPlan) row(i int) (ids []int32, dbm []float64, pd []sim.Time) {
+	lo, hi := pl.off[i], pl.off[i+1]
+	return pl.nbrID[lo:hi], pl.nbrDBm[lo:hi], pl.nbrPD[lo:hi]
+}
+
+// slot returns the CSR slot of the a→b link, or -1 when b is not a
+// neighbor of a (pruned pair, or a == b).
+func (pl *LinkPlan) slot(a, b int) int {
+	if a == b {
+		return -1
+	}
+	if !pl.pruned {
+		return pl.fullSlot(a, b)
+	}
+	lo, hi := int(pl.off[a]), int(pl.off[a+1])
+	row := pl.lookID[lo:hi]
+	target := int32(b)
+	x, y := 0, len(row)
+	for x < y {
+		mid := int(uint(x+y) >> 1)
+		if row[mid] < target {
+			x = mid + 1
+		} else {
+			y = mid
+		}
+	}
+	if x < len(row) && row[x] == target {
+		return lo + int(pl.lookSlot[lo+x])
+	}
+	return -1
 }
 
 // Config returns the radio configuration the plan was built with.
@@ -102,8 +250,69 @@ func (pl *LinkPlan) Config() Config { return pl.cfg }
 // Stations returns the number of stations the plan covers.
 func (pl *LinkPlan) Stations() int { return pl.n }
 
-// Distance returns the distance in metres between two stations.
-func (pl *LinkPlan) Distance(a, b int) float64 { return pl.linkDist[a*pl.n+b] }
+// Pruned reports whether neighbor pruning is active (PruneSigma > 0), i.e.
+// whether the plan stores only in-range links.
+func (pl *LinkPlan) Pruned() bool { return pl.pruned }
 
-// MeanDBm returns the mean received power of the a→b link in dBm.
-func (pl *LinkPlan) MeanDBm(a, b int) float64 { return pl.meanDBm[a*pl.n+b] }
+// Links returns the number of directed links the plan stores — n·(n−1)
+// unpruned, the in-range link count with pruning on.
+func (pl *LinkPlan) Links() int { return len(pl.nbrID) }
+
+// Degree returns the number of stored neighbors of station i.
+func (pl *LinkPlan) Degree(i int) int { return int(pl.off[i+1] - pl.off[i]) }
+
+// AscNeighbors returns station i's neighbor IDs in ascending order. The
+// returned slice aliases the plan and must not be modified. The routing
+// layer iterates it to build its sparse link table over exactly the pairs
+// the plan kept.
+func (pl *LinkPlan) AscNeighbors(i int) []int32 {
+	lo, hi := pl.off[i], pl.off[i+1]
+	if !pl.pruned {
+		return pl.nbrID[lo:hi] // already in ID order
+	}
+	return pl.lookID[lo:hi]
+}
+
+// EachAscNeighbor calls yield for every stored neighbor of station i in
+// ascending ID order, with the precomputed link distance. It is the bulk
+// companion of AscNeighbors for callers that need per-link attributes:
+// iterating the CSR row directly avoids the per-pair slot lookup that
+// Distance(a, b) pays.
+func (pl *LinkPlan) EachAscNeighbor(i int, yield func(id int32, dist float64)) {
+	lo, hi := pl.off[i], pl.off[i+1]
+	if !pl.pruned {
+		for k := lo; k < hi; k++ {
+			yield(pl.nbrID[k], pl.nbrDist[k]) // rows already in ID order
+		}
+		return
+	}
+	for k := lo; k < hi; k++ {
+		yield(pl.lookID[k], pl.nbrDist[lo+int64(pl.lookSlot[k])])
+	}
+}
+
+// Distance returns the distance in metres between two stations. Pairs the
+// plan pruned are computed on demand from the positions, so the accessor
+// is exact for every pair, sparse or not.
+func (pl *LinkPlan) Distance(a, b int) float64 {
+	if s := pl.slot(a, b); s >= 0 {
+		return pl.nbrDist[s]
+	}
+	if a == b {
+		return 0
+	}
+	return Dist(pl.positions[a], pl.positions[b])
+}
+
+// MeanDBm returns the mean received power of the a→b link in dBm (0 when
+// a == b, matching the dense matrix diagonal). Pruned pairs are computed
+// on demand, so the accessor is exact for every pair.
+func (pl *LinkPlan) MeanDBm(a, b int) float64 {
+	if s := pl.slot(a, b); s >= 0 {
+		return pl.nbrDBm[s]
+	}
+	if a == b {
+		return 0
+	}
+	return pl.cfg.MeanRxPowerDBm(Dist(pl.positions[a], pl.positions[b]))
+}

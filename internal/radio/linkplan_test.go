@@ -2,6 +2,7 @@ package radio
 
 import (
 	"reflect"
+	"sort"
 	"testing"
 
 	"ripple/internal/phys"
@@ -75,6 +76,93 @@ func TestSharedPlanRunIsRNGBitIdentical(t *testing.T) {
 	b := run(NewMediumOn(engB, plan, phys.Default(), sim.NewRNG(3, 1)), engB)
 	if a != b {
 		t.Fatalf("counters differ:\nprivate %+v\nshared  %+v", a, b)
+	}
+}
+
+// randomCity spreads n stations uniformly over a side×side square with a
+// deterministic RNG (layout is a pure function of the arguments).
+func randomCity(n int, side float64, seed uint64) []Pos {
+	rng := sim.NewRNG(seed, 2)
+	positions := make([]Pos, n)
+	for i := range positions {
+		positions[i] = Pos{X: rng.Float64() * side, Y: rng.Float64() * side}
+	}
+	return positions
+}
+
+// TestPrunedPlanMatchesBruteForce pits the grid-built sparse plan against a
+// brute-force all-pairs reference on a 500-station random world: the kept
+// neighbor sets, their power ordering and every stored value must be
+// identical — the spatial grid is a candidate filter, never an
+// approximation. The accessors must also agree with the dense (unpruned)
+// plan on every pair, including pruned ones (computed on demand).
+func TestPrunedPlanMatchesBruteForce(t *testing.T) {
+	const n, side = 500, 10000.0
+	positions := randomCity(n, side, 11)
+	for _, sigma := range []float64{3, DefaultPruneSigma} {
+		cfg := DefaultConfig()
+		cfg.PruneSigma = sigma
+		plan := NewLinkPlan(cfg, positions)
+		denseCfg := cfg
+		denseCfg.PruneSigma = 0
+		dense := NewLinkPlan(denseCfg, positions)
+
+		cutoff := cfg.CSThreshDBm - cfg.PruneSigma*cfg.ShadowSigmaDB
+		prunedPairs := 0
+		for a := 0; a < n; a++ {
+			type cand struct {
+				id  int32
+				dbm float64
+			}
+			var want []cand
+			for b := 0; b < n; b++ {
+				if b == a {
+					continue
+				}
+				p := cfg.MeanRxPowerDBm(Dist(positions[a], positions[b]))
+				if p < cutoff {
+					prunedPairs++
+					continue
+				}
+				want = append(want, cand{int32(b), p})
+			}
+			sort.Slice(want, func(i, j int) bool {
+				if want[i].dbm != want[j].dbm {
+					return want[i].dbm > want[j].dbm
+				}
+				return want[i].id < want[j].id
+			})
+			ids, dbm, _ := plan.row(a)
+			if len(ids) != len(want) {
+				t.Fatalf("sigma %v: station %d keeps %d neighbors, brute force says %d",
+					sigma, a, len(ids), len(want))
+			}
+			for k := range want {
+				if ids[k] != want[k].id || dbm[k] != want[k].dbm {
+					t.Fatalf("sigma %v: station %d slot %d = (%d, %g), want (%d, %g)",
+						sigma, a, k, ids[k], dbm[k], want[k].id, want[k].dbm)
+				}
+			}
+			asc := plan.AscNeighbors(a)
+			if len(asc) != len(want) || !sort.SliceIsSorted(asc, func(i, j int) bool { return asc[i] < asc[j] }) {
+				t.Fatalf("sigma %v: AscNeighbors(%d) not the sorted kept set: %v", sigma, a, asc)
+			}
+			for b := 0; b < n; b++ {
+				if plan.MeanDBm(a, b) != dense.MeanDBm(a, b) {
+					t.Fatalf("sigma %v: MeanDBm(%d,%d) differs from dense", sigma, a, b)
+				}
+				if plan.Distance(a, b) != dense.Distance(a, b) {
+					t.Fatalf("sigma %v: Distance(%d,%d) differs from dense", sigma, a, b)
+				}
+			}
+		}
+		if prunedPairs == 0 {
+			t.Fatalf("sigma %v: layout never triggers pruning — the test proves nothing", sigma)
+		}
+		if plan.Links() != n*(n-1)-prunedPairs {
+			t.Fatalf("sigma %v: plan stores %d links, brute force kept %d",
+				sigma, plan.Links(), n*(n-1)-prunedPairs)
+		}
 	}
 }
 

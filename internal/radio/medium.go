@@ -133,9 +133,9 @@ type Medium struct {
 	stations []*station
 	Counters Counters
 
-	// plan is the immutable link precomputation (pairwise matrices and
-	// neighbor lists): Transmit performs no math.Hypot/math.Log10 per
-	// frame. The plan may be shared read-only with other Mediums running
+	// plan is the immutable link precomputation (per-neighbor link
+	// attributes in CSR layout): Transmit performs no math.Hypot/math.Log10
+	// per frame. The plan may be shared read-only with other Mediums running
 	// concurrently (see LinkPlan); everything this Medium mutates lives on
 	// the Medium itself.
 	plan *LinkPlan
@@ -235,14 +235,15 @@ func (m *Medium) Transmitting(id pkt.NodeID) bool { return m.stations[id].txing 
 
 // Distance returns the distance in metres between two stations.
 func (m *Medium) Distance(a, b pkt.NodeID) float64 {
-	return m.plan.linkDist[int(a)*m.n+int(b)]
+	return m.plan.Distance(int(a), int(b))
 }
 
 // Neighbors returns the station's audible-candidate list (tests and
 // diagnostics). With pruning off it is every other station in ID order.
 func (m *Medium) Neighbors(id pkt.NodeID) []pkt.NodeID {
-	out := make([]pkt.NodeID, len(m.plan.neighbors[id]))
-	for i, j := range m.plan.neighbors[id] {
+	ids, _, _ := m.plan.row(int(id))
+	out := make([]pkt.NodeID, len(ids))
+	for i, j := range ids {
 		out[i] = pkt.NodeID(j)
 	}
 	return out
@@ -297,7 +298,6 @@ func (m *Medium) Transmit(f *pkt.Frame) sim.Time {
 	m.eng.Do(end, m.newTxDone(src, f))
 
 	plan := m.plan
-	base := int(f.Tx) * m.n
 	sigma := m.cfg.ShadowSigmaDB
 	rxThresh := m.cfg.RXThreshDBm
 	if f.RateBps > 0 {
@@ -305,12 +305,13 @@ func (m *Medium) Transmit(f *pkt.Frame) sim.Time {
 		rxThresh += rateadapt.ThresholdDeltaDB(f.RateBps, m.phy.DataBps)
 	}
 	receivers := 0
-	for _, j := range plan.neighbors[f.Tx] {
+	nbrIDs, nbrDBm, nbrPD := plan.row(int(f.Tx))
+	for k, j := range nbrIDs {
 		dst := m.stations[j]
 		if dst.mac == nil {
 			continue
 		}
-		power := plan.meanDBm[base+int(j)]
+		power := nbrDBm[k]
 		if sigma > 0 {
 			power = m.rng.Norm(power, sigma)
 		}
@@ -333,7 +334,7 @@ func (m *Medium) Transmit(f *pkt.Frame) sim.Time {
 		if !inf.decodable && intended(f, dst.id) {
 			m.Counters.FramesShadowed++
 		}
-		delay := plan.linkPD[base+int(j)]
+		delay := nbrPD[k]
 		m.eng.Do(now+delay, &inf.begin)
 		m.eng.Do(end+delay, &inf.end)
 		receivers++
@@ -346,14 +347,15 @@ func (m *Medium) Transmit(f *pkt.Frame) sim.Time {
 	if plan.pruned {
 		// Pruned stations never drew a shadowing sample, but an addressed
 		// receiver that was pruned is still a shadowing loss — keep the
-		// counter semantics of the unpruned medium.
+		// counter semantics of the unpruned medium. A pair is pruned
+		// exactly when it is absent from the plan (slot < 0).
 		for _, id := range f.FwdList {
-			if id != f.Tx && plan.meanDBm[base+int(id)] < plan.pruneCutoff && m.stations[id].mac != nil {
+			if id != f.Tx && plan.slot(int(f.Tx), int(id)) < 0 && m.stations[id].mac != nil {
 				m.Counters.FramesShadowed++
 			}
 		}
 		if rx := f.Rx; rx >= 0 && rx != f.Tx && f.RankOf(rx) < 0 &&
-			plan.meanDBm[base+int(rx)] < plan.pruneCutoff && m.stations[rx].mac != nil {
+			plan.slot(int(f.Tx), int(rx)) < 0 && m.stations[rx].mac != nil {
 			m.Counters.FramesShadowed++
 		}
 	}

@@ -2,11 +2,18 @@ package routing
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"math"
 
 	"ripple/internal/pkt"
 )
+
+// ErrNoRoute is the sentinel wrapped by every path computation that fails
+// because the destination is unreachable over usable links. Callers that
+// must distinguish "no route exists" from configuration errors test with
+// errors.Is(err, ErrNoRoute).
+var ErrNoRoute = errors.New("no route")
 
 // LinkProbFunc returns the one-way frame delivery probability of the
 // directed link a→b. The radio package's analytic shadowing model provides
@@ -23,11 +30,28 @@ func ETX(df, dr float64) float64 {
 	return 1 / (df * dr)
 }
 
-// Table computes the all-pairs ETX link table for n stations.
+// Table holds the ETX link table for n stations, in one of two layouts.
+// NewTable builds the dense all-pairs form: flat n×n metric/probability
+// matrices, O(N²) memory, with Dijkstra scanning every destination per
+// pop. NewSparseTable builds the adjacency-list form over a candidate
+// neighbor graph: only usable links are stored (CSR rows in ascending
+// neighbor order), memory is O(N·k), and Dijkstra iterates adjacency
+// rows. Both layouts answer the same queries; absent pairs in the sparse
+// form have ETX +Inf, exactly like sub-minProb pairs in the dense form.
 type Table struct {
-	n    int
+	n int
+
+	// Dense layout (NewTable); nil in sparse mode.
 	etx  []float64 // n*n, Inf = unusable
 	prob []float64 // n*n forward delivery probability
+
+	// Sparse layout (NewSparseTable): usable links of station a occupy
+	// slots off[a]..off[a+1], sorted by ascending neighbor ID.
+	sparse  bool
+	off     []int64
+	adjID   []int32
+	adjETX  []float64
+	adjProb []float64
 }
 
 // NewTable builds the link table. Links with delivery probability below
@@ -53,11 +77,55 @@ func NewTable(n int, prob LinkProbFunc, minProb float64) *Table {
 	return t
 }
 
-// LinkETX returns the ETX of the a→b link (Inf if unusable).
-func (t *Table) LinkETX(a, b pkt.NodeID) float64 { return t.etx[int(a)*t.n+int(b)] }
+// LinkETX returns the ETX of the a→b link (Inf if unusable). In sparse
+// mode a pair absent from the adjacency is unusable; the diagonal is 0 in
+// both layouts.
+func (t *Table) LinkETX(a, b pkt.NodeID) float64 {
+	if !t.sparse {
+		return t.etx[int(a)*t.n+int(b)]
+	}
+	if a == b {
+		return 0
+	}
+	if s := t.adjSlot(a, b); s >= 0 {
+		return t.adjETX[s]
+	}
+	return math.Inf(1)
+}
 
-// LinkProb returns the forward delivery probability of a→b.
-func (t *Table) LinkProb(a, b pkt.NodeID) float64 { return t.prob[int(a)*t.n+int(b)] }
+// LinkProb returns the forward delivery probability of a→b. The sparse
+// layout stores probabilities for usable links only and reports 0 for
+// absent pairs (their true probability is below minProb by construction).
+func (t *Table) LinkProb(a, b pkt.NodeID) float64 {
+	if !t.sparse {
+		return t.prob[int(a)*t.n+int(b)]
+	}
+	if s := t.adjSlot(a, b); s >= 0 {
+		return t.adjProb[s]
+	}
+	return 0
+}
+
+// adjSlot binary-searches row a of the sparse adjacency for neighbor b,
+// returning its slot or -1.
+func (t *Table) adjSlot(a, b pkt.NodeID) int {
+	lo, hi := int(t.off[a]), int(t.off[a+1])
+	row := t.adjID[lo:hi]
+	target := int32(b)
+	x, y := 0, len(row)
+	for x < y {
+		mid := int(uint(x+y) >> 1)
+		if row[mid] < target {
+			x = mid + 1
+		} else {
+			y = mid
+		}
+	}
+	if x < len(row) && row[x] == target {
+		return lo + x
+	}
+	return -1
+}
 
 // PathETX sums the link ETX values along a path.
 func (t *Table) PathETX(p Path) float64 {
@@ -109,7 +177,7 @@ func (t *Table) ShortestPath(src, dst pkt.NodeID) (Path, error) {
 func (t *Table) ShortestPathCost(src, dst pkt.NodeID, cost LinkCostFunc) (Path, error) {
 	dist, prev := t.dijkstra(src, cost)
 	if math.IsInf(dist[dst], 1) {
-		return nil, fmt.Errorf("routing: no path %d -> %d", src, dst)
+		return nil, fmt.Errorf("routing: %w %d -> %d", ErrNoRoute, src, dst)
 	}
 	var rev Path
 	for at := dst; at != -1; at = prev[at] {
@@ -136,7 +204,11 @@ func (t *Table) Distances(src pkt.NodeID, cost LinkCostFunc) []float64 {
 }
 
 // dijkstra computes single-source minimum-cost distances and predecessors
-// over the usable links of the table.
+// over the usable links of the table. Both layouts relax a popped node's
+// usable neighbors in ascending ID order — the dense scan skips +Inf
+// entries, the sparse walk iterates the adjacency row — so the two
+// layouts built over the same usable link set produce identical distances,
+// predecessors and therefore paths.
 func (t *Table) dijkstra(src pkt.NodeID, cost LinkCostFunc) ([]float64, []pkt.NodeID) {
 	dist := make([]float64, t.n)
 	prev := make([]pkt.NodeID, t.n)
@@ -154,6 +226,27 @@ func (t *Table) dijkstra(src pkt.NodeID, cost LinkCostFunc) ([]float64, []pkt.No
 			continue
 		}
 		done[u] = true
+		if t.sparse {
+			for s := int(t.off[u]); s < int(t.off[u+1]); s++ {
+				v := pkt.NodeID(t.adjID[s])
+				if done[v] {
+					continue
+				}
+				w := t.adjETX[s]
+				if cost != nil {
+					w = cost(u, v, w)
+					if math.IsInf(w, 1) {
+						continue
+					}
+				}
+				if nd := dist[u] + w; nd < dist[v] {
+					dist[v] = nd
+					prev[v] = u
+					heap.Push(q, &pqItem{node: v, dist: nd})
+				}
+			}
+			continue
+		}
 		for v := 0; v < t.n; v++ {
 			w := t.etx[int(u)*t.n+v]
 			if math.IsInf(w, 1) || done[v] {

@@ -1,0 +1,89 @@
+package routing
+
+import (
+	"ripple/internal/pkt"
+)
+
+// NeighborsFunc returns the candidate neighbor station IDs of a, in
+// ascending order. The returned slice is only read during the call, so
+// implementations may alias internal storage (radio.LinkPlan.AscNeighbors
+// does). Station IDs use int32 to match the link plan's CSR storage and
+// avoid a per-row conversion copy on city-scale graphs.
+type NeighborsFunc func(a pkt.NodeID) []int32
+
+// NewSparseTable builds the link table over a candidate neighbor graph
+// instead of probing all N² ordered pairs: only pairs the neighbor
+// function offers are evaluated, and only usable links (both directions at
+// or above minProb) are stored, so construction time and memory are
+// O(N·k) in the average candidate degree k.
+//
+// A pair absent from the candidate graph is treated as unusable (ETX
+// +Inf), exactly as the dense NewTable treats sub-minProb pairs. When the
+// candidate graph comes from a pruned radio link plan this is not an
+// approximation but an identity: a pruned pair's mean power is at least
+// PruneSigma shadowing deviations below the carrier-sense threshold, so
+// its delivery probability is far below any sensible minProb and the
+// dense table would exclude it too — the two layouts then hold exactly
+// the same usable link set and route identically (see Table.dijkstra).
+//
+// The candidate graph must be symmetric (b listed for a ⇔ a listed for
+// b), which geometric neighbor pruning guarantees; the reverse
+// probability of an offered pair is always evaluated directly.
+func NewSparseTable(n int, neighbors NeighborsFunc, prob LinkProbFunc, minProb float64) *Table {
+	t := &Table{n: n, sparse: true, off: make([]int64, n+1)}
+	// Usable degree is typically far below candidate degree (decode range
+	// vs pruning range), so rows grow by append instead of reserving the
+	// full candidate count.
+	for a := 0; a < n; a++ {
+		na := pkt.NodeID(a)
+		for _, j := range neighbors(na) {
+			if int(j) == a {
+				continue
+			}
+			nb := pkt.NodeID(j)
+			df := prob(na, nb)
+			dr := prob(nb, na)
+			if df < minProb || dr < minProb {
+				continue
+			}
+			t.adjID = append(t.adjID, j)
+			t.adjETX = append(t.adjETX, ETX(df, dr))
+			t.adjProb = append(t.adjProb, df)
+		}
+		t.off[a+1] = int64(len(t.adjID))
+	}
+	return t
+}
+
+// NewSparseTableSym is NewSparseTable for symmetric link models, where the
+// forward and reverse delivery probabilities of every pair are equal (true
+// of any model that is a pure function of distance, like the radio
+// package's analytic shadowing model). links must call yield for each
+// candidate neighbor of a in ascending ID order with the link probability;
+// each link probability is evaluated once instead of the generic
+// constructor's four (df and dr from both row ends) — on city-scale worlds
+// that is most of the table build. The stored values are identical to
+// NewSparseTable's with prob(a,b) == prob(b,a): ETX(p, p) == 1/(p·p) bit
+// for bit.
+func NewSparseTableSym(n int, links func(a pkt.NodeID, yield func(b int32, p float64)), minProb float64) *Table {
+	t := &Table{n: n, sparse: true, off: make([]int64, n+1)}
+	for a := 0; a < n; a++ {
+		links(pkt.NodeID(a), func(b int32, p float64) {
+			if int(b) == a || p < minProb {
+				return
+			}
+			t.adjID = append(t.adjID, b)
+			t.adjETX = append(t.adjETX, ETX(p, p))
+			t.adjProb = append(t.adjProb, p)
+		})
+		t.off[a+1] = int64(len(t.adjID))
+	}
+	return t
+}
+
+// Links returns the number of usable directed links the table stores
+// (sparse layout only; 0 for dense tables, which store all pairs).
+func (t *Table) Links() int { return len(t.adjID) }
+
+// Sparse reports whether the table uses the adjacency-list layout.
+func (t *Table) Sparse() bool { return t.sparse }

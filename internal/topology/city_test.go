@@ -1,0 +1,63 @@
+package topology
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ripple/internal/radio"
+)
+
+func TestCityDeterministicAndSized(t *testing.T) {
+	a, pa := CityN(500, 7)
+	b, pb := CityN(500, 7)
+	if !reflect.DeepEqual(a, b) || pa != pb {
+		t.Fatal("CityN is not a pure function of (n, seed)")
+	}
+	if len(a.Positions) < 500 || len(a.Positions) != pa.Rows*pa.Cols {
+		t.Fatalf("CityN(500) laid out %d stations for a %dx%d grid",
+			len(a.Positions), pa.Rows, pa.Cols)
+	}
+	c, _ := CityN(500, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced the same layout")
+	}
+}
+
+// TestCityAdjacentStationsDecodable pins the connectivity-by-construction
+// argument: with the default spacing and jitter every horizontally or
+// vertically adjacent station pair stays within the default decode range,
+// so a grid walk (and therefore ETX routing) always has usable links.
+func TestCityAdjacentStationsDecodable(t *testing.T) {
+	top, p := CityN(1000, 3)
+	rc := CityRadio()
+	maxRange := rc.RXRange()
+	worst := 0.0
+	for r := 0; r < p.Rows; r++ {
+		for c := 0; c < p.Cols; c++ {
+			i := r*p.Cols + c
+			for _, j := range []int{i + 1, i + p.Cols} {
+				if (j == i+1 && c == p.Cols-1) || j >= len(top.Positions) {
+					continue
+				}
+				worst = math.Max(worst, radio.Dist(top.Positions[i], top.Positions[j]))
+			}
+		}
+	}
+	if worst >= maxRange {
+		t.Fatalf("adjacent stations up to %.1fm apart, decode range %.1fm — mesh not connected by construction",
+			worst, maxRange)
+	}
+}
+
+func TestCityRadioPrunes(t *testing.T) {
+	rc := CityRadio()
+	if rc.PruneSigma != CityPruneSigma {
+		t.Fatalf("CityRadio PruneSigma = %v, want %v", rc.PruneSigma, CityPruneSigma)
+	}
+	d := radio.DefaultConfig()
+	d.PruneSigma = rc.PruneSigma
+	if rc != d {
+		t.Fatal("CityRadio must differ from the default profile only in PruneSigma")
+	}
+}

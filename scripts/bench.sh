@@ -1,10 +1,13 @@
 #!/bin/sh
 # bench.sh — run the repo's key benchmarks and record them as BENCH_<n>.json.
 #
-# The four benchmarks cover the perf-critical layers: the raw event core
+# The benchmarks cover the perf-critical layers: the raw event core
 # (EngineThroughput), a dense-topology figure (Fig3), the event-heavy
-# hidden-terminal figure (Fig6b), and the full campaign engine
-# (CampaignSuitePooled).
+# hidden-terminal figure (Fig6b), the full campaign engine
+# (CampaignSuitePooled), and sparse city-scale world construction
+# (WorldBuildCity; its dense O(N²) twin WorldBuildCityDense costs ~25 s per
+# iteration and is not part of the routine set — run it by hand for a
+# before/after pair, as BENCH_3.json records).
 #
 # Usage:
 #   scripts/bench.sh [-short] [-count N] [-label LABEL] [-out FILE] [-enforce]
@@ -47,7 +50,7 @@ if [ -z "$OUT" ]; then
   OUT="BENCH_$n.json"
 fi
 
-PAT='^(BenchmarkEngineThroughput|BenchmarkFig3|BenchmarkFig6b|BenchmarkCampaignSuitePooled)$'
+PAT='^(BenchmarkEngineThroughput|BenchmarkFig3|BenchmarkFig6b|BenchmarkCampaignSuitePooled|BenchmarkWorldBuildCity)$'
 
 echo "bench: pattern=$PAT count=$COUNT label=$LABEL out=$OUT ${SHORT:+(short)}" >&2
 # Buffer through a temp file rather than a pipe: POSIX sh has no pipefail,

@@ -65,6 +65,16 @@ func WigleTopology() (Topology, []Path, Path) {
 // RoofnetTopology returns the Fig. 11 rooftop mesh.
 func RoofnetTopology() Topology { return fromInternal(topology.Roofnet()) }
 
+// CityTopology returns a near-square jittered block-grid city of at least n
+// stations — the city-scale random-geometric mesh behind the -scaling
+// sweep. Equal (n, seed) pairs produce bit-identical layouts. Pair it with
+// CityRadio(), whose tightened neighbor pruning keeps world construction
+// and memory O(N·k) at these sizes.
+func CityTopology(n int, seed uint64) Topology {
+	t, _ := topology.CityN(n, seed)
+	return fromInternal(t)
+}
+
 // RouteSet is one row of Table II: a predetermined route per flow of the
 // Fig. 1 topology.
 type RouteSet struct {
