@@ -1,0 +1,90 @@
+package ripple_test
+
+// Distributed-campaign benchmarks: the same campaign through RunBatch
+// (single process) and Distribute (4 spawned workers), both reporting
+// runs/sec so BENCH_<n>.json records the scaling side by side. On a
+// multi-core machine the distributed run approaches
+// min(4, cores)× the single-process rate; on a single core it measures
+// the protocol + process overhead instead (see docs/distributed.md).
+
+import (
+	"os"
+	"testing"
+
+	"ripple"
+)
+
+// benchDistCampaign is the workload: 8 scenarios × 6 seeds = 48 runs,
+// on the same short per-run budget the campaign-suite benchmarks use.
+func benchDistCampaign() ripple.Campaign {
+	dur := 150 * ripple.Millisecond
+	if testing.Short() {
+		dur = 50 * ripple.Millisecond
+	}
+	var scenarios []ripple.Scenario
+	for _, hops := range []int{2, 3, 4, 5} {
+		for _, scheme := range []ripple.Scheme{ripple.SchemeDCF, ripple.SchemeRIPPLE} {
+			top, path := ripple.LineTopology(hops)
+			scenarios = append(scenarios, ripple.Scenario{
+				Topology: top,
+				Scheme:   scheme,
+				Flows:    []ripple.Flow{{ID: 1, Path: path, Traffic: ripple.FTP{}}},
+				Seeds:    []uint64{1, 2, 3, 4, 5, 6},
+				Duration: dur,
+			})
+		}
+	}
+	return ripple.Campaign{Scenarios: scenarios}
+}
+
+func benchDistRuns(c ripple.Campaign) int {
+	n := 0
+	for _, s := range c.Scenarios {
+		n += len(s.Seeds)
+	}
+	return n
+}
+
+// TestDistributeBenchHelper is the worker program for
+// BenchmarkCampaignDistributed (re-exec helper pattern, not a test).
+func TestDistributeBenchHelper(t *testing.T) {
+	if os.Getenv(ripple.WorkerEnv) == "" {
+		t.Skip("helper process for BenchmarkCampaignDistributed")
+	}
+	benchDistCampaign().Distribute(ripple.DistributeOptions{}) // never returns
+}
+
+// BenchmarkCampaignSingleProcess is the single-process baseline for the
+// distributed comparison: the identical campaign through RunBatch.
+func BenchmarkCampaignSingleProcess(b *testing.B) {
+	c := benchDistCampaign()
+	for i := 0; i < b.N; i++ {
+		if _, err := ripple.RunBatch(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(benchDistRuns(c)*b.N)/secs, "runs/sec")
+	}
+}
+
+// BenchmarkCampaignDistributed shards the same campaign across 4 worker
+// processes per iteration (spawn, lease, stream, assemble — the full
+// distributed path, process startup included).
+func BenchmarkCampaignDistributed(b *testing.B) {
+	c := benchDistCampaign()
+	args := []string{"-test.run=TestDistributeBenchHelper"}
+	if testing.Short() {
+		// Workers must agree on the campaign shape, and the helper sizes
+		// it off testing.Short.
+		args = append(args, "-test.short")
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Distribute(ripple.DistributeOptions{Workers: 4, WorkerArgs: args}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(benchDistRuns(c)*b.N)/secs, "runs/sec")
+	}
+}

@@ -4,6 +4,8 @@
 //
 //	experiments [-run name[,name...]] [-seeds n] [-dur seconds] [-quick]
 //	            [-parallel n] [-json] [-ablations] [-scaling]
+//	            [-workers n] [-listen addr] [-ckpt file | -resume file]
+//	            [-worker | -connect addr]
 //
 // With no -run flag every experiment runs in paper order. Every scenario
 // cell of every experiment is scheduled on one bounded worker pool
@@ -12,17 +14,29 @@
 // whose rows mirror the paper's figures — with more than one seed each
 // cell carries a 95% confidence half-width — or, with -json, as a JSON
 // array of tables. Progress streams to stderr.
+//
+// Distributed execution (docs/distributed.md): -workers n spawns n local
+// worker processes and shards every grid across them; -listen also (or
+// instead) accepts remote workers started with -connect addr and the same
+// experiment flags. -ckpt writes a checkpoint file as cells complete;
+// -resume continues an interrupted campaign from one. The tables are
+// bit-identical to a single-process run in every mode. -worker is the
+// internal stdio worker mode -workers spawns.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"ripple/internal/campaign/pool"
+	"ripple/internal/dist"
 	"ripple/internal/experiments"
 	"ripple/internal/sim"
 )
@@ -49,8 +63,32 @@ func run() int {
 		parallel  = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 		jsonOut   = flag.Bool("json", false, "emit all tables as one JSON array")
 		prune     = flag.Float64("prunesigma", -1, "override radio neighbor pruning in shadowing sigmas (0 = exact/unpruned medium, -1 = per-experiment default)")
+
+		workers      = flag.Int("workers", 0, "spawn n local worker processes and distribute grid cells across them")
+		listen       = flag.String("listen", "", "accept remote workers on this TCP address (e.g. :9111)")
+		ckptPath     = flag.String("ckpt", "", "write a distributed-run checkpoint to this file")
+		resumePath   = flag.String("resume", "", "resume a distributed run from this checkpoint file")
+		leaseCells   = flag.Int("lease", 0, "cells per worker lease (0 = auto)")
+		leaseTimeout = flag.Duration("lease-timeout", 0, "reclaim a lease after this long without progress (0 = 2m)")
+		workerMode   = flag.Bool("worker", false, "worker mode: serve leased cells over stdin/stdout (spawned by -workers)")
+		connect      = flag.String("connect", "", "worker mode: serve leased cells to the coordinator at this TCP address")
 	)
 	flag.Parse()
+
+	isWorker := *workerMode || *connect != ""
+	isCoord := *workers > 0 || *listen != ""
+	if isWorker && isCoord {
+		fmt.Fprintln(os.Stderr, "-worker/-connect and -workers/-listen are mutually exclusive")
+		return 2
+	}
+	if (*ckptPath != "" || *resumePath != "") && !isCoord {
+		fmt.Fprintln(os.Stderr, "-ckpt/-resume require -workers or -listen")
+		return 2
+	}
+	if *ckptPath != "" && *resumePath != "" {
+		fmt.Fprintln(os.Stderr, "-ckpt and -resume are mutually exclusive (resume keeps writing its file)")
+		return 2
+	}
 
 	all := experiments.All()
 	if *ablations {
@@ -80,6 +118,83 @@ func run() int {
 		// Resize the process-wide pool: every experiment's grid drains
 		// through the one shared pool.
 		pool.SetSharedWorkers(*parallel)
+	}
+
+	if isWorker {
+		name := fmt.Sprintf("worker-%d", os.Getpid())
+		var rw io.ReadWriter = struct {
+			io.Reader
+			io.Writer
+		}{os.Stdin, os.Stdout}
+		var closeConn func()
+		if *connect != "" {
+			w, closer, err := dist.Dial(*connect, name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			closeConn = func() { closer.Close() }
+			opt.RunGrid = dist.WorkerRunGrid(w, nil)
+		} else {
+			// Stdout carries the protocol stream, so nothing else in this
+			// process may print to it.
+			w, err := dist.NewWorker(rw, name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			opt.RunGrid = dist.WorkerRunGrid(w, nil)
+		}
+		defer func() {
+			if closeConn != nil {
+				closeConn()
+			}
+		}()
+	}
+
+	var coord *dist.Coordinator
+	var workerSet *dist.WorkerSet
+	if isCoord {
+		var ck *dist.Checkpoint
+		var err error
+		switch {
+		case *resumePath != "":
+			if ck, err = dist.LoadCheckpoint(*resumePath); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+		case *ckptPath != "":
+			ck = dist.NewCheckpoint(*ckptPath)
+		}
+		coord = dist.NewCoordinator(dist.Options{
+			LeaseCells:   *leaseCells,
+			LeaseTimeout: *leaseTimeout,
+			Checkpoint:   ck,
+			Logf:         func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		})
+		opt.RunGrid = dist.CoordinatorRunGrid(coord)
+		if *listen != "" {
+			addr, stop, err := dist.Listen(coord, *listen)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			defer stop()
+			fmt.Fprintf(os.Stderr, "coordinator listening on %s\n", addr)
+		}
+		if *workers > 0 {
+			// Split the machine between the workers; the coordinator only
+			// merges, so it needs no pool of its own.
+			per := runtime.GOMAXPROCS(0) / *workers
+			if per < 1 {
+				per = 1
+			}
+			workerSet, err = dist.SpawnWorkers(coord, *workers, workerArgv(os.Args, per), nil)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+		}
 	}
 
 	want := map[string]bool{}
@@ -113,9 +228,13 @@ func run() int {
 		}
 		done++
 		// Progress lines are \r-rewritten; pad to the longest line printed
-		// so far so a shorter line fully overwrites a longer one.
+		// so far so a shorter line fully overwrites a longer one. Workers
+		// stay quiet: their stderr is interleaved with the coordinator's.
 		lineLen := 0
 		status := func(format string, args ...any) {
+			if isWorker {
+				return
+			}
 			line := fmt.Sprintf("[%d/%d] %s", done, selected, r.Name) + fmt.Sprintf(format, args...)
 			if pad := lineLen - len(line); pad > 0 {
 				line += strings.Repeat(" ", pad)
@@ -126,16 +245,26 @@ func run() int {
 		}
 		status("")
 		ropt := opt
-		ropt.Progress = func(d, total int) { status(": %d/%d runs", d, total) }
+		if !isWorker {
+			ropt.Progress = func(d, total int) { status(": %d/%d runs", d, total) }
+		}
 		start := time.Now()
 		tables, err := r.Run(ropt)
 		if err != nil {
 			status(" failed after %.1fs", time.Since(start).Seconds())
 			fmt.Fprintf(os.Stderr, "\nexperiment %s: %v\n", r.Name, err)
 			code = 1
+			if isWorker {
+				// A worker can't continue past a failed grid: it would be
+				// out of step with the coordinator's grid sequence.
+				return 1
+			}
 			continue
 		}
 		status(" done in %.1fs", time.Since(start).Seconds())
+		if isWorker {
+			continue // tables are placeholders; the protocol stream is the output
+		}
 		fmt.Fprintln(os.Stderr)
 		if *jsonOut {
 			out = append(out, jsonTable{Experiment: r.Name, Tables: tables})
@@ -145,7 +274,18 @@ func run() int {
 			fmt.Println(t.Format())
 		}
 	}
-	if *jsonOut {
+	if coord != nil {
+		// The campaign is over: release workers blocked on their next
+		// lease request, then collect the spawned processes.
+		coord.Close()
+		if workerSet != nil {
+			if err := workerSet.Wait(); err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+				code = 1
+			}
+		}
+	}
+	if *jsonOut && !isWorker {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
@@ -154,4 +294,40 @@ func run() int {
 		}
 	}
 	return code
+}
+
+// workerArgv derives a spawned worker's command line from the
+// coordinator's own: same binary and experiment selection, with
+// coordinator-only and output flags stripped, running as a stdio worker
+// with an equal share of the machine's cores.
+func workerArgv(args []string, perWorker int) []string {
+	// Flags a worker must not inherit. The booleans among them never take
+	// a separate value argument; the rest do unless written as -flag=v.
+	drop := map[string]bool{
+		"workers": true, "listen": true, "ckpt": true, "resume": true,
+		"lease": true, "lease-timeout": true, "parallel": true,
+		"json": true, "worker": true, "connect": true,
+	}
+	isBool := map[string]bool{"json": true, "worker": true}
+	out := []string{args[0]}
+	for i := 1; i < len(args); i++ {
+		a := args[i]
+		if len(a) < 2 || a[0] != '-' {
+			out = append(out, a)
+			continue
+		}
+		name := strings.TrimLeft(a, "-")
+		hasValue := false
+		if eq := strings.IndexByte(name, '='); eq >= 0 {
+			name, hasValue = name[:eq], true
+		}
+		if drop[name] {
+			if !hasValue && !isBool[name] && i+1 < len(args) {
+				i++ // skip the flag's detached value
+			}
+			continue
+		}
+		out = append(out, a)
+	}
+	return append(out, "-worker", "-parallel", strconv.Itoa(perWorker))
 }

@@ -50,8 +50,16 @@ func run() int {
 		rts       = flag.Int("rts", 0, "RTS/CTS threshold in bytes for DCF/AFR (0 = off)")
 		parallel  = flag.Int("parallel", 0, "worker pool size for seed runs (0 = GOMAXPROCS)")
 		progress  = flag.Bool("progress", false, "report per-seed progress on stderr")
+		workers   = flag.Int("workers", 0, "distribute seed runs across n spawned worker processes")
 	)
 	flag.Parse()
+
+	if *workers > 0 && *traceOut != "" {
+		// The trace pass runs in the coordinator, but every spawned worker
+		// re-executes this argv and would truncate the trace file on start.
+		fmt.Fprintln(os.Stderr, "-trace and -workers are mutually exclusive")
+		return 2
+	}
 
 	sc := ripple.Scenario{
 		Duration:     ripple.Time(*durSec * float64(ripple.Second)),
@@ -239,7 +247,18 @@ func run() int {
 			}
 		}
 	}
-	results, err := ripple.RunBatch(campaign)
+	var results []*ripple.Result
+	var err error
+	if *workers > 0 || os.Getenv(ripple.WorkerEnv) != "" {
+		// Coordinator mode — or a spawned worker re-executing this argv,
+		// in which case Distribute serves leased runs and never returns.
+		results, err = campaign.Distribute(ripple.DistributeOptions{
+			Workers: *workers,
+			Logf:    func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		})
+	} else {
+		results, err = ripple.RunBatch(campaign)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1

@@ -1,0 +1,242 @@
+package ripple
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ripple/internal/campaign/pool"
+	"ripple/internal/dist"
+	"ripple/internal/network"
+	"ripple/internal/stats"
+	"ripple/internal/trace"
+)
+
+// WorkerEnv marks a process as a spawned campaign worker. Distribute
+// sets it on the workers it launches; a process that finds it set serves
+// leased runs over stdin/stdout instead of coordinating, and exits when
+// the campaign ends.
+const WorkerEnv = "RIPPLE_DIST_WORKER"
+
+// DistributeOptions controls Campaign.Distribute.
+type DistributeOptions struct {
+	// Workers is the number of local worker processes to spawn (required,
+	// ≥ 1).
+	Workers int
+	// WorkerArgs are the arguments the spawned workers run with; nil uses
+	// this process's own arguments (os.Args[1:]). The workers execute the
+	// same program, which must reach Campaign.Distribute with an
+	// identical Campaign value — see the re-exec contract on Distribute.
+	WorkerArgs []string
+	// Checkpoint, when non-empty, persists completed runs to this file so
+	// an interrupted campaign can restart without losing them. With
+	// Resume set the file must already exist and the campaign continues
+	// from it (and keeps writing it); otherwise a fresh checkpoint is
+	// started.
+	Checkpoint string
+	Resume     bool
+	// LeaseTimeout reclaims runs from a stalled worker (0 = 2 minutes).
+	LeaseTimeout time.Duration
+	// Logf reports worker churn and checkpoint restores; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// Distribute executes the campaign's runs across locally spawned worker
+// processes and returns seed-averaged results in scenario order,
+// bit-identical to RunBatch on the same campaign. Every (scenario ×
+// seed) run is an independently leased unit; workers that die or stall
+// forfeit their leases to the survivors.
+//
+// The re-exec contract: each worker is this same executable, started
+// with WorkerArgs and the WorkerEnv environment variable set. The
+// program must construct the same Campaign and call Distribute again;
+// finding WorkerEnv set, the call serves runs over stdin/stdout and then
+// terminates the process — in a worker it never returns. Scenarios that
+// set TraceJSONL run their trace pass locally in the coordinator, so
+// trace output needs no cross-process plumbing.
+func (c Campaign) Distribute(opt DistributeOptions) ([]*Result, error) {
+	if len(c.Scenarios) == 0 {
+		return nil, nil
+	}
+	cells, err := newBatchCells(c)
+	if err != nil {
+		return nil, err
+	}
+	if os.Getenv(WorkerEnv) != "" {
+		serveBatchWorker(cells)
+	}
+	if opt.Workers < 1 {
+		return nil, fmt.Errorf("ripple: Distribute: Workers = %d, need at least 1", opt.Workers)
+	}
+	var ck *dist.Checkpoint
+	if opt.Checkpoint != "" {
+		if opt.Resume {
+			if ck, err = dist.LoadCheckpoint(opt.Checkpoint); err != nil {
+				return nil, err
+			}
+		} else {
+			ck = dist.NewCheckpoint(opt.Checkpoint)
+		}
+	}
+	coord := dist.NewCoordinator(dist.Options{
+		LeaseTimeout: opt.LeaseTimeout,
+		Checkpoint:   ck,
+		Logf:         opt.Logf,
+	})
+	argv := opt.WorkerArgs
+	if argv == nil {
+		argv = os.Args[1:]
+	}
+	ws, err := dist.SpawnWorkers(coord, opt.Workers,
+		append([]string{os.Args[0]}, argv...), []string{WorkerEnv + "=1"})
+	if err != nil {
+		return nil, err
+	}
+	out, err := coord.RunGrid(dist.GridSpec{
+		Fingerprint: cells.fp,
+		NumCells:    len(cells.units),
+		RunsPerCell: 1,
+		Progress:    c.Progress,
+	})
+	coord.Close()
+	if werr := ws.Wait(); werr != nil && err == nil && opt.Logf != nil {
+		opt.Logf("ripple: %v", werr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return cells.fold(c, out)
+}
+
+// serveBatchWorker is the worker side of the re-exec contract: serve
+// leased runs on stdin/stdout, then exit the process.
+func serveBatchWorker(cells *batchCells) {
+	rw := struct {
+		io.Reader
+		io.Writer
+	}{os.Stdin, os.Stdout}
+	w, err := dist.NewWorker(rw, fmt.Sprintf("worker-%d", os.Getpid()))
+	if err == nil {
+		err = w.ServeGrid(cells)
+	}
+	if err != nil && err != dist.ErrShutdown {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// batchUnit is one leased run: a seed of a scenario.
+type batchUnit struct{ sc, seed int }
+
+// batchCells adapts a Campaign to the distributed execution layer: the
+// flat cell index enumerates (scenario, seed) pairs, a cell's payload is
+// its single run's network.Result (every field round-trips JSON
+// exactly), and both sides derive the same fingerprint from the
+// campaign's shape.
+type batchCells struct {
+	cfgs  []*network.Config
+	seeds [][]uint64
+	units []batchUnit
+	fp    string
+}
+
+func newBatchCells(c Campaign) (*batchCells, error) {
+	b := &batchCells{}
+	h := sha256.New()
+	fmt.Fprintf(h, "campaign %d\n", len(c.Scenarios))
+	for i, s := range c.Scenarios {
+		cfg, err := s.toConfig()
+		if err != nil {
+			if len(c.Scenarios) == 1 {
+				return nil, err
+			}
+			return nil, fmt.Errorf("scenario %d: %w", i, err)
+		}
+		seeds := s.Seeds
+		if len(seeds) == 0 {
+			seeds = []uint64{1}
+		}
+		b.cfgs = append(b.cfgs, cfg)
+		b.seeds = append(b.seeds, seeds)
+		for j := range seeds {
+			b.units = append(b.units, batchUnit{i, j})
+		}
+		fmt.Fprintf(h, "scenario %d stations %d scheme %d flows %d dur %d seeds %v\n",
+			i, len(cfg.Positions), cfg.Scheme, len(cfg.Flows), cfg.Duration, seeds)
+	}
+	b.fp = fmt.Sprintf("%x", h.Sum(nil)[:16])
+	return b, nil
+}
+
+// Fingerprint implements dist.CellSet.
+func (b *batchCells) Fingerprint() string { return b.fp }
+
+// NumCells implements dist.CellSet.
+func (b *batchCells) NumCells() int { return len(b.units) }
+
+// RunsPerCell implements dist.CellSet.
+func (b *batchCells) RunsPerCell() int { return 1 }
+
+// RunCell implements dist.CellSet: one seed of one scenario.
+func (b *batchCells) RunCell(i int) (any, map[string]stats.State, error) {
+	u := b.units[i]
+	cfg := *b.cfgs[u.sc]
+	cfg.Seed = b.seeds[u.sc][u.seed]
+	res, err := network.Run(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, dist.ResultStats([]*network.Result{res}), nil
+}
+
+// fold decodes the distributed payloads back into per-scenario per-seed
+// results, runs any trace passes locally, and folds exactly as RunBatch
+// does.
+func (b *batchCells) fold(c Campaign, out *dist.GridOutput) ([]*Result, error) {
+	perSeed := make([][]*network.Result, len(b.cfgs))
+	for i := range perSeed {
+		perSeed[i] = make([]*network.Result, len(b.seeds[i]))
+	}
+	for i, raw := range out.Payloads {
+		u := b.units[i]
+		if err := json.Unmarshal(raw, &perSeed[u.sc][u.seed]); err != nil {
+			return nil, fmt.Errorf("ripple: distributed run %d payload: %w", i, err)
+		}
+	}
+	// Trace passes stay local: the recorder hook writes to this process's
+	// io.Writer, exactly as RunBatch's dedicated trace leaves do.
+	recs := make([]*trace.Recorder, len(c.Scenarios))
+	p := pool.Shared()
+	if c.Parallel > 0 {
+		p = pool.New(c.Parallel)
+	}
+	err := p.Do(len(c.Scenarios), func(i int) error {
+		s := c.Scenarios[i]
+		if s.TraceJSONL == nil {
+			return nil
+		}
+		recs[i] = &trace.Recorder{W: s.TraceJSONL}
+		cfg := *b.cfgs[i]
+		cfg.Seed = b.seeds[i][0]
+		cfg.Trace = recs[i].Hook()
+		if _, err := network.Run(cfg); err != nil {
+			return fmt.Errorf("scenario %d: %w", i, err)
+		}
+		if err := recs[i].Err(); err != nil {
+			return fmt.Errorf("scenario %d: ripple: trace write: %w", i, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*Result, len(b.cfgs))
+	for i := range results {
+		results[i] = foldResult(b.cfgs[i], perSeed[i], recs[i])
+	}
+	return results, nil
+}

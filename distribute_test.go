@@ -1,0 +1,109 @@
+package ripple_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ripple"
+)
+
+// distCampaign is the campaign both the test and its re-exec'd workers
+// construct: two scenarios, two seeds each, small enough to finish fast
+// but with distinct per-flow results worth comparing.
+func distCampaign() ripple.Campaign {
+	mk := func(scheme ripple.Scheme) ripple.Scenario {
+		top, path := ripple.LineTopology(3)
+		return ripple.Scenario{
+			Topology: top,
+			Scheme:   scheme,
+			Flows:    []ripple.Flow{{ID: 1, Path: path, Traffic: ripple.FTP{}}},
+			Seeds:    []uint64{1, 2},
+			Duration: 300 * ripple.Millisecond,
+		}
+	}
+	return ripple.Campaign{Scenarios: []ripple.Scenario{
+		mk(ripple.SchemeDCF), mk(ripple.SchemeRIPPLE),
+	}}
+}
+
+// TestDistributeWorkerHelper is not a test: it is the program the
+// spawned workers run (the standard re-exec helper pattern). With
+// WorkerEnv set, Distribute serves leased runs on stdin/stdout and exits
+// the process; without it, the helper is skipped.
+func TestDistributeWorkerHelper(t *testing.T) {
+	if os.Getenv(ripple.WorkerEnv) == "" {
+		t.Skip("helper process for TestDistributeEqualsRunBatch")
+	}
+	distCampaign().Distribute(ripple.DistributeOptions{}) // never returns
+}
+
+// TestDistributeEqualsRunBatch is the public API's correctness bar:
+// distributing a campaign over two spawned worker processes returns
+// results deeply equal to RunBatch in-process.
+func TestDistributeEqualsRunBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	c := distCampaign()
+	want, err := ripple.RunBatch(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Distribute(ripple.DistributeOptions{
+		Workers:    2,
+		WorkerArgs: []string{"-test.run=TestDistributeWorkerHelper"},
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("distributed results differ from RunBatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestDistributeCheckpointRoundTrip drives the public checkpoint path:
+// a first distributed run writes the file; a resumed run restores every
+// cell from it (no worker executes anything) and returns equal results.
+func TestDistributeCheckpointRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	c := distCampaign()
+	want, err := ripple.RunBatch(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	opts := ripple.DistributeOptions{
+		Workers:    1,
+		WorkerArgs: []string{"-test.run=TestDistributeWorkerHelper"},
+		Checkpoint: path,
+	}
+	first, err := c.Distribute(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, want) {
+		t.Error("first distributed run differs from RunBatch")
+	}
+	opts.Resume = true
+	resumed, err := c.Distribute(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resumed, want) {
+		t.Error("resumed run differs from RunBatch")
+	}
+}
+
+func TestDistributeValidates(t *testing.T) {
+	if _, err := distCampaign().Distribute(ripple.DistributeOptions{}); err == nil {
+		t.Error("Workers = 0 accepted")
+	}
+	if res, err := (ripple.Campaign{}).Distribute(ripple.DistributeOptions{}); err != nil || res != nil {
+		t.Errorf("empty campaign: %v, %v", res, err)
+	}
+}

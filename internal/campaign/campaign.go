@@ -15,6 +15,7 @@
 package campaign
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"strings"
 	"sync"
@@ -134,8 +135,24 @@ func (r *Result) Cell(idx ...int) *Cell {
 	return &r.Cells[flat]
 }
 
-// Run expands the grid and executes every (cell × seed) unit on the pool.
-func (g *Grid) Run() (*Result, error) {
+// Plan is a validated, fully expanded grid: every cell's point and
+// scenario config built up front, in cell order, with no worlds
+// constructed yet. A Plan is the unit the distributed execution layer
+// (internal/dist) shards: a coordinator and its workers each expand the
+// same Grid declaration into the same Plan, identified by Fingerprint,
+// and cells are then executable independently with RunCell and
+// reassembled with Assemble.
+type Plan struct {
+	grid   *Grid
+	points []Point
+	cfgs   []network.Config
+	seeds  []uint64
+}
+
+// Plan validates the grid and expands it into its cell set. Build is
+// called once per cell, in cell order, so errors surface deterministically
+// before any simulation runs.
+func (g *Grid) Plan() (*Plan, error) {
 	for _, a := range g.Axes {
 		if len(a.Labels) == 0 {
 			return nil, fmt.Errorf("campaign %s: axis %q has no values", g.Name, a.Name)
@@ -152,27 +169,136 @@ func (g *Grid) Run() (*Result, error) {
 	if len(seeds) == 0 {
 		seeds = []uint64{1}
 	}
+	p := &Plan{grid: g, seeds: seeds, points: make([]Point, cells), cfgs: make([]network.Config, cells)}
+	for c := 0; c < cells; c++ {
+		p.points[c] = g.point(c)
+		cfg, err := g.Build(p.points[c])
+		if err != nil {
+			return nil, fmt.Errorf("campaign %s [%s]: %w", g.Name, p.points[c], err)
+		}
+		if g.Duration != 0 {
+			cfg.Duration = g.Duration
+		}
+		p.cfgs[c] = cfg
+	}
+	return p, nil
+}
+
+// NumCells returns the number of cells in the plan.
+func (p *Plan) NumCells() int { return len(p.cfgs) }
+
+// Seeds returns the seed list every cell runs under.
+func (p *Plan) Seeds() []uint64 { return p.seeds }
+
+// Point returns the grid point of one cell.
+func (p *Plan) Point(c int) Point { return p.points[c] }
+
+// Fingerprint identifies the plan across processes: a coordinator only
+// accepts cell results from workers whose plan hashes identically. The
+// hash covers the grid's name, axes, seeds, duration and every cell's
+// scenario shape (station count, scheme, flow count) — Build functions
+// cannot be hashed, so two processes running different code behind the
+// same declaration shape are not detected; same-binary spawning makes
+// that configuration unreachable in practice.
+func (p *Plan) Fingerprint() string {
+	h := sha256.New()
+	g := p.grid
+	fmt.Fprintf(h, "grid %q dur %d seeds %v\n", g.Name, int64(g.Duration), p.seeds)
+	for _, a := range g.Axes {
+		fmt.Fprintf(h, "axis %q %q\n", a.Name, a.Labels)
+	}
+	for c := range p.cfgs {
+		cfg := &p.cfgs[c]
+		fmt.Fprintf(h, "cell %d pos %d scheme %d flows %d dur %d\n",
+			c, len(cfg.Positions), int(cfg.Scheme), len(cfg.Flows), int64(cfg.Duration))
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// RunCell executes one cell: its world snapshot is built once, every seed
+// runs on the pool (nil = the shared pool) sharing it read-only, and the
+// snapshot is released before returning. Results are indexed by seed
+// position and bit-identical to the same cell of a full Run.
+func (p *Plan) RunCell(c int, pl *pool.Pool) ([]*network.Result, error) {
+	if c < 0 || c >= len(p.cfgs) {
+		return nil, fmt.Errorf("campaign %s: cell %d out of range [0,%d)", p.grid.Name, c, len(p.cfgs))
+	}
+	if pl == nil {
+		pl = pool.Shared()
+	}
+	cfg := p.cfgs[c] // copy: the world must not outlive this cell
+	if cfg.World == nil {
+		w, err := network.BuildWorld(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("campaign %s [%s]: %w", p.grid.Name, p.points[c], err)
+		}
+		cfg.World = w
+	}
+	results := make([]*network.Result, len(p.seeds))
+	err := pl.Do(len(p.seeds), func(s int) error {
+		run := cfg
+		run.Seed = p.seeds[s]
+		res, err := network.Run(run)
+		if err != nil {
+			return fmt.Errorf("campaign %s [%s] seed %d: %w", p.grid.Name, p.points[c], p.seeds[s], err)
+		}
+		results[s] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Assemble folds per-cell seed results (cell-indexed, seed order within
+// each cell) into the grid Result. The fold is the one Run performs, so a
+// Result assembled from cells executed elsewhere — other processes, other
+// machines, a resumed checkpoint — is identical to an uninterrupted
+// in-process Run.
+func (p *Plan) Assemble(perCell [][]*network.Result) (*Result, error) {
+	if len(perCell) != len(p.cfgs) {
+		return nil, fmt.Errorf("campaign %s: assembling %d cells, plan has %d", p.grid.Name, len(perCell), len(p.cfgs))
+	}
+	flat := make([]*network.Result, 0, len(p.cfgs)*len(p.seeds))
+	for c, seeds := range perCell {
+		if len(seeds) != len(p.seeds) {
+			return nil, fmt.Errorf("campaign %s: cell %d has %d seed results, plan wants %d", p.grid.Name, c, len(seeds), len(p.seeds))
+		}
+		flat = append(flat, seeds...)
+	}
+	return p.assembleFlat(flat), nil
+}
+
+// assembleFlat folds the flat (cell-major, seed-minor) result slice.
+func (p *Plan) assembleFlat(results []*network.Result) *Result {
+	out := &Result{Axes: p.grid.Axes, Cells: make([]Cell, len(p.cfgs))}
+	for c := range p.cfgs {
+		perSeed := results[c*len(p.seeds) : (c+1)*len(p.seeds)]
+		out.Cells[c] = Cell{
+			Point: p.points[c],
+			Seeds: perSeed,
+			Mean:  network.Average(perSeed),
+		}
+	}
+	return out
+}
+
+// Run expands the grid and executes every (cell × seed) unit on the pool.
+func (g *Grid) Run() (*Result, error) {
+	plan, err := g.Plan()
+	if err != nil {
+		return nil, err
+	}
+	cells := len(plan.cfgs)
+	seeds := plan.seeds
+	points, cfgs := plan.points, plan.cfgs
 
 	p := g.Pool
 	if p == nil {
 		p = pool.Shared()
 	}
 
-	// Build every cell's scenario up front, in cell order, so Build errors
-	// surface deterministically and no simulation runs on a broken grid.
-	points := make([]Point, cells)
-	cfgs := make([]network.Config, cells)
-	for c := 0; c < cells; c++ {
-		points[c] = g.point(c)
-		cfg, err := g.Build(points[c])
-		if err != nil {
-			return nil, fmt.Errorf("campaign %s [%s]: %w", g.Name, points[c], err)
-		}
-		if g.Duration != 0 {
-			cfg.Duration = g.Duration
-		}
-		cfgs[c] = cfg
-	}
 	// Each cell gets its seed-independent world snapshot (radio link plan,
 	// routing table, resolved routes) built exactly once: the cell's S
 	// seed-runs share it read-only, so the O(N²) setup cost is paid per
@@ -208,7 +334,7 @@ func (g *Grid) Run() (*Result, error) {
 	}
 	var done int
 	var progressMu sync.Mutex
-	err := p.Do(total, func(u int) error {
+	err = p.Do(total, func(u int) error {
 		cell, s := u/len(seeds), u%len(seeds)
 		cfg := cfgs[cell]
 		cfg.Seed = seeds[s]
@@ -231,17 +357,7 @@ func (g *Grid) Run() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	out := &Result{Axes: g.Axes, Cells: make([]Cell, cells)}
-	for c := 0; c < cells; c++ {
-		perSeed := results[c*len(seeds) : (c+1)*len(seeds)]
-		out.Cells[c] = Cell{
-			Point: points[c],
-			Seeds: perSeed,
-			Mean:  network.Average(perSeed),
-		}
-	}
-	return out, nil
+	return plan.assembleFlat(results), nil
 }
 
 // point converts a flat cell index into per-axis indices (last axis

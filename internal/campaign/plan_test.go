@@ -1,0 +1,100 @@
+package campaign
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ripple/internal/campaign/pool"
+	"ripple/internal/network"
+	"ripple/internal/sim"
+)
+
+// TestPlanRunCellAssembleEqualsRun is the sharding correctness bar: cells
+// executed one at a time through the Plan API — out of order, as
+// distributed workers would — and reassembled must produce exactly the
+// Result an uninterrupted Run produces: same per-seed results, same
+// means, same order. This is the in-process model of a distributed
+// campaign.
+func TestPlanRunCellAssembleEqualsRun(t *testing.T) {
+	g := lineGrid(pool.New(2), []uint64{1, 2})
+	want, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := g.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumCells() != len(want.Cells) {
+		t.Fatalf("NumCells = %d, want %d", plan.NumCells(), len(want.Cells))
+	}
+	perCell := make([][]*network.Result, plan.NumCells())
+	for _, c := range []int{3, 0, 2, 1} {
+		seeds, err := plan.RunCell(c, pool.New(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		perCell[c] = seeds
+	}
+	got, err := plan.Assemble(perCell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("assembled result differs from Run:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestPlanAssembleValidates(t *testing.T) {
+	g := lineGrid(pool.New(1), []uint64{1})
+	plan, err := g.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Assemble(make([][]*network.Result, 1)); err == nil ||
+		!strings.Contains(err.Error(), "assembling 1 cells") {
+		t.Fatalf("short cell slice: err = %v", err)
+	}
+	bad := make([][]*network.Result, plan.NumCells())
+	if _, err := plan.Assemble(bad); err == nil ||
+		!strings.Contains(err.Error(), "seed results") {
+		t.Fatalf("missing seeds: err = %v", err)
+	}
+	if _, err := plan.RunCell(plan.NumCells(), nil); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-range cell: err = %v", err)
+	}
+}
+
+// TestPlanFingerprint pins the fingerprint's role: stable across
+// re-expansions of the same declaration, different for grids that differ
+// in any sharding-relevant way (name, axes, seeds, duration).
+func TestPlanFingerprint(t *testing.T) {
+	mk := func(mutate func(*Grid)) string {
+		g := lineGrid(nil, []uint64{1, 2})
+		if mutate != nil {
+			mutate(&g)
+		}
+		p, err := g.Plan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Fingerprint()
+	}
+	base := mk(nil)
+	if again := mk(nil); again != base {
+		t.Fatalf("fingerprint unstable: %s vs %s", base, again)
+	}
+	for name, mutate := range map[string]func(*Grid){
+		"name":     func(g *Grid) { g.Name = "other" },
+		"seeds":    func(g *Grid) { g.Seeds = []uint64{1, 2, 3} },
+		"duration": func(g *Grid) { g.Duration = 400 * sim.Millisecond },
+		"axes":     func(g *Grid) { g.Axes[1] = A("hops", "2") },
+	} {
+		if mk(mutate) == base {
+			t.Errorf("fingerprint ignores %s", name)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package dist
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"ripple/internal/stats"
+)
+
+// checkpointVersion is the on-disk format version; a mismatch is a hard
+// error rather than a guess at migration.
+const checkpointVersion = 1
+
+// cellRecord is one completed cell as stored in a checkpoint: the raw
+// payload bytes exactly as the worker sent them (so a resumed campaign
+// reassembles bit-identical results) plus the per-metric Welford states.
+type cellRecord struct {
+	Payload json.RawMessage        `json:"payload"`
+	Stats   map[string]stats.State `json:"stats,omitempty"`
+}
+
+// gridCheckpoint is the persisted state of one grid, keyed by its
+// fingerprint in the enclosing document. Done is the completed-cell
+// bitmap (LSB-first within each byte, base64-encoded); Cells holds one
+// record per set bit, keyed by decimal cell index. Merged is the
+// campaign-order merge of every completed cell's metric states — a
+// summary for inspection, recomputed on every write so it never drifts
+// from the cell records.
+type gridCheckpoint struct {
+	NumCells int                    `json:"num_cells"`
+	Done     string                 `json:"done"`
+	Cells    map[string]cellRecord  `json:"cells"`
+	Merged   map[string]stats.State `json:"merged,omitempty"`
+}
+
+// checkpointDoc is the whole checkpoint file: one entry per grid the
+// campaign has started, keyed by grid fingerprint. A campaign is a
+// sequence of grids, so a resumed run skips the complete ones and
+// back-fills the partial one.
+type checkpointDoc struct {
+	Version int                        `json:"version"`
+	Grids   map[string]*gridCheckpoint `json:"grids"`
+}
+
+// Checkpoint persists campaign progress. Every save rewrites the whole
+// document to a temp file and renames it into place, so the file on disk
+// is always a complete, parseable snapshot — a coordinator killed
+// mid-save leaves the previous snapshot intact.
+type Checkpoint struct {
+	path string
+	mu   sync.Mutex
+	doc  checkpointDoc
+}
+
+// NewCheckpoint starts a fresh checkpoint at path. Nothing is written
+// until the first save.
+func NewCheckpoint(path string) *Checkpoint {
+	return &Checkpoint{path: path, doc: checkpointDoc{
+		Version: checkpointVersion,
+		Grids:   map[string]*gridCheckpoint{},
+	}}
+}
+
+// LoadCheckpoint reads an existing checkpoint for resumption. A missing,
+// unparseable or wrong-version file is a loud error: resuming from a
+// corrupt checkpoint silently would discard or duplicate work.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dist: resume: %w", err)
+	}
+	ck := &Checkpoint{path: path}
+	if err := json.Unmarshal(data, &ck.doc); err != nil {
+		return nil, fmt.Errorf("dist: resume %s: corrupt checkpoint: %w", path, err)
+	}
+	if ck.doc.Version != checkpointVersion {
+		return nil, fmt.Errorf("dist: resume %s: checkpoint version %d, want %d",
+			path, ck.doc.Version, checkpointVersion)
+	}
+	if ck.doc.Grids == nil {
+		ck.doc.Grids = map[string]*gridCheckpoint{}
+	}
+	return ck, nil
+}
+
+// Path returns the checkpoint's file path.
+func (ck *Checkpoint) Path() string { return ck.path }
+
+// restore returns the completed cells recorded for grid fp, validating
+// internal consistency: the bitmap, cell-record keys and declared cell
+// count must agree, and every index must be in range. numCells is the
+// resuming campaign's cell count for the same fingerprint; a mismatch
+// means the checkpoint came from a different campaign definition.
+func (ck *Checkpoint) restore(fp string, numCells int) (done []bool, cells []cellRecord, err error) {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	g, ok := ck.doc.Grids[fp]
+	if !ok {
+		return nil, nil, nil
+	}
+	if g.NumCells != numCells {
+		return nil, nil, fmt.Errorf("dist: resume %s: grid %s has %d cells, checkpoint recorded %d",
+			ck.path, fp, numCells, g.NumCells)
+	}
+	bitmap, err := base64.StdEncoding.DecodeString(g.Done)
+	if err != nil || len(bitmap) != (numCells+7)/8 {
+		return nil, nil, fmt.Errorf("dist: resume %s: grid %s: corrupt done bitmap", ck.path, fp)
+	}
+	done = make([]bool, numCells)
+	cells = make([]cellRecord, numCells)
+	marked := 0
+	for i := range done {
+		if bitmap[i/8]&(1<<(i%8)) != 0 {
+			done[i] = true
+			marked++
+		}
+	}
+	if marked != len(g.Cells) {
+		return nil, nil, fmt.Errorf("dist: resume %s: grid %s: bitmap marks %d cells but %d records present",
+			ck.path, fp, marked, len(g.Cells))
+	}
+	for key, rec := range g.Cells {
+		i, err := parseCellIndex(key, numCells)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dist: resume %s: grid %s: %w", ck.path, fp, err)
+		}
+		if !done[i] {
+			return nil, nil, fmt.Errorf("dist: resume %s: grid %s: cell %d recorded but not marked done",
+				ck.path, fp, i)
+		}
+		if len(rec.Payload) == 0 {
+			return nil, nil, fmt.Errorf("dist: resume %s: grid %s: cell %d has empty payload",
+				ck.path, fp, i)
+		}
+		cells[i] = rec
+	}
+	return done, cells, nil
+}
+
+func parseCellIndex(key string, numCells int) (int, error) {
+	var i int
+	if _, err := fmt.Sscanf(key, "%d", &i); err != nil || i < 0 || i >= numCells {
+		return 0, fmt.Errorf("bad cell index %q", key)
+	}
+	return i, nil
+}
+
+// save records grid fp's current progress and atomically rewrites the
+// file. The merged summary is recomputed from scratch in cell-index
+// order, so its value is deterministic regardless of the order cells
+// actually arrived in.
+func (ck *Checkpoint) save(fp string, numCells int, done []bool, cells []cellRecord) error {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	bitmap := make([]byte, (numCells+7)/8)
+	records := make(map[string]cellRecord)
+	merged := map[string]*stats.Welford{}
+	for i, ok := range done {
+		if !ok {
+			continue
+		}
+		bitmap[i/8] |= 1 << (i % 8)
+		records[fmt.Sprintf("%d", i)] = cells[i]
+		for name, st := range cells[i].Stats {
+			w, ok := merged[name]
+			if !ok {
+				w = &stats.Welford{}
+				merged[name] = w
+			}
+			w.Merge(stats.FromState(st))
+		}
+	}
+	g := &gridCheckpoint{
+		NumCells: numCells,
+		Done:     base64.StdEncoding.EncodeToString(bitmap),
+		Cells:    records,
+	}
+	if len(merged) > 0 {
+		g.Merged = map[string]stats.State{}
+		for name, w := range merged {
+			g.Merged[name] = w.State()
+		}
+	}
+	ck.doc.Grids[fp] = g
+	return ck.writeLocked()
+}
+
+// writeLocked serializes the document to a sibling temp file and renames
+// it over the checkpoint path. Caller holds ck.mu.
+func (ck *Checkpoint) writeLocked() error {
+	data, err := json.Marshal(&ck.doc)
+	if err != nil {
+		return fmt.Errorf("dist: checkpoint: %w", err)
+	}
+	dir := filepath.Dir(ck.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(ck.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("dist: checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("dist: checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("dist: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), ck.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("dist: checkpoint: %w", err)
+	}
+	return nil
+}

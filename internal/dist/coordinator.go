@@ -1,0 +1,481 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"ripple/internal/stats"
+)
+
+// Options tunes a Coordinator. The zero value works: leases are sized
+// automatically, stalled workers time out after two minutes, and no
+// checkpoint is written.
+type Options struct {
+	// LeaseCells is the number of cells handed out per lease; 0 sizes
+	// leases automatically from the grid (small enough that a lost worker
+	// forfeits little work, large enough to amortize the round-trip).
+	LeaseCells int
+	// LeaseTimeout reclaims a lease when its worker has neither finished
+	// it nor delivered a cell for this long. 0 means two minutes.
+	LeaseTimeout time.Duration
+	// Checkpoint, when set, persists completed cells so an interrupted
+	// campaign can resume. CheckpointEvery is the number of newly
+	// completed cells between saves (0 means 64); a final save always
+	// happens when a grid completes.
+	Checkpoint      *Checkpoint
+	CheckpointEvery int
+	// Logf reports worker churn (connects, losses, lease reclaims);
+	// nil discards.
+	Logf func(format string, args ...any)
+}
+
+// exitAfterEnv is a test hook: when set to a positive integer, the
+// coordinator force-saves its checkpoint and hard-exits the process
+// (exit code 42, no deferred cleanup) after recording that many cells.
+// The checkpoint/resume end-to-end tests use it to simulate preemption
+// at a deterministic point.
+const exitAfterEnv = "RIPPLE_DIST_EXIT_AFTER"
+
+// killExitCode is the exit code of the self-kill test hook above.
+const killExitCode = 42
+
+// ErrClosed reports a coordinator shut down before the grid finished.
+var ErrClosed = errors.New("dist: coordinator closed")
+
+// Coordinator shards grids across worker connections. A campaign is a
+// sequence of grids: RunGrid is called once per grid, in order, while
+// Serve runs per worker connection; workers announce which grid they
+// have reached (by fingerprint) and the coordinator leases cells of the
+// current grid, holding early arrivals until it catches up.
+type Coordinator struct {
+	opt Options
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	completed map[string]*GridOutput // finished grids, by fingerprint
+	cur       *gridRun               // grid currently executing, if any
+	closed    bool
+	failure   error // first fatal worker error, poisons the campaign
+
+	killAfter int // exitAfterEnv hook; 0 = disabled
+	recorded  int // cells recorded this process (not restored ones)
+}
+
+// gridRun is the in-flight state of one grid.
+type gridRun struct {
+	fp          string
+	numCells    int
+	runsPerCell int
+	queue       []int // cells awaiting a lease
+	leases      map[int]*lease
+	nextLease   int
+	done        []bool
+	doneCount   int
+	cells       []cellRecord // payload+stats per completed cell
+	sinceSave   int
+	progress    func(done, total int)
+}
+
+// lease is an outstanding assignment of cells to one connection.
+type lease struct {
+	id      int
+	cells   []int // not yet delivered
+	owner   *Conn
+	expires time.Time
+}
+
+// GridOutput is a completed grid: one raw payload per cell, exactly as
+// the workers sent them, plus the per-metric Welford states merged in
+// cell-index order (deterministic regardless of delivery order).
+type GridOutput struct {
+	Payloads [][]byte
+	Stats    map[string]stats.State
+}
+
+// NewCoordinator creates a coordinator ready to Serve connections and
+// RunGrid campaigns.
+func NewCoordinator(opt Options) *Coordinator {
+	if opt.LeaseTimeout <= 0 {
+		opt.LeaseTimeout = 2 * time.Minute
+	}
+	if opt.CheckpointEvery <= 0 {
+		opt.CheckpointEvery = 64
+	}
+	c := &Coordinator{opt: opt, completed: map[string]*GridOutput{}}
+	c.cond = sync.NewCond(&c.mu)
+	if v := os.Getenv(exitAfterEnv); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			c.killAfter = n
+		}
+	}
+	return c
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opt.Logf != nil {
+		c.opt.Logf(format, args...)
+	}
+}
+
+// GridSpec identifies one grid of the campaign sequence.
+type GridSpec struct {
+	Fingerprint string
+	NumCells    int
+	RunsPerCell int
+	// Progress, if set, is called after every completed cell with counts
+	// in runs (cells × runs per cell), matching campaign.Grid.Progress.
+	Progress func(done, total int)
+}
+
+// RunGrid executes one grid across the connected workers and returns its
+// output. Grids must be run sequentially, in the same order the workers
+// traverse them. Cells already recorded in the checkpoint are restored,
+// not re-executed; if every cell is restored no worker is needed at all.
+func (c *Coordinator) RunGrid(spec GridSpec) (*GridOutput, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, c.closeErrLocked()
+	}
+	if out, ok := c.completed[spec.Fingerprint]; ok {
+		// The same grid can appear twice in a campaign (e.g. an
+		// experiment run twice); its result is deterministic, so reuse it.
+		c.mu.Unlock()
+		return out, nil
+	}
+	if c.cur != nil {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("dist: RunGrid(%s) while %s still running", spec.Fingerprint, c.cur.fp)
+	}
+	gr := &gridRun{
+		fp:          spec.Fingerprint,
+		numCells:    spec.NumCells,
+		runsPerCell: spec.RunsPerCell,
+		leases:      map[int]*lease{},
+		done:        make([]bool, spec.NumCells),
+		cells:       make([]cellRecord, spec.NumCells),
+		progress:    spec.Progress,
+	}
+	if c.opt.Checkpoint != nil {
+		done, cells, err := c.opt.Checkpoint.restore(spec.Fingerprint, spec.NumCells)
+		if err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		for i, ok := range done {
+			if ok {
+				gr.done[i] = true
+				gr.cells[i] = cells[i]
+				gr.doneCount++
+			}
+		}
+		if gr.doneCount > 0 {
+			c.logf("dist: grid %s: restored %d/%d cells from checkpoint",
+				spec.Fingerprint, gr.doneCount, spec.NumCells)
+		}
+	}
+	for i := 0; i < spec.NumCells; i++ {
+		if !gr.done[i] {
+			gr.queue = append(gr.queue, i)
+		}
+	}
+	c.cur = gr
+	c.cond.Broadcast() // wake ready handlers waiting for this grid
+
+	stop := make(chan struct{})
+	go c.reclaimLoop(gr, stop)
+	for gr.doneCount < gr.numCells && !c.closed {
+		c.cond.Wait()
+	}
+	close(stop)
+	if c.closed {
+		err := c.closeErrLocked()
+		c.cur = nil
+		c.mu.Unlock()
+		return nil, err
+	}
+	out := c.finalizeLocked(gr)
+	c.cur = nil
+	c.cond.Broadcast() // wake workers ready for the next grid
+	c.mu.Unlock()
+	return out, nil
+}
+
+func (c *Coordinator) closeErrLocked() error {
+	if c.failure != nil {
+		return c.failure
+	}
+	return ErrClosed
+}
+
+// finalizeLocked assembles a completed grid's output, records it for
+// replays, and writes the final checkpoint snapshot.
+func (c *Coordinator) finalizeLocked(gr *gridRun) *GridOutput {
+	out := &GridOutput{Payloads: make([][]byte, gr.numCells)}
+	merged := map[string]*stats.Welford{}
+	for i := range gr.cells {
+		out.Payloads[i] = gr.cells[i].Payload
+		for name, st := range gr.cells[i].Stats {
+			w, ok := merged[name]
+			if !ok {
+				w = &stats.Welford{}
+				merged[name] = w
+			}
+			w.Merge(stats.FromState(st))
+		}
+	}
+	if len(merged) > 0 {
+		out.Stats = map[string]stats.State{}
+		for name, w := range merged {
+			out.Stats[name] = w.State()
+		}
+	}
+	c.completed[gr.fp] = out
+	c.saveLocked(gr)
+	return out
+}
+
+// saveLocked writes the checkpoint if one is configured. Save failures
+// are logged, not fatal: the campaign's in-memory state is intact, only
+// resumability is degraded.
+func (c *Coordinator) saveLocked(gr *gridRun) {
+	if c.opt.Checkpoint == nil {
+		return
+	}
+	if err := c.opt.Checkpoint.save(gr.fp, gr.numCells, gr.done, gr.cells); err != nil {
+		c.logf("dist: %v", err)
+	}
+	gr.sinceSave = 0
+}
+
+// reclaimLoop expires stalled leases for one grid until stop closes.
+func (c *Coordinator) reclaimLoop(gr *gridRun, stop chan struct{}) {
+	tick := c.opt.LeaseTimeout / 4
+	if tick < 20*time.Millisecond {
+		tick = 20 * time.Millisecond
+	}
+	if tick > 5*time.Second {
+		tick = 5 * time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-t.C:
+			c.mu.Lock()
+			if c.cur == gr {
+				for id, l := range gr.leases {
+					if now.After(l.expires) {
+						c.logf("dist: grid %s: lease %d timed out, requeueing %d cells",
+							gr.fp, id, len(l.cells))
+						c.requeueLocked(gr, id)
+					}
+				}
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// requeueLocked returns a lease's undelivered cells to the queue.
+func (c *Coordinator) requeueLocked(gr *gridRun, id int) {
+	l, ok := gr.leases[id]
+	if !ok {
+		return
+	}
+	delete(gr.leases, id)
+	gr.queue = append(gr.queue, l.cells...)
+	c.cond.Broadcast()
+}
+
+// Close shuts the coordinator down: pending RunGrid calls fail, waiting
+// workers are told to exit. Safe to call more than once.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// failLocked poisons the campaign with a fatal worker error.
+func (c *Coordinator) failLocked(err error) {
+	if c.failure == nil {
+		c.failure = err
+	}
+	c.closed = true
+	c.cond.Broadcast()
+}
+
+// Serve speaks the worker protocol over one connection until the peer
+// disconnects or the campaign ends. Run it in its own goroutine per
+// connection. Undelivered leases held by the connection are requeued
+// when it returns.
+func (c *Coordinator) Serve(conn *Conn) error {
+	hello, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("dist: worker handshake: %w", err)
+	}
+	if hello.Type != MsgHello || hello.Proto != ProtoVersion {
+		return fmt.Errorf("dist: worker handshake: got %s proto %d, want %s proto %d",
+			hello.Type, hello.Proto, MsgHello, ProtoVersion)
+	}
+	name := hello.Worker
+	if name == "" {
+		name = "worker"
+	}
+	c.logf("dist: %s connected", name)
+	defer c.dropConn(conn, name)
+
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed || errors.Is(err, io.EOF) {
+				// Clean disconnect: the worker finished its grid sequence
+				// (or the campaign is over). Any leases it held are
+				// requeued by the deferred dropConn.
+				return nil
+			}
+			return fmt.Errorf("dist: %s: %w", name, err)
+		}
+		switch m.Type {
+		case MsgReady:
+			reply := c.nextLease(conn, m.Grid)
+			if err := conn.Send(reply); err != nil {
+				return fmt.Errorf("dist: %s: %w", name, err)
+			}
+			if reply.Type == MsgShutdown {
+				return nil
+			}
+		case MsgCell:
+			c.record(conn, m)
+		case MsgError:
+			c.mu.Lock()
+			c.failLocked(fmt.Errorf("dist: %s: %s", name, m.Err))
+			c.mu.Unlock()
+			return fmt.Errorf("dist: %s reported: %s", name, m.Err)
+		default:
+			return fmt.Errorf("dist: %s: unexpected %q message", name, m.Type)
+		}
+	}
+}
+
+// dropConn requeues every lease owned by a vanished connection.
+func (c *Coordinator) dropConn(conn *Conn, name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gr := c.cur; gr != nil {
+		for id, l := range gr.leases {
+			if l.owner == conn {
+				c.logf("dist: %s lost, requeueing lease %d (%d cells)", name, id, len(l.cells))
+				c.requeueLocked(gr, id)
+			}
+		}
+	}
+}
+
+// nextLease blocks until the coordinator reaches grid fp and has cells
+// to lease, the grid turns out to be complete, or the campaign ends.
+func (c *Coordinator) nextLease(conn *Conn, fp string) *Message {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		// Completed-grid check first: a worker lagging one ready behind
+		// the coordinator's Close still deserves grid_done for a grid that
+		// finished, so it can complete its sequence and exit cleanly.
+		if _, ok := c.completed[fp]; ok {
+			return &Message{Type: MsgGridDone, Grid: fp}
+		}
+		if c.closed {
+			return &Message{Type: MsgShutdown}
+		}
+		if gr := c.cur; gr != nil && gr.fp == fp && len(gr.queue) > 0 {
+			n := c.opt.LeaseCells
+			if n <= 0 {
+				// Small enough to forfeit cheaply on worker loss, large
+				// enough to amortize a round-trip on big grids.
+				n = gr.numCells / 32
+				if n < 1 {
+					n = 1
+				}
+				if n > 16 {
+					n = 16
+				}
+			}
+			if n > len(gr.queue) {
+				n = len(gr.queue)
+			}
+			l := &lease{
+				id:      gr.nextLease,
+				cells:   append([]int(nil), gr.queue[:n]...),
+				owner:   conn,
+				expires: time.Now().Add(c.opt.LeaseTimeout),
+			}
+			gr.nextLease++
+			gr.queue = gr.queue[n:]
+			gr.leases[l.id] = l
+			return &Message{Type: MsgLease, Grid: fp, Lease: l.id,
+				Cells: append([]int(nil), l.cells...)}
+		}
+		// Either the coordinator hasn't reached this grid yet, or all
+		// remaining cells are leased out (we may still inherit them if a
+		// lease expires). Wait for the state to change.
+		c.cond.Wait()
+	}
+}
+
+// record stores one completed cell and advances checkpoint/progress
+// bookkeeping. Duplicate deliveries (a reassigned lease racing its
+// original owner) are ignored; results are deterministic, so either copy
+// is the right one.
+func (c *Coordinator) record(conn *Conn, m *Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	gr := c.cur
+	if gr == nil || gr.fp != m.Grid || m.Cell < 0 || m.Cell >= gr.numCells {
+		return // stale delivery from a previous grid or reassigned lease
+	}
+	if l, ok := gr.leases[m.Lease]; ok && l.owner == conn {
+		l.expires = time.Now().Add(c.opt.LeaseTimeout) // the worker is alive
+		for i, cell := range l.cells {
+			if cell == m.Cell {
+				l.cells = append(l.cells[:i], l.cells[i+1:]...)
+				break
+			}
+		}
+		if len(l.cells) == 0 {
+			delete(gr.leases, m.Lease)
+		}
+	}
+	if gr.done[m.Cell] {
+		return
+	}
+	gr.done[m.Cell] = true
+	gr.cells[m.Cell] = cellRecord{Payload: m.Payload, Stats: m.Stats}
+	gr.doneCount++
+	gr.sinceSave++
+	if gr.progress != nil {
+		gr.progress(gr.doneCount*gr.runsPerCell, gr.numCells*gr.runsPerCell)
+	}
+	if gr.sinceSave >= c.opt.CheckpointEvery && gr.doneCount < gr.numCells {
+		c.saveLocked(gr)
+	}
+	c.recorded++
+	if c.killAfter > 0 && c.recorded >= c.killAfter {
+		c.saveLocked(gr)
+		fmt.Fprintf(os.Stderr, "dist: %s=%d reached, exiting\n", exitAfterEnv, c.killAfter)
+		os.Exit(killExitCode)
+	}
+	if gr.doneCount == gr.numCells {
+		c.cond.Broadcast()
+	}
+}

@@ -1,0 +1,141 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+)
+
+// pipeConn joins a child process's stdout (our read side) and stdin (our
+// write side) into the ordered byte stream Conn wants.
+type pipeConn struct {
+	io.Reader
+	io.WriteCloser
+}
+
+// WorkerSet is a group of locally spawned worker processes, each served
+// by its own goroutine on the parent's coordinator.
+type WorkerSet struct {
+	procs []*exec.Cmd
+	wg    sync.WaitGroup
+
+	mu    sync.Mutex
+	first error // first serve/exit failure
+}
+
+// SpawnWorkers launches n copies of argv as local workers, wiring each
+// child's stdin/stdout to a coordinator Serve loop (which is why worker
+// mode must keep stdout strictly for the protocol) and passing stderr
+// through. extraEnv entries are appended to the inherited environment.
+func SpawnWorkers(c *Coordinator, n int, argv []string, extraEnv []string) (*WorkerSet, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dist: SpawnWorkers(%d)", n)
+	}
+	if len(argv) == 0 {
+		return nil, fmt.Errorf("dist: SpawnWorkers: empty argv")
+	}
+	s := &WorkerSet{}
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(argv[0], argv[1:]...)
+		cmd.Env = append(os.Environ(), extraEnv...)
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			s.Kill()
+			return nil, err
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			s.Kill()
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			s.Kill()
+			return nil, fmt.Errorf("dist: spawn worker %d: %w", i, err)
+		}
+		s.procs = append(s.procs, cmd)
+		s.wg.Add(1)
+		go func(i int, cmd *exec.Cmd, stdin io.WriteCloser, stdout io.Reader) {
+			defer s.wg.Done()
+			err := c.Serve(NewConn(pipeConn{stdout, stdin}))
+			stdin.Close()
+			if werr := cmd.Wait(); err == nil && werr != nil {
+				err = fmt.Errorf("dist: worker %d: %w", i, werr)
+			}
+			if err != nil {
+				s.mu.Lock()
+				if s.first == nil {
+					s.first = err
+				}
+				s.mu.Unlock()
+			}
+		}(i, cmd, stdin, stdout)
+	}
+	return s, nil
+}
+
+// Wait blocks until every worker process has exited and returns the
+// first serve or exit failure, if any. Call after the campaign's last
+// grid (typically after Coordinator.Close, which releases workers
+// blocked on a ready request).
+func (s *WorkerSet) Wait() error {
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.first
+}
+
+// Kill force-terminates any still-running workers. Used on abnormal
+// coordinator exit; the normal path is Close + Wait.
+func (s *WorkerSet) Kill() {
+	for _, cmd := range s.procs {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+	}
+}
+
+// Listen accepts TCP workers on addr (e.g. ":9111") until the listener
+// is closed, serving each connection on its own goroutine. It returns
+// the bound address (useful with ":0") and a stop function that closes
+// the listener; in-flight connections finish via coordinator shutdown.
+func Listen(c *Coordinator, addr string) (net.Addr, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dist: listen %s: %w", addr, err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go func() {
+				defer conn.Close()
+				if err := c.Serve(NewConn(conn)); err != nil {
+					c.logf("dist: %v", err)
+				}
+			}()
+		}
+	}()
+	return ln.Addr(), func() { ln.Close() }, nil
+}
+
+// Dial connects to a coordinator at addr and performs the worker
+// handshake. The caller then calls ServeGrid per grid, in campaign
+// order, and Close when done.
+func Dial(addr, name string) (*Worker, io.Closer, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dist: connect %s: %w", addr, err)
+	}
+	w, err := NewWorker(conn, name)
+	if err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	return w, conn, nil
+}

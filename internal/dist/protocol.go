@@ -1,0 +1,132 @@
+// Package dist distributes campaign execution across processes. A
+// coordinator shards a campaign grid's flat cell index into leases and
+// hands them to workers — the same binary, run with a worker flag — which
+// execute their cells and stream back the per-seed results plus merged
+// Welford metric states. The coordinator reassembles the exact result a
+// single-process campaign.Grid.Run would have produced, reassigns leases
+// when a worker dies or stalls, and periodically checkpoints completed
+// cells so a long campaign survives preemption and resumes where it
+// stopped.
+//
+// Transport is any ordered byte stream: a TCP socket for remote workers,
+// or the child's stdin/stdout pipes for locally spawned ones. Messages
+// are length-delimited JSON records (see Conn), so a connection severed
+// mid-record is detected as truncation rather than silently parsed.
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ripple/internal/stats"
+)
+
+// ProtoVersion is bumped whenever the message schema changes
+// incompatibly; coordinator and worker refuse to pair across versions.
+const ProtoVersion = 1
+
+// Message types. The worker opens with hello, then loops: ready → (lease
+// | grid_done | shutdown), and streams one cell message per completed
+// cell while holding a lease.
+const (
+	MsgHello    = "hello"     // worker → coordinator, once per connection
+	MsgReady    = "ready"     // worker → coordinator: give me cells for Grid
+	MsgLease    = "lease"     // coordinator → worker: run Cells
+	MsgCell     = "cell"      // worker → coordinator: one completed cell
+	MsgGridDone = "grid_done" // coordinator → worker: grid complete, advance
+	MsgShutdown = "shutdown"  // coordinator → worker: campaign over, exit
+	MsgError    = "error"     // worker → coordinator: cell execution failed
+)
+
+// Message is the single wire record; Type selects which fields are
+// meaningful.
+type Message struct {
+	Type   string `json:"type"`
+	Proto  int    `json:"proto,omitempty"`  // hello
+	Worker string `json:"worker,omitempty"` // hello: worker name for logs
+	Grid   string `json:"grid,omitempty"`   // ready/lease/cell: grid fingerprint
+	Lease  int    `json:"lease,omitempty"`  // lease/cell: lease id
+	Cells  []int  `json:"cells,omitempty"`  // lease: flat cell indices to run
+	Cell   int    `json:"cell,omitempty"`   // cell: flat cell index
+	// Payload carries the cell's per-seed results, exactly as the worker
+	// marshalled them; the coordinator stores and forwards the raw bytes.
+	Payload json.RawMessage `json:"payload,omitempty"`
+	// Stats carries the cell's per-metric Welford states for checkpoint
+	// summaries and cross-worker merging.
+	Stats map[string]stats.State `json:"stats,omitempty"`
+	Err   string                 `json:"err,omitempty"` // error
+}
+
+// maxFrame bounds a single record; a frame length beyond this is treated
+// as a corrupt stream, not an allocation request.
+const maxFrame = 1 << 30
+
+// Conn frames Messages over an ordered byte stream as length-delimited
+// JSONL: an ASCII decimal byte count, '\n', the JSON record, '\n'. The
+// explicit length makes truncation — a worker killed mid-write —
+// detectable as an io error instead of a parse of half a record. Send is
+// safe for concurrent use; Recv is not (each side has one reader).
+type Conn struct {
+	wmu sync.Mutex
+	r   *bufio.Reader
+	w   *bufio.Writer
+}
+
+// NewConn wraps an ordered byte stream in the framing codec.
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{r: bufio.NewReader(rw), w: bufio.NewWriter(rw)}
+}
+
+// Send marshals and writes one record, flushing the stream.
+func (c *Conn) Send(m *Message) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("dist: marshal %s: %w", m.Type, err)
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := fmt.Fprintf(c.w, "%d\n", len(b)); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(b); err != nil {
+		return err
+	}
+	if err := c.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Recv reads one record. A stream ending cleanly on a frame boundary
+// returns bare io.EOF (a worker that finished and exited); one ending
+// mid-frame returns a truncation error (a worker that died writing).
+func (c *Conn) Recv() (*Message, error) {
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		if err == io.EOF && line == "" {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("dist: truncated frame header: %w", err)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(line))
+	if err != nil || n < 0 || n > maxFrame {
+		return nil, fmt.Errorf("dist: bad frame length %q", strings.TrimSpace(line))
+	}
+	buf := make([]byte, n+1)
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return nil, fmt.Errorf("dist: truncated frame (%d bytes expected): %w", n, err)
+	}
+	if buf[n] != '\n' {
+		return nil, fmt.Errorf("dist: frame missing terminator")
+	}
+	m := new(Message)
+	if err := json.Unmarshal(buf[:n], m); err != nil {
+		return nil, fmt.Errorf("dist: bad frame: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,101 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"ripple/internal/stats"
+)
+
+// ErrShutdown reports that the coordinator ended the campaign while this
+// worker was asking for more cells — normal when the coordinator's grid
+// sequence is over, an error if the worker still had grids to serve.
+var ErrShutdown = errors.New("dist: coordinator shut down")
+
+// CellSet is the worker-side view of one grid: a deterministic, shardable
+// batch of cells. campaign.Plan satisfies it through GridCells; the
+// public API wraps batch scenarios the same way.
+type CellSet interface {
+	// Fingerprint identifies the grid across processes; coordinator and
+	// worker must compute identical fingerprints from identical
+	// definitions.
+	Fingerprint() string
+	// NumCells is the flat cell count.
+	NumCells() int
+	// RunsPerCell is how many runs one cell represents (for progress).
+	RunsPerCell() int
+	// RunCell executes one cell, returning its payload (marshalled and
+	// shipped verbatim to the coordinator) and per-metric Welford states.
+	RunCell(c int) (payload any, st map[string]stats.State, err error)
+}
+
+// Worker executes leased cells over one coordinator connection. A worker
+// process creates one Worker and calls ServeGrid once per grid, in the
+// same order the coordinator runs them.
+type Worker struct {
+	conn *Conn
+	name string
+}
+
+// NewWorker performs the hello handshake over rw and returns the worker.
+func NewWorker(rw io.ReadWriter, name string) (*Worker, error) {
+	w := &Worker{conn: NewConn(rw), name: name}
+	err := w.conn.Send(&Message{Type: MsgHello, Proto: ProtoVersion, Worker: name})
+	if err != nil {
+		return nil, fmt.Errorf("dist: hello: %w", err)
+	}
+	return w, nil
+}
+
+// ServeGrid works the coordinator's queue for one grid: request a lease,
+// run its cells, stream the results, repeat until the coordinator says
+// the grid is done. Returns ErrShutdown if the campaign ended instead.
+func (w *Worker) ServeGrid(src CellSet) error {
+	fp := src.Fingerprint()
+	for {
+		if err := w.conn.Send(&Message{Type: MsgReady, Grid: fp}); err != nil {
+			return err
+		}
+		m, err := w.conn.Recv()
+		if err != nil {
+			return fmt.Errorf("dist: waiting for lease: %w", err)
+		}
+		switch m.Type {
+		case MsgGridDone:
+			return nil
+		case MsgShutdown:
+			return ErrShutdown
+		case MsgLease:
+			for _, cell := range m.Cells {
+				if err := w.runCell(src, fp, m.Lease, cell); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("dist: unexpected %q message awaiting lease", m.Type)
+		}
+	}
+}
+
+// runCell executes one cell and streams the result. Execution errors are
+// reported to the coordinator (poisoning the campaign — cell failures
+// are deterministic config errors, not transient faults) before being
+// returned.
+func (w *Worker) runCell(src CellSet, fp string, leaseID, cell int) error {
+	payload, st, err := src.RunCell(cell)
+	if err != nil {
+		w.conn.Send(&Message{Type: MsgError, Grid: fp, Err: err.Error()})
+		return err
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		w.conn.Send(&Message{Type: MsgError, Grid: fp, Err: err.Error()})
+		return fmt.Errorf("dist: marshal cell %d: %w", cell, err)
+	}
+	return w.conn.Send(&Message{
+		Type: MsgCell, Grid: fp, Lease: leaseID, Cell: cell,
+		Payload: raw, Stats: st,
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"ripple/internal/campaign"
 	"ripple/internal/campaign/pool"
 	"ripple/internal/network"
 	"ripple/internal/sim"
@@ -30,6 +31,15 @@ type Options struct {
 	// the byte-identical regression baseline; nil keeps each scenario's
 	// profile default).
 	PruneSigma *float64
+	// RunGrid, when non-nil, replaces in-process grid execution: every
+	// driver routes its campaign grid through this hook instead of calling
+	// Grid.Run. The distributed layer supplies both sides: a coordinator
+	// hook farms the grid out to workers and returns the assembled result;
+	// a worker hook executes leased cells, streams them back and returns
+	// (nil, nil) — the driver then emits a zero-valued table of the right
+	// shape without touching any metric (worker output is discarded; the
+	// protocol stream is the real product).
+	RunGrid func(g *campaign.Grid) (*campaign.Result, error)
 }
 
 // Defaults returns the paper's settings: 10-second runs over three seeds.

@@ -60,12 +60,27 @@ func (tg tableGrid) run(opt Options) (*Table, error) {
 			return cfg, err
 		},
 	}
-	res, err := g.Run()
+	var res *campaign.Result
+	var err error
+	if opt.RunGrid != nil {
+		res, err = opt.RunGrid(&g)
+	} else {
+		res, err = g.Run()
+	}
 	if err != nil {
 		return nil, err
 	}
 	multiSeed := len(opt.Seeds) > 1
 	tab := &Table{ID: tg.ID, Title: tg.Title, Unit: tg.Unit, Columns: tg.Cols}
+	if res == nil {
+		// Worker side of a distributed run: the cells were executed and
+		// streamed elsewhere; emit a placeholder of the right shape without
+		// evaluating any metric (there are no local results to read).
+		for r := range tg.Rows {
+			tab.Rows = append(tab.Rows, Row{Label: tg.Rows[r], Cells: make([]float64, len(tg.Cols))})
+		}
+		return tab, nil
+	}
 	for r := range tg.Rows {
 		row := Row{Label: tg.Rows[r]}
 		for c := range tg.Cols {

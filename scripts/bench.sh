@@ -4,10 +4,14 @@
 # The benchmarks cover the perf-critical layers: the raw event core
 # (EngineThroughput), a dense-topology figure (Fig3), the event-heavy
 # hidden-terminal figure (Fig6b), the full campaign engine
-# (CampaignSuitePooled), and sparse city-scale world construction
+# (CampaignSuitePooled), sparse city-scale world construction
 # (WorldBuildCity; its dense O(N²) twin WorldBuildCityDense costs ~25 s per
 # iteration and is not part of the routine set — run it by hand for a
-# before/after pair, as BENCH_3.json records).
+# before/after pair, as BENCH_3.json records), and the distributed
+# campaign path (CampaignSingleProcess vs CampaignDistributed, the same
+# 48-run campaign through RunBatch and through 4 spawned workers; on a
+# multi-core machine the second approaches min(4, cores)× the first,
+# on one core it measures the spawn + framing overhead).
 #
 # Usage:
 #   scripts/bench.sh [-short] [-count N] [-label LABEL] [-out FILE] [-enforce]
@@ -50,7 +54,7 @@ if [ -z "$OUT" ]; then
   OUT="BENCH_$n.json"
 fi
 
-PAT='^(BenchmarkEngineThroughput|BenchmarkFig3|BenchmarkFig6b|BenchmarkCampaignSuitePooled|BenchmarkWorldBuildCity)$'
+PAT='^(BenchmarkEngineThroughput|BenchmarkFig3|BenchmarkFig6b|BenchmarkCampaignSuitePooled|BenchmarkWorldBuildCity|BenchmarkCampaignSingleProcess|BenchmarkCampaignDistributed)$'
 
 echo "bench: pattern=$PAT count=$COUNT label=$LABEL out=$OUT ${SHORT:+(short)}" >&2
 # Buffer through a temp file rather than a pipe: POSIX sh has no pipefail,

@@ -50,7 +50,7 @@ type File struct {
 func main() {
 	label := flag.String("label", "bench", "label for this run (e.g. before, after, ci)")
 	out := flag.String("out", "", "JSON file to create or append the run to (default stdout)")
-	thresholds := flag.String("thresholds", "", "threshold file: lines of '<bench> <field> <max> [short-only]'; exceeding any fails")
+	thresholds := flag.String("thresholds", "", "threshold file: lines of '<bench> <field> <limit> [short-only]' (limit '>=N' is a floor); violating any fails")
 	short := flag.Bool("short", false, "the benchmarks ran on the -short budget (enables short-only thresholds)")
 	delta := flag.String("delta", "", "print a markdown first→last run delta table for the given BENCH JSON and exit (no stdin read)")
 	flag.Parse()
@@ -218,12 +218,14 @@ func printDelta(path string) error {
 	return nil
 }
 
-// enforce reads threshold lines "<bench> <field> <max> [short-only]"
+// enforce reads threshold lines "<bench> <field> <limit> [short-only]"
 // (field one of ns_op, b_op, allocs_op, or a custom metric name) and fails
-// if the run exceeds any of them. Missing benchmarks fail too: a
-// silently-skipped benchmark must not pass the gate. Lines marked
-// short-only gate only -short runs — used for macro-benchmarks whose
-// per-op costs scale with the simulated duration.
+// if the run exceeds any of them. A limit of ">=N" is a floor instead:
+// the run fails if the value drops below N — used for throughput metrics
+// like runs/sec where regression means getting smaller. Missing
+// benchmarks fail too: a silently-skipped benchmark must not pass the
+// gate. Lines marked short-only gate only -short runs — used for
+// macro-benchmarks whose per-op costs scale with the simulated duration.
 func enforce(path string, run Run, short bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -243,11 +245,16 @@ func enforce(path string, run Run, short bool) error {
 			fields = fields[:3]
 		}
 		if len(fields) != 3 {
-			return fmt.Errorf("benchjson: %s: bad threshold line %q (want '<bench> <field> <max> [short-only]')", path, line)
+			return fmt.Errorf("benchjson: %s: bad threshold line %q (want '<bench> <field> <limit> [short-only]')", path, line)
 		}
-		maxV, err := strconv.ParseFloat(fields[2], 64)
+		limit := fields[2]
+		floor := strings.HasPrefix(limit, ">=")
+		if floor {
+			limit = limit[2:]
+		}
+		maxV, err := strconv.ParseFloat(limit, 64)
 		if err != nil {
-			return fmt.Errorf("benchjson: %s: bad max in %q: %w", path, line, err)
+			return fmt.Errorf("benchjson: %s: bad limit in %q: %w", path, line, err)
 		}
 		b, ok := run.Benchmarks[fields[0]]
 		if !ok {
@@ -272,7 +279,11 @@ func enforce(path string, run Run, short bool) error {
 			}
 			got = v
 		}
-		if got > maxV {
+		if floor {
+			if got < maxV {
+				failed = append(failed, fmt.Sprintf("%s %s = %g below floor %g", fields[0], fields[1], got, maxV))
+			}
+		} else if got > maxV {
 			failed = append(failed, fmt.Sprintf("%s %s = %g exceeds threshold %g", fields[0], fields[1], got, maxV))
 		}
 	}
