@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"ripple/internal/campaign/pool"
 	"ripple/internal/experiments"
@@ -390,6 +391,90 @@ func BenchmarkWorldBuildCity(b *testing.B) {
 // with pruning off, paying the full N² link plan and ETX matrix.
 func BenchmarkWorldBuildCityDense(b *testing.B) {
 	benchWorldBuild(b, cityBuildConfig(0))
+}
+
+// BenchmarkEpochRebuildCity measures what an epoch boundary costs relative
+// to building the 5 000-station city snapshot from scratch. Each iteration
+// times the static build, then the same build with Markov mobility (high
+// stay probability — the sparse-patch sweet spot) deriving 9 epoch worlds
+// incrementally; per-epoch cost is the difference divided by the epoch
+// count. The speedup_x metric (scratch ÷ per-epoch) is the incremental
+// path's reason to exist and gates at ≥5× in scripts/bench_thresholds.txt.
+func BenchmarkEpochRebuildCity(b *testing.B) {
+	static := cityBuildConfig(topology.CityPruneSigma)
+	static.Duration = 5 * sim.Second
+	mobile := static
+	mobile.Mobility = network.MobilitySpec{Kind: network.MobilityMarkov, Stay: 0.998}
+	epochs := int((mobile.Duration - 1) / network.DefaultMobilityEpoch)
+	// Untimed warmup: the first build of the session pays page faults and
+	// heap growth that would otherwise swamp a -benchtime 1x ratio.
+	if _, err := network.BuildWorld(mobile); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	// The epoch cost is the difference of two large timings, so each
+	// iteration takes the minimum of three alternating pairs — the standard
+	// noise-robust estimator for a duration (scheduler noise only ever adds
+	// time).
+	tStatic, tMobile := time.Duration(1<<62), time.Duration(1<<62)
+	for i := 0; i < b.N; i++ {
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			if _, err := network.BuildWorld(static); err != nil {
+				b.Fatal(err)
+			}
+			if d := time.Since(start); d < tStatic {
+				tStatic = d
+			}
+			start = time.Now()
+			w, err := network.BuildWorld(mobile)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if d := time.Since(start); d < tMobile {
+				tMobile = d
+			}
+			if w.Epochs() != epochs {
+				b.Fatalf("got %d epochs, want %d", w.Epochs(), epochs)
+			}
+		}
+	}
+	perEpoch := (tMobile - tStatic).Seconds() / float64(epochs)
+	scratch := tStatic.Seconds()
+	if perEpoch <= 0 {
+		// Timer noise swallowed the epoch cost entirely; report the cap
+		// rather than a nonsensical negative ratio.
+		perEpoch = scratch / 1000
+	}
+	b.ReportMetric(scratch/perEpoch, "speedup_x")
+	b.ReportMetric(perEpoch*1e9, "epoch_ns")
+}
+
+// BenchmarkEpochWorldMobile1k builds a mobile 1 000-station city world —
+// base snapshot plus all epoch derivations. Its B/op gate in
+// scripts/bench_thresholds.txt is the alloc-counting guard that epoch
+// rebuilds stay on the sparse constructors: one dense N×N fallback per
+// epoch would blow through it immediately.
+func BenchmarkEpochWorldMobile1k(b *testing.B) {
+	top, _ := topology.CityN(1000, 3)
+	cfg := network.Config{
+		Positions: top.Positions,
+		Radio:     topology.CityRadio(),
+		Scheme:    network.Ripple,
+		Flows: []network.FlowSpec{{
+			ID:   1,
+			Path: routing.Path{0, 5},
+			Kind: network.CBRTraffic,
+		}},
+		Routing:  network.RoutingSpec{Kind: network.RouteETX},
+		Mobility: network.MobilitySpec{Kind: network.MobilityMarkov, Stay: 0.95},
+		Duration: 5 * sim.Second,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := network.BuildWorld(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkEngineThroughput is a micro-benchmark of the simulation core:

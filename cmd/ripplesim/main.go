@@ -42,7 +42,12 @@ func run() int {
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON")
 		traceOut  = flag.String("trace", "", "write per-frame JSONL trace to this file")
 		multiRate = flag.Bool("multirate", false, "enable the multi-rate PHY extension")
-		routing   = flag.String("routing", "static", "route policy: static|etx|congestion")
+		routing   = flag.String("routing", "static", "route policy: static|etx|congestion|geo")
+		mobility  = flag.String("mobility", "static", "mobility model: static|waypoint|markov")
+		maxSpeed  = flag.Float64("maxspeed", 0, "waypoint maximum speed in m/s (0 = default 15)")
+		stay      = flag.Float64("stay", 0, "markov per-epoch stay probability (0 = default 0.9)")
+		mobEpoch  = flag.Float64("mobepoch", 0, "mobility epoch length in ms (0 = default 500)")
+		mobSeed   = flag.Uint64("mobseed", 0, "trajectory seed (0 = default 1; independent of run seeds)")
 		alpha     = flag.Float64("alpha", 0, "congestion backlog weight in ETX per queued packet (0 = default 0.25)")
 		epochMs   = flag.Float64("epoch", 0, "dynamic-policy recompute interval in ms (0 = default 500)")
 		kRelays   = flag.Int("k", 0, "force routes to k intermediate relays (0 = unsized)")
@@ -76,6 +81,8 @@ func run() int {
 	case "congestion", "orcd":
 		pol = "congestion"
 		sc.Routing = ripple.CongestionRouting()
+	case "geo":
+		sc.Routing = ripple.GeoRouting()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown routing policy %q\n", *routing)
 		return 2
@@ -114,6 +121,48 @@ func run() int {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown sizing priority %q\n", *priority)
 		return 2
+	}
+	mob := strings.ToLower(*mobility)
+	switch mob {
+	case "static", "":
+		mob = "static"
+	case "waypoint":
+		sc.Mobility = ripple.WaypointMobility()
+	case "markov":
+		sc.Mobility = ripple.MarkovMobility()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mobility model %q\n", *mobility)
+		return 2
+	}
+	// Same inert-knob discipline as the routing options: a knob that the
+	// selected model would ignore is an error, not a silent no-op.
+	if *maxSpeed > 0 {
+		if mob != "waypoint" {
+			fmt.Fprintf(os.Stderr, "-maxspeed only applies to -mobility waypoint (got %s)\n", mob)
+			return 2
+		}
+		sc.Mobility = sc.Mobility.WithSpeed(0, *maxSpeed)
+	}
+	if *stay > 0 {
+		if mob != "markov" {
+			fmt.Fprintf(os.Stderr, "-stay only applies to -mobility markov (got %s)\n", mob)
+			return 2
+		}
+		sc.Mobility = sc.Mobility.WithStay(*stay)
+	}
+	if *mobEpoch > 0 {
+		if mob == "static" {
+			fmt.Fprintf(os.Stderr, "-mobepoch needs a mobility model (-mobility waypoint|markov)\n")
+			return 2
+		}
+		sc.Mobility = sc.Mobility.WithEpoch(ripple.Time(*mobEpoch * float64(ripple.Millisecond)))
+	}
+	if *mobSeed > 0 {
+		if mob == "static" {
+			fmt.Fprintf(os.Stderr, "-mobseed needs a mobility model (-mobility waypoint|markov)\n")
+			return 2
+		}
+		sc.Mobility = sc.Mobility.WithSeed(*mobSeed)
 	}
 	for s := 1; s <= *seeds; s++ {
 		sc.Seeds = append(sc.Seeds, uint64(s))
@@ -281,6 +330,9 @@ func run() int {
 	header := fmt.Sprintf("scheme=%s topo=%s radio=%s", sc.Scheme, *topo, sc.Radio)
 	if rs := sc.Routing.String(); rs != "static" {
 		header += " routing=" + rs
+	}
+	if ms := sc.Mobility.String(); ms != "static" {
+		header += " mobility=" + ms
 	}
 	fmt.Printf("%s dur=%.0fs seeds=%d\n", header, *durSec, *seeds)
 	for _, f := range res.Flows {

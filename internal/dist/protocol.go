@@ -16,6 +16,7 @@ package dist
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -117,15 +118,20 @@ func (c *Conn) Recv() (*Message, error) {
 	if err != nil || n < 0 || n > maxFrame {
 		return nil, fmt.Errorf("dist: bad frame length %q", strings.TrimSpace(line))
 	}
-	buf := make([]byte, n+1)
-	if _, err := io.ReadFull(c.r, buf); err != nil {
+	// Grow the buffer as bytes actually arrive rather than trusting the
+	// header: a corrupt length must fail as truncation, not allocate a
+	// frame-sized slab up front.
+	var buf bytes.Buffer
+	buf.Grow(min(n+1, 64<<10))
+	if _, err := io.CopyN(&buf, c.r, int64(n)+1); err != nil {
 		return nil, fmt.Errorf("dist: truncated frame (%d bytes expected): %w", n, err)
 	}
-	if buf[n] != '\n' {
+	b := buf.Bytes()
+	if b[n] != '\n' {
 		return nil, fmt.Errorf("dist: frame missing terminator")
 	}
 	m := new(Message)
-	if err := json.Unmarshal(buf[:n], m); err != nil {
+	if err := json.Unmarshal(b[:n], m); err != nil {
 		return nil, fmt.Errorf("dist: bad frame: %w", err)
 	}
 	return m, nil

@@ -274,5 +274,6 @@ func Ablations() []Runner {
 		{"ablation-rts", func(o Options) ([]*Table, error) { t, err := AblationRTS(o); return wrap(t, err) }},
 		{"ablation-etx", func(o Options) ([]*Table, error) { t, err := AblationETXRoutes(o); return wrap(t, err) }},
 		{"ablation-routepolicy", func(o Options) ([]*Table, error) { t, err := AblationRoutePolicy(o); return wrap(t, err) }},
+		{"ablation-mobility", func(o Options) ([]*Table, error) { t, err := AblationMobility(o); return wrap(t, err) }},
 	}
 }

@@ -1,0 +1,225 @@
+package network
+
+import (
+	"fmt"
+
+	"ripple/internal/mobility"
+	"ripple/internal/pkt"
+	"ripple/internal/radio"
+	"ripple/internal/routing"
+	"ripple/internal/sim"
+)
+
+// MobilityKind selects a station mobility model for time-varying worlds.
+type MobilityKind int
+
+const (
+	// MobilityStatic keeps every station at its declared position for the
+	// whole run — the pre-mobility behaviour, and the default.
+	MobilityStatic MobilityKind = iota
+	// MobilityWaypoint is the classic random waypoint model: straight legs
+	// to uniform targets at uniform speeds, with optional pauses.
+	MobilityWaypoint
+	// MobilityMarkov is place-transition mobility: stations hop between a
+	// fixed set of gathering places under a symmetric Markov chain.
+	MobilityMarkov
+)
+
+// String names the kind for sweep labels and flags.
+func (k MobilityKind) String() string {
+	switch k {
+	case MobilityStatic:
+		return "static"
+	case MobilityWaypoint:
+		return "waypoint"
+	case MobilityMarkov:
+		return "markov"
+	default:
+		return fmt.Sprintf("MobilityKind(%d)", int(k))
+	}
+}
+
+// DefaultMobilityEpoch is the default epoch length of a time-varying
+// world. It matches DefaultRouteEpoch so that, under dynamic routing, a
+// topology change and the re-route that reacts to it land on the same
+// boundary (the swap is scheduled first).
+const DefaultMobilityEpoch = 500 * sim.Millisecond
+
+// MobilitySpec configures station motion. The zero value is
+// MobilityStatic: no motion, no epoch worlds, bit-identical behaviour to
+// a config without the field.
+type MobilitySpec struct {
+	Kind MobilityKind
+	// Epoch is the interval between world snapshots (0 selects
+	// DefaultMobilityEpoch). Positions change only at epoch boundaries:
+	// within an epoch the world is as immutable as a static one.
+	Epoch sim.Time
+	// Seed drives the trajectories. It is deliberately separate from
+	// Config.Seed — worlds must stay seed-independent so one World serves
+	// every seed-run of a campaign cell — and 0 selects 1.
+	Seed uint64
+	// MinSpeed and MaxSpeed bound waypoint leg speeds in m/s (both 0
+	// selects 5–15 m/s, vehicular-pedestrian mix).
+	MinSpeed, MaxSpeed float64
+	// Pause is the waypoint post-arrival rest time.
+	Pause sim.Time
+	// Places is the Markov model's number of gathering places (0 derives
+	// one from the population size).
+	Places int
+	// Stay is the Markov per-epoch stay probability (0 selects 0.9).
+	Stay float64
+}
+
+// active reports whether the spec produces motion at all.
+func (s MobilitySpec) active() bool { return s.Kind != MobilityStatic }
+
+// epochLen resolves the epoch length.
+func (s MobilitySpec) epochLen() sim.Time {
+	if s.Epoch > 0 {
+		return s.Epoch
+	}
+	return DefaultMobilityEpoch
+}
+
+// seed resolves the trajectory seed.
+func (s MobilitySpec) seed() uint64 {
+	if s.Seed != 0 {
+		return s.Seed
+	}
+	return 1
+}
+
+// model builds the trajectory stepper over the initial positions.
+func (s MobilitySpec) model(initial []radio.Pos) (mobility.Model, error) {
+	switch s.Kind {
+	case MobilityWaypoint:
+		minS, maxS := s.MinSpeed, s.MaxSpeed
+		if maxS <= 0 {
+			maxS = 15
+		}
+		if minS <= 0 {
+			minS = 5
+		}
+		if minS > maxS {
+			minS = maxS
+		}
+		return mobility.NewWaypoint(initial, mobility.WaypointConfig{
+			MinSpeed: minS,
+			MaxSpeed: maxS,
+			Pause:    s.Pause,
+			Epoch:    s.epochLen(),
+		}, s.seed()), nil
+	case MobilityMarkov:
+		return mobility.NewMarkov(initial, mobility.MarkovConfig{
+			Places: s.Places,
+			Stay:   s.Stay,
+		}, s.seed()), nil
+	default:
+		return nil, fmt.Errorf("network: unknown mobility kind %d", int(s.Kind))
+	}
+}
+
+// buildEpochs extends a freshly built initial World with its epoch
+// sequence: one derived World per epoch boundary strictly inside
+// (0, Duration). Each epoch world is derived incrementally from its
+// predecessor — the link plan by radio's row-patching Rebuild, the sparse
+// link table by routing.RebuildSparseTableSym — so on a city-scale world
+// with most stations parked, the per-epoch cost is proportional to the
+// motion, not the population. Like everything else in the World, the
+// sequence is a pure function of the Config's non-seed fields (the
+// trajectory seed lives in MobilitySpec, never Config.Seed).
+func (w *World) buildEpochs(cfg *Config) error {
+	model, err := cfg.Mobility.model(cfg.Positions)
+	if err != nil {
+		return err
+	}
+	w.epochLen = cfg.Mobility.epochLen()
+	n := int((cfg.Duration - 1) / w.epochLen)
+	if n <= 0 {
+		return nil
+	}
+	pos := append([]radio.Pos(nil), cfg.Positions...)
+	prev := w
+	w.epochs = make([]*World, 0, n)
+	for e := 0; e < n; e++ {
+		model.Step(pos)
+		ew := deriveEpoch(cfg, prev, pos)
+		w.epochs = append(w.epochs, ew)
+		prev = ew
+	}
+	return nil
+}
+
+// deriveEpoch builds the World of one epoch from its predecessor and the
+// epoch's station positions. Unlike the initial build, a flow whose route
+// cannot be resolved this epoch (motion disconnected its endpoints) is not
+// an error: it keeps the previous epoch's route, exactly as a failed
+// in-run dynamic recompute keeps the current one — a transient partition
+// must not kill the run.
+func deriveEpoch(cfg *Config, prev *World, positions []radio.Pos) *World {
+	plan := prev.plan.Rebuild(positions)
+	if plan == prev.plan {
+		// Nobody moved this epoch: the predecessor *is* this epoch's world,
+		// and both are immutable, so share it outright.
+		return prev
+	}
+	ew := &World{plan: plan, flows: prev.flows}
+	var policy routing.Policy
+	if cfg.Routing.active() {
+		ew.table = rebuildLinkTable(cfg, prev, plan)
+		if cfg.Routing.needsPolicy() {
+			if pol, err := cfg.Routing.build(ew.table, plan.Positions()); err == nil {
+				policy = pol
+			}
+		}
+	}
+	ew.routes = make([]routing.Path, len(cfg.Flows))
+	for i, f := range cfg.Flows {
+		switch {
+		case policy != nil:
+			p, err := policy.Route(f.Path.Src(), f.Path.Dst(), nil)
+			if err != nil {
+				p = prev.routes[i]
+			}
+			ew.routes[i] = p
+		case ew.table != nil:
+			ew.routes[i] = routing.Resize(ew.table, f.Path, cfg.Routing.K, cfg.Routing.Rule)
+		default:
+			ew.routes[i] = f.Path
+		}
+	}
+	return ew
+}
+
+// rebuildLinkTable derives an epoch's link table from its predecessor's.
+// When both the plan and the previous table are sparse, the table is
+// patched row-by-row (unmoved pairs copy their stored values); otherwise
+// it falls back to the from-scratch constructor, which itself picks the
+// sparse layout whenever the plan is pruned — an epoch rebuild never
+// widens a sparse world to a dense N² table.
+func rebuildLinkTable(cfg *Config, prev *World, plan *radio.LinkPlan) *routing.Table {
+	if prev.table == nil || !plan.Pruned() || !prev.table.Sparse() {
+		return newLinkTable(cfg, plan)
+	}
+	prevPos, newPos := prev.plan.Positions(), plan.Positions()
+	moved := make([]bool, plan.Stations())
+	unchanged := make([]bool, plan.Stations())
+	for i := range moved {
+		moved[i] = newPos[i] != prevPos[i]
+		unchanged[i] = !moved[i] && plan.RowEqual(prev.plan, i)
+	}
+	return routing.RebuildSparseTableSym(prev.table, moved, unchanged,
+		func(a pkt.NodeID, yield func(int32, float64)) {
+			plan.EachAscNeighbor(int(a), yield)
+		},
+		func(d float64) float64 { return 1 - cfg.Radio.LossProb(d) },
+		0.1)
+}
+
+// Epochs returns the number of epoch worlds beyond the initial snapshot
+// (0 for a static world).
+func (w *World) Epochs() int { return len(w.epochs) }
+
+// EpochLen returns the epoch length of a time-varying world (0 for a
+// static one).
+func (w *World) EpochLen() sim.Time { return w.epochLen }

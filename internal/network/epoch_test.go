@@ -1,0 +1,342 @@
+package network
+
+import (
+	"reflect"
+	"testing"
+
+	"ripple/internal/campaign/pool"
+	"ripple/internal/radio"
+	"ripple/internal/sim"
+	"ripple/internal/topology"
+)
+
+// mobileTestConfig is worldTestConfig with motion: short epochs so a
+// 400 ms run crosses several boundaries.
+func mobileTestConfig(kind MobilityKind) Config {
+	cfg := worldTestConfig()
+	cfg.Mobility = MobilitySpec{Kind: kind, Epoch: 50 * sim.Millisecond, MaxSpeed: 30}
+	return cfg
+}
+
+// TestMobilityOffBitIdentical pins the compatibility half of the epoch
+// machinery: a zero MobilitySpec builds no epoch worlds, schedules no swap
+// events, and every mobility knob is inert while Kind is MobilityStatic —
+// results are bit-identical to a config that never heard of the field.
+func TestMobilityOffBitIdentical(t *testing.T) {
+	cfg := worldTestConfig()
+	w, err := BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Epochs() != 0 || w.EpochLen() != 0 {
+		t.Fatalf("static world grew epochs: %d epochs, epochLen %v", w.Epochs(), w.EpochLen())
+	}
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Knobs without a model must change nothing, down to the event count.
+	knobs := cfg
+	knobs.Mobility = MobilitySpec{Epoch: 123 * sim.Millisecond, Seed: 99, MaxSpeed: 50, Places: 7}
+	got, err := Run(knobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, got) {
+		t.Fatalf("MobilityStatic with set knobs diverged:\n%+v\nvs\n%+v", base, got)
+	}
+
+	// Turning a model on must visibly change the run (epoch swaps are
+	// engine events), or the off-path assertion above proves nothing.
+	mobile, err := Run(mobileTestConfig(MobilityWaypoint))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mobile.Events <= base.Events {
+		t.Fatalf("mobile run processed %d events, static %d — swaps not scheduled?",
+			mobile.Events, base.Events)
+	}
+}
+
+// TestEpochWorldsPureAndSeedIndependent: the epoch sequence is a pure
+// function of the Config's non-seed fields — rebuilt bit-identically, and
+// untouched by Config.Seed (trajectories draw from MobilitySpec.Seed).
+func TestEpochWorldsPureAndSeedIndependent(t *testing.T) {
+	for _, kind := range []MobilityKind{MobilityWaypoint, MobilityMarkov} {
+		cfg := mobileTestConfig(kind)
+		a, err := BuildWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := BuildWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Seed = 12345
+		c, err := BuildWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: two builds of one config differ", kind)
+		}
+		if !reflect.DeepEqual(a, c) {
+			t.Fatalf("%s: epoch worlds depend on Config.Seed", kind)
+		}
+		if a.Epochs() == 0 {
+			t.Fatalf("%s: mobile config built no epoch worlds", kind)
+		}
+		// Distinct trajectory seeds must actually move differently.
+		cfg.Mobility.Seed = 7
+		d, err := BuildWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.DeepEqual(a.epochs, d.epochs) {
+			t.Fatalf("%s: trajectory seed change left every epoch identical", kind)
+		}
+	}
+}
+
+// TestEpochIncrementalMatchesScratch is the world-level equivalence bar:
+// every epoch world the incremental path derives (plan row-patching, sparse
+// table patching, route carry-over) must equal a from-scratch build over
+// that epoch's positions, bit for bit.
+func TestEpochIncrementalMatchesScratch(t *testing.T) {
+	for _, kind := range []MobilityKind{MobilityWaypoint, MobilityMarkov} {
+		cfg := mobileTestConfig(kind)
+		cfg.Normalize()
+		w, err := BuildWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model, err := cfg.Mobility.model(cfg.Positions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := append([]radio.Pos(nil), cfg.Positions...)
+		prevRoutes := w.routes
+		for e, ew := range w.epochs {
+			model.Step(pos)
+			plan := radio.NewLinkPlan(cfg.Radio, pos)
+			if !reflect.DeepEqual(ew.plan, plan) {
+				t.Fatalf("%s epoch %d: incremental plan differs from scratch build", kind, e)
+			}
+			table := newLinkTable(&cfg, plan)
+			if !reflect.DeepEqual(ew.table, table) {
+				t.Fatalf("%s epoch %d: incremental table differs from scratch build", kind, e)
+			}
+			pol, err := cfg.Routing.build(table, plan.Positions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, f := range cfg.Flows {
+				want, err := pol.Route(f.Path.Src(), f.Path.Dst(), nil)
+				if err != nil {
+					want = prevRoutes[i]
+				}
+				if !reflect.DeepEqual(ew.routes[i], want) {
+					t.Fatalf("%s epoch %d flow %d: route %v, want %v", kind, e, f.ID, ew.routes[i], want)
+				}
+			}
+			prevRoutes = ew.routes
+		}
+	}
+}
+
+// TestEpochWorldDeterministicAcrossPools: a mobile scenario's seed-runs are
+// bit-identical whether each run builds its own epoch worlds or all share
+// one prebuilt sequence, and at any pool width.
+func TestEpochWorldDeterministicAcrossPools(t *testing.T) {
+	for _, kind := range []MobilityKind{MobilityWaypoint, MobilityMarkov} {
+		cfg := mobileTestConfig(kind)
+		seeds := []uint64{1, 2, 3, 4}
+
+		perRun := make([]*Result, len(seeds))
+		for i, s := range seeds {
+			c := cfg
+			c.Seed = s
+			r, err := Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			perRun[i] = r
+		}
+
+		w, err := BuildWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared := cfg
+		shared.World = w
+		narrow, _, err := RunSeedsOn(pool.New(1), shared, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wide, _, err := RunSeedsOn(pool.New(8), shared, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seeds {
+			if !reflect.DeepEqual(perRun[i], narrow[i]) {
+				t.Fatalf("%s seed %d: shared epoch worlds diverge from per-run build", kind, seeds[i])
+			}
+			if !reflect.DeepEqual(narrow[i], wide[i]) {
+				t.Fatalf("%s seed %d: result depends on pool width", kind, seeds[i])
+			}
+		}
+	}
+}
+
+// TestSharedEpochWorldRace hammers one epoch-world sequence from many
+// concurrent runs; under -race a single write to any shared epoch's plan,
+// table or routes fails the test (the mobile analogue of
+// TestSharedWorldRace).
+func TestSharedEpochWorldRace(t *testing.T) {
+	cfg := mobileTestConfig(MobilityMarkov)
+	cfg.Duration = 300 * sim.Millisecond
+	w, err := BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Epochs() == 0 {
+		t.Fatal("race test needs epoch worlds")
+	}
+	cfg.World = w
+	seeds := make([]uint64, 16)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	if _, _, err := RunSeedsOn(pool.New(8), cfg, seeds); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEpochTablesStaySparseCity guards the epoch rebuild against the dense
+// fallback: on a pruned city-scale world every epoch's link table must keep
+// the sparse layout (a dense slip at N=1000 is an 8 MB-per-epoch
+// regression; the alloc gate on BenchmarkEpochRebuildCity enforces the
+// byte budget, this pins the layout).
+func TestEpochTablesStaySparseCity(t *testing.T) {
+	top, _ := topology.CityN(1000, 3)
+	cfg := Config{
+		Positions: top.Positions,
+		Radio:     topology.CityRadio(),
+		Scheme:    Ripple,
+		Flows: []FlowSpec{
+			{ID: 1, Path: endpointPath(0, 999), Kind: FTP},
+		},
+		Routing:  RoutingSpec{Kind: RouteETX},
+		Duration: 1200 * sim.Millisecond,
+		Mobility: MobilitySpec{Kind: MobilityMarkov},
+	}
+	w, err := BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.plan.Pruned() || !w.table.Sparse() {
+		t.Fatal("city base world is not sparse — case set up wrong")
+	}
+	if w.Epochs() == 0 {
+		t.Fatal("mobile city built no epoch worlds")
+	}
+	for e, ew := range w.epochs {
+		if !ew.plan.Pruned() {
+			t.Fatalf("epoch %d: rebuilt plan lost pruning", e)
+		}
+		if !ew.table.Sparse() {
+			t.Fatalf("epoch %d: rebuilt table fell back to the dense layout", e)
+		}
+	}
+}
+
+// TestRouteGeoResolvesThroughWorld wires the geographic policy through
+// BuildWorld: on a line the greedy route must exist, be valid, and end at
+// the declared destination.
+func TestRouteGeoResolvesThroughWorld(t *testing.T) {
+	cfg := worldTestConfig()
+	cfg.Routing = RoutingSpec{Kind: RouteGeo}
+	w, err := BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.routes[0]
+	if err := p.Validate(); err != nil {
+		t.Fatalf("geo route %v invalid: %v", p, err)
+	}
+	if p.Src() != cfg.Flows[0].Path.Src() || p.Dst() != cfg.Flows[0].Path.Dst() {
+		t.Fatalf("geo route %v has wrong endpoints", p)
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("geo-routed run failed: %v", err)
+	}
+	// And under mobility, with fresh geometry per epoch.
+	mob := mobileTestConfig(MobilityWaypoint)
+	mob.Routing = RoutingSpec{Kind: RouteGeo}
+	if _, err := Run(mob); err != nil {
+		t.Fatalf("mobile geo-routed run failed: %v", err)
+	}
+}
+
+// TestWorldCheckRejectsMobilityMismatch: a World must not be reusable
+// across configs that disagree on motion.
+func TestWorldCheckRejectsMobilityMismatch(t *testing.T) {
+	static := worldTestConfig()
+	mobile := mobileTestConfig(MobilityMarkov)
+
+	ws, err := BuildWorld(static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, err := BuildWorld(mobile)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := mobile
+	c.World = ws
+	if _, err := Run(c); err == nil {
+		t.Fatal("Run accepted a static World for a mobile config")
+	}
+	c = static
+	c.World = wm
+	if _, err := Run(c); err == nil {
+		t.Fatal("Run accepted a mobile World for a static config")
+	}
+	c = mobile
+	c.World = wm
+	c.Duration = 2 * c.Duration
+	if _, err := Run(c); err == nil {
+		t.Fatal("Run accepted epoch worlds built for a different duration")
+	}
+	c = mobile
+	c.World = wm
+	c.Mobility.Epoch = 75 * sim.Millisecond
+	if _, err := Run(c); err == nil {
+		t.Fatal("Run accepted epoch worlds built with a different epoch length")
+	}
+}
+
+// TestUnknownMobilityKindErrors: validation catches a bogus kind before
+// any model is constructed.
+func TestUnknownMobilityKindErrors(t *testing.T) {
+	cfg := worldTestConfig()
+	cfg.Mobility.Kind = MobilityKind(42)
+	if _, err := BuildWorld(cfg); err == nil {
+		t.Fatal("BuildWorld accepted an unknown mobility kind")
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Run accepted an unknown mobility kind")
+	}
+	if got := MobilityKind(42).String(); got != "MobilityKind(42)" {
+		t.Fatalf("String() = %q", got)
+	}
+	var names []string
+	for _, k := range []MobilityKind{MobilityStatic, MobilityWaypoint, MobilityMarkov} {
+		names = append(names, k.String())
+	}
+	if !reflect.DeepEqual(names, []string{"static", "waypoint", "markov"}) {
+		t.Fatalf("kind names = %v", names)
+	}
+}

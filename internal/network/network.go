@@ -110,6 +110,9 @@ type Config struct {
 	// Routing selects the route policy (see RoutingSpec). The zero value
 	// keeps declared flow paths untouched.
 	Routing RoutingSpec
+	// Mobility makes the world time-varying (see MobilitySpec). The zero
+	// value keeps every station parked at its declared position.
+	Mobility MobilitySpec
 	// MultiRate enables the paper's §V future-work extension: per-link PHY
 	// rate selection.
 	MultiRate MultiRateSpec
@@ -149,6 +152,10 @@ const (
 	// (Bhorkar et al.): link ETX plus Alpha per queued packet at the relay,
 	// recomputed every Epoch from live queue depths.
 	RouteCongestion
+	// RouteGeo is greedy geographic-progress forwarding (Li et al.) with
+	// minimum-ETX void recovery; station positions come from the link plan,
+	// so under mobility each epoch world rebuilds it over fresh geometry.
+	RouteGeo
 )
 
 // String names the kind for sweep labels.
@@ -160,6 +167,8 @@ func (k RoutePolicyKind) String() string {
 		return "etx"
 	case RouteCongestion:
 		return "congestion"
+	case RouteGeo:
+		return "geo"
 	default:
 		return fmt.Sprintf("RoutePolicyKind(%d)", int(k))
 	}
@@ -205,8 +214,16 @@ func (s RoutingSpec) active() bool {
 	return s.Kind != RouteStatic || s.Policy != nil || s.K > 0
 }
 
-// build resolves the spec into a routing.Policy over the run's link table.
-func (s RoutingSpec) build(t *routing.Table) (routing.Policy, error) {
+// needsPolicy reports whether the spec resolves to a routing.Policy
+// (RouteStatic with K sizes declared paths in place, without one).
+func (s RoutingSpec) needsPolicy() bool {
+	return s.Kind != RouteStatic || s.Policy != nil
+}
+
+// build resolves the spec into a routing.Policy over the run's link table
+// and station positions (the positions feed geographic forwarding; other
+// kinds ignore them).
+func (s RoutingSpec) build(t *routing.Table, pos []radio.Pos) (routing.Policy, error) {
 	pol := s.Policy
 	if pol == nil {
 		switch s.Kind {
@@ -219,6 +236,8 @@ func (s RoutingSpec) build(t *routing.Table) (routing.Policy, error) {
 			pol = routing.NewETXPolicy(t)
 		case RouteCongestion:
 			pol = routing.NewCongestionPolicy(t, s.Alpha)
+		case RouteGeo:
+			pol = routing.NewGeoPolicy(t, pos)
 		default:
 			return nil, fmt.Errorf("network: unknown route policy kind %d", int(s.Kind))
 		}
@@ -340,8 +359,8 @@ func Run(cfg Config) (*Result, error) {
 	// read-only link table.
 	routes := forward.NewRouteBook(cfg.MaxForwarders)
 	var policy routing.Policy
-	if cfg.Routing.active() && (cfg.Routing.Kind != RouteStatic || cfg.Routing.Policy != nil) {
-		pol, err := cfg.Routing.build(world.table)
+	if cfg.Routing.active() && cfg.Routing.needsPolicy() {
+		pol, err := cfg.Routing.build(world.table, world.plan.Positions())
 		if err != nil {
 			return nil, err
 		}
@@ -396,6 +415,39 @@ func Run(cfg Config) (*Result, error) {
 		}
 		schemes[i] = newScheme(cfg, env)
 		medium.Attach(id, schemes[i])
+	}
+
+	if len(world.epochs) > 0 {
+		// Epoch-world swaps: at each boundary the medium adopts the epoch's
+		// link plan (in-flight receptions keep their precomputed attributes;
+		// later transmissions see the new geometry), the policy is rebuilt
+		// over the epoch's table and positions, and flow routes take the
+		// epoch's precomputed resolution. Everything runs inside the engine's
+		// single-threaded event loop, so results are bit-identical at any
+		// pool parallelism. This block precedes the dynamic re-route tick on
+		// purpose: events at equal timestamps fire in scheduling order, so at
+		// a shared boundary the re-route already sees the new world.
+		next := 0
+		var swap func()
+		swap = func() {
+			ew := world.epochs[next]
+			medium.SetPlan(ew.plan)
+			if policy != nil {
+				if pol, err := cfg.Routing.build(ew.table, ew.plan.Positions()); err == nil {
+					policy = pol
+				}
+			}
+			if cfg.Routing.active() {
+				for i, f := range cfg.Flows {
+					routes.Update(f.ID, ew.routes[i])
+				}
+			}
+			next++
+			if next < len(world.epochs) {
+				eng.After(world.epochLen, swap)
+			}
+		}
+		eng.After(world.epochLen, swap)
 	}
 
 	if policy != nil && policy.Dynamic() {
@@ -544,6 +596,11 @@ func validate(cfg *Config) error {
 	}
 	if len(cfg.Flows) == 0 {
 		return fmt.Errorf("network: no flows")
+	}
+	switch cfg.Mobility.Kind {
+	case MobilityStatic, MobilityWaypoint, MobilityMarkov:
+	default:
+		return fmt.Errorf("network: unknown mobility kind %d", int(cfg.Mobility.Kind))
 	}
 	seen := make(map[int]bool, len(cfg.Flows))
 	for _, f := range cfg.Flows {

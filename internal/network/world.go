@@ -6,6 +6,7 @@ import (
 	"ripple/internal/pkt"
 	"ripple/internal/radio"
 	"ripple/internal/routing"
+	"ripple/internal/sim"
 )
 
 // World is the immutable, seed-independent snapshot of a scenario: the
@@ -40,6 +41,15 @@ type World struct {
 	// K-sized) path; for policy specs it is the policy's unloaded route.
 	routes []routing.Path
 	flows  int
+	// Time-varying worlds (Config.Mobility active): epochLen is the epoch
+	// length and epochs[e] the world in effect from (e+1)·epochLen on, each
+	// derived incrementally from its predecessor (see buildEpochs). Epoch
+	// worlds are as immutable and seed-independent as the initial one —
+	// trajectories draw from MobilitySpec.Seed, never Config.Seed — so the
+	// whole sequence is shared across pool workers like any other World.
+	// A static world has epochLen 0 and no epochs.
+	epochLen sim.Time
+	epochs   []*World
 }
 
 // BuildWorld precomputes the seed-independent part of a scenario. The
@@ -57,8 +67,8 @@ func BuildWorld(cfg Config) (*World, error) {
 	var policy routing.Policy
 	if cfg.Routing.active() {
 		w.table = newLinkTable(&cfg, w.plan)
-		if cfg.Routing.Kind != RouteStatic || cfg.Routing.Policy != nil {
-			pol, err := cfg.Routing.build(w.table)
+		if cfg.Routing.needsPolicy() {
+			pol, err := cfg.Routing.build(w.table, w.plan.Positions())
 			if err != nil {
 				return nil, err
 			}
@@ -80,6 +90,11 @@ func BuildWorld(cfg Config) (*World, error) {
 			w.routes[i] = f.Path
 		}
 	}
+	if cfg.Mobility.active() {
+		if err := w.buildEpochs(&cfg); err != nil {
+			return nil, err
+		}
+	}
 	return w, nil
 }
 
@@ -98,6 +113,20 @@ func (w *World) check(cfg *Config) error {
 	}
 	if w.table == nil && cfg.Routing.active() {
 		return fmt.Errorf("network: World built without a link table, config routing is active")
+	}
+	if (w.epochLen > 0) != cfg.Mobility.active() {
+		return fmt.Errorf("network: World mobility (epochLen %v) does not match config mobility (%s)",
+			w.epochLen, cfg.Mobility.Kind)
+	}
+	if w.epochLen > 0 {
+		if w.epochLen != cfg.Mobility.epochLen() {
+			return fmt.Errorf("network: World built with epoch %v, config wants %v",
+				w.epochLen, cfg.Mobility.epochLen())
+		}
+		if want := int((cfg.Duration - 1) / w.epochLen); want != len(w.epochs) {
+			return fmt.Errorf("network: World holds %d epoch worlds, config duration %v needs %d",
+				len(w.epochs), cfg.Duration, want)
+		}
 	}
 	return nil
 }

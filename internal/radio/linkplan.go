@@ -152,61 +152,93 @@ func (pl *LinkPlan) buildPruned() {
 
 	// Pass 2: compute the exact link attributes per candidate, keep those
 	// clearing the cutoff, and append each row sorted by (power desc, ID).
-	var (
-		ids  []int32
-		dbm  []float64
-		dist []float64
-		perm []int32
-	)
+	var s rowScratch
 	for i := 0; i < n; i++ {
-		ids, dbm, dist = ids[:0], dbm[:0], dist[:0]
-		grid.eachCandidate(i, pl.positions, rsq, func(j int32) {
-			d := Dist(pl.positions[i], pl.positions[j])
-			p := pl.cfg.MeanRxPowerDBm(d)
-			if p < pl.pruneCutoff {
-				return
+		pl.appendScratchRow(i, grid, rsq, &s)
+	}
+}
+
+// rowScratch holds the per-row working slices of a pruned build, hoisted
+// out of the row loops so candidate collection and sorting reuse one set
+// of allocations across all rows.
+type rowScratch struct {
+	ids  []int32
+	dbm  []float64
+	dist []float64
+	perm []int32
+	// oldSlot and newSlot are the epoch patch's slot remaps (see
+	// appendPatchedRow): the new row-relative slot of each surviving old
+	// entry and of each dirty addition.
+	oldSlot []int32
+	newSlot []int32
+}
+
+// collect resets the scratch and gathers station i's kept links from the
+// grid's candidates, applying the exact power predicate.
+func (s *rowScratch) collect(pl *LinkPlan, i int, grid *posGrid, rsq float64) {
+	s.ids, s.dbm, s.dist = s.ids[:0], s.dbm[:0], s.dist[:0]
+	grid.eachCandidate(i, pl.positions, rsq, func(j int32) {
+		d := Dist(pl.positions[i], pl.positions[j])
+		p := pl.cfg.MeanRxPowerDBm(d)
+		if p < pl.pruneCutoff {
+			return
+		}
+		s.ids = append(s.ids, j)
+		s.dbm = append(s.dbm, p)
+		s.dist = append(s.dist, d)
+	})
+}
+
+// sort orders the scratch entries by (power desc, ID asc) — the pruned
+// row order — leaving the permutation in s.perm.
+func (s *rowScratch) sort() {
+	s.perm = s.perm[:0]
+	for k := range s.ids {
+		s.perm = append(s.perm, int32(k))
+	}
+	// slices.SortFunc, not sort.Slice: the reflection-based swapper is
+	// the build's hottest path at city scale. Both orders are strict
+	// (the ID tiebreak is unique within a row), so the instability of
+	// either algorithm never shows.
+	slices.SortFunc(s.perm, func(ka, kb int32) int {
+		if s.dbm[ka] != s.dbm[kb] {
+			if s.dbm[ka] > s.dbm[kb] {
+				return -1
 			}
-			ids = append(ids, j)
-			dbm = append(dbm, p)
-			dist = append(dist, d)
-		})
-		perm = perm[:0]
-		for k := range ids {
-			perm = append(perm, int32(k))
+			return 1
 		}
-		// slices.SortFunc, not sort.Slice: the reflection-based swapper is
-		// the build's hottest path at city scale. Both orders are strict
-		// (the ID tiebreak is unique within a row), so the instability of
-		// either algorithm never shows.
-		slices.SortFunc(perm, func(ka, kb int32) int {
-			if dbm[ka] != dbm[kb] {
-				if dbm[ka] > dbm[kb] {
-					return -1
-				}
-				return 1
-			}
-			return int(ids[ka] - ids[kb])
-		})
-		for _, k := range perm {
-			pl.nbrID = append(pl.nbrID, ids[k])
-			pl.nbrDBm = append(pl.nbrDBm, dbm[k])
-			pl.nbrDist = append(pl.nbrDist, dist[k])
-			pl.nbrPD = append(pl.nbrPD, propDelay(dist[k]))
-		}
-		// Row lookup index: neighbor IDs ascending with their slot in the
-		// power-sorted row.
-		rowStart := int(pl.off[i])
-		rowLen := len(pl.nbrID) - rowStart
-		for k := 0; k < rowLen; k++ {
-			pl.lookSlot = append(pl.lookSlot, int32(k))
-		}
-		look := pl.lookSlot[rowStart:]
-		rowIDs := pl.nbrID[rowStart:]
-		slices.SortFunc(look, func(a, b int32) int { return int(rowIDs[a] - rowIDs[b]) })
-		for _, s := range look {
-			pl.lookID = append(pl.lookID, rowIDs[s])
-		}
-		pl.off[i+1] = int64(len(pl.nbrID))
+		return int(s.ids[ka] - s.ids[kb])
+	})
+}
+
+// appendScratchRow computes station i's row from scratch via the grid and
+// appends it power-sorted, with its lookup index and off entry.
+func (pl *LinkPlan) appendScratchRow(i int, grid *posGrid, rsq float64, s *rowScratch) {
+	s.collect(pl, i, grid, rsq)
+	s.sort()
+	for _, k := range s.perm {
+		pl.nbrID = append(pl.nbrID, s.ids[k])
+		pl.nbrDBm = append(pl.nbrDBm, s.dbm[k])
+		pl.nbrDist = append(pl.nbrDist, s.dist[k])
+		pl.nbrPD = append(pl.nbrPD, propDelay(s.dist[k]))
+	}
+	pl.appendRowLookup(int(pl.off[i]))
+	pl.off[i+1] = int64(len(pl.nbrID))
+}
+
+// appendRowLookup builds the per-row lookup index — neighbor IDs ascending
+// with their slot in the power-sorted row — for the row starting at
+// rowStart, which must be the last row appended to the primary arrays.
+func (pl *LinkPlan) appendRowLookup(rowStart int) {
+	rowLen := len(pl.nbrID) - rowStart
+	for k := 0; k < rowLen; k++ {
+		pl.lookSlot = append(pl.lookSlot, int32(k))
+	}
+	look := pl.lookSlot[rowStart:]
+	rowIDs := pl.nbrID[rowStart:]
+	slices.SortFunc(look, func(a, b int32) int { return int(rowIDs[a] - rowIDs[b]) })
+	for _, s := range look {
+		pl.lookID = append(pl.lookID, rowIDs[s])
 	}
 }
 

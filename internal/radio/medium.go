@@ -252,6 +252,24 @@ func (m *Medium) Neighbors(id pkt.NodeID) []pkt.NodeID {
 // Plan returns the link plan the medium runs on.
 func (m *Medium) Plan() *LinkPlan { return m.plan }
 
+// SetPlan swaps the link plan the medium runs on — the epoch boundary of
+// a time-varying world. The new plan must cover the same station count
+// and radio configuration (LinkPlan.Rebuild guarantees both). Receptions
+// already in flight finish with the powers and delays computed when they
+// were transmitted — a swap mid-frame models positions changing after
+// the wavefront left the antenna — while every later transmission reads
+// the new plan. Call it only from inside the engine's event loop; like
+// every other Medium method it is not synchronised.
+func (m *Medium) SetPlan(plan *LinkPlan) {
+	if plan.n != m.n {
+		panic("radio: SetPlan with a different station count")
+	}
+	m.plan = plan
+	for i, s := range m.stations {
+		s.pos = plan.positions[i]
+	}
+}
+
 // Config returns the radio configuration the medium was built with.
 func (m *Medium) Config() Config { return m.cfg }
 

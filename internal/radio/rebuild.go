@@ -1,0 +1,264 @@
+package radio
+
+import (
+	"slices"
+
+	"ripple/internal/sim"
+)
+
+// Rebuild returns the LinkPlan for the same radio Config over new station
+// positions, reusing this plan's rows wherever it can. It is the epoch
+// step of a time-varying world: mobility models leave most stations with
+// bit-identical coordinates each epoch, so most CSR rows survive
+// unchanged and only rows touching a moved station are recomputed.
+//
+// The result is exactly NewLinkPlan(cfg, positions) — same kept pairs,
+// same attributes, same row order, bit for bit (the rebuild equivalence
+// test diffs every array to keep it that way). The receiving plan is not
+// modified; when no station moved at all it is returned as-is (both
+// plans are immutable, so sharing is safe).
+//
+// For an unmoved station the patch is a single merge: its old row minus
+// entries whose neighbor moved, interleaved (in the row's power order)
+// with freshly computed entries for moved stations now in range. Moved
+// stations' own rows rebuild from scratch through the spatial grid. When
+// more than a quarter of the population moved the patch has no advantage
+// and Rebuild falls back to a full build, as it does for unpruned plans
+// (dense worlds are small enough that a full O(N²) build is cheap).
+func (pl *LinkPlan) Rebuild(positions []Pos) *LinkPlan {
+	if len(positions) != pl.n {
+		panic("radio: Rebuild with a different station count")
+	}
+	moved := make([]bool, pl.n)
+	movedIdx := make([]int32, 0, 64)
+	for i := range positions {
+		if positions[i] != pl.positions[i] {
+			moved[i] = true
+			movedIdx = append(movedIdx, int32(i))
+		}
+	}
+	if len(movedIdx) == 0 {
+		return pl
+	}
+	if !pl.pruned || len(movedIdx)*4 > pl.n {
+		return NewLinkPlan(pl.cfg, positions)
+	}
+
+	np := &LinkPlan{
+		cfg:         pl.cfg,
+		positions:   append([]Pos(nil), positions...),
+		n:           pl.n,
+		pruned:      true,
+		pruneCutoff: pl.pruneCutoff,
+	}
+	radius := np.cfg.rangeFor(np.pruneCutoff) * 1.001
+	if radius < 1 {
+		radius = 1 // matches buildPruned's sub-metre clamp
+	}
+	rsq := radius * radius
+	grid := newPosGrid(np.positions, radius)
+
+	// Dirty pass: for every moved station j, every station within the
+	// candidate radius of j's NEW position may now need a row entry for j.
+	// (Entries for j's old neighborhood need no lookup: the merge below
+	// drops every entry pointing at a moved station and re-adds only those
+	// the predicate still keeps.) Candidates are symmetric-by-distance, so
+	// querying around j finds exactly the rows whose candidate set gained
+	// j. Stored as a CSR over rows; each row's dirty list is in ascending
+	// moved-station order because movedIdx is ascending.
+	dirtyOff := make([]int32, pl.n+1)
+	for _, j := range movedIdx {
+		grid.eachCandidate(int(j), np.positions, rsq, func(c int32) {
+			if !moved[c] {
+				dirtyOff[c+1]++
+			}
+		})
+	}
+	for i := 0; i < pl.n; i++ {
+		dirtyOff[i+1] += dirtyOff[i]
+	}
+	dirtyJ := make([]int32, dirtyOff[pl.n])
+	cursor := append([]int32(nil), dirtyOff[:pl.n]...)
+	for _, j := range movedIdx {
+		grid.eachCandidate(int(j), np.positions, rsq, func(c int32) {
+			if !moved[c] {
+				dirtyJ[cursor[c]] = j
+				cursor[c]++
+			}
+		})
+	}
+
+	// Row pass. Sizing by the old link count plus slack for the moved
+	// rows' churn: appends grow it if motion densified the graph.
+	np.off = make([]int64, pl.n+1)
+	capHint := len(pl.nbrID) + 16*len(movedIdx) + 64
+	np.nbrID = make([]int32, 0, capHint)
+	np.nbrDBm = make([]float64, 0, capHint)
+	np.nbrDist = make([]float64, 0, capHint)
+	np.nbrPD = make([]sim.Time, 0, capHint)
+	np.lookID = make([]int32, 0, capHint)
+	np.lookSlot = make([]int32, 0, capHint)
+
+	var s rowScratch
+	for i := 0; i < pl.n; i++ {
+		if moved[i] {
+			np.appendScratchRow(i, grid, rsq, &s)
+			continue
+		}
+		dirty := dirtyJ[dirtyOff[i]:dirtyOff[i+1]]
+		if len(dirty) == 0 && !pl.rowHasMoved(i, moved) {
+			// Untouched row: no mover entered the candidate radius and no
+			// existing neighbor moved, so the row — entries, order, lookup —
+			// is the old one verbatim. On a high-stay world this is nearly
+			// every row, and the bulk copy is what keeps the per-epoch cost
+			// proportional to the motion instead of the population.
+			np.appendCopiedRow(i, pl)
+			continue
+		}
+		np.appendPatchedRow(i, pl, moved, dirty, &s)
+	}
+	return np
+}
+
+// rowHasMoved reports whether any of station i's stored neighbors moved.
+func (pl *LinkPlan) rowHasMoved(i int, moved []bool) bool {
+	for _, id := range pl.nbrID[pl.off[i]:pl.off[i+1]] {
+		if moved[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// appendCopiedRow appends station i's row — primary arrays and lookup —
+// copied verbatim from old (the lookup's slots are row-relative, so the
+// copy needs no adjustment).
+func (np *LinkPlan) appendCopiedRow(i int, old *LinkPlan) {
+	lo, hi := old.off[i], old.off[i+1]
+	np.nbrID = append(np.nbrID, old.nbrID[lo:hi]...)
+	np.nbrDBm = append(np.nbrDBm, old.nbrDBm[lo:hi]...)
+	np.nbrDist = append(np.nbrDist, old.nbrDist[lo:hi]...)
+	np.nbrPD = append(np.nbrPD, old.nbrPD[lo:hi]...)
+	np.lookID = append(np.lookID, old.lookID[lo:hi]...)
+	np.lookSlot = append(np.lookSlot, old.lookSlot[lo:hi]...)
+	np.off[i+1] = int64(len(np.nbrID))
+}
+
+// RowEqual reports whether station i's row stores the same neighbors at
+// the same distances in pl and other (two plans over the same station
+// count). Distances determine delivery probabilities, so equal rows yield
+// identical routing-table rows — the epoch table rebuild uses this to
+// copy rows of stations whose neighborhood geometry did not change.
+func (pl *LinkPlan) RowEqual(other *LinkPlan, i int) bool {
+	lo, hi := pl.off[i], pl.off[i+1]
+	olo, ohi := other.off[i], other.off[i+1]
+	return hi-lo == ohi-olo &&
+		slices.Equal(pl.nbrID[lo:hi], other.nbrID[olo:ohi]) &&
+		slices.Equal(pl.nbrDist[lo:hi], other.nbrDist[olo:ohi])
+}
+
+// appendPatchedRow rebuilds unmoved station i's row by merging the old
+// row (minus entries whose neighbor moved) with freshly computed entries
+// for the dirty moved stations that still clear the power predicate. Both
+// inputs are sorted by the row order (power desc, ID asc) — surviving old
+// entries keep their relative order, fresh ones are sorted here — so one
+// merge reproduces the full build's sort exactly. The lookup index is
+// built by a second merge rather than appendRowLookup's sort: the
+// surviving old lookup and the dirty additions are each already in
+// ascending ID order (and can never collide — dirty IDs are moved
+// stations, survivors are not), so with the new slots recorded during the
+// row merge the O(k log k) per-row sort becomes an O(k) zip.
+func (np *LinkPlan) appendPatchedRow(i int, old *LinkPlan, moved []bool, dirty []int32, s *rowScratch) {
+	s.ids, s.dbm, s.dist = s.ids[:0], s.dbm[:0], s.dist[:0]
+	for _, j := range dirty {
+		d := Dist(np.positions[i], np.positions[j])
+		p := np.cfg.MeanRxPowerDBm(d)
+		if p < np.pruneCutoff {
+			continue
+		}
+		s.ids = append(s.ids, j)
+		s.dbm = append(s.dbm, p)
+		s.dist = append(s.dist, d)
+	}
+	s.sort()
+
+	lo, hi := old.off[i], old.off[i+1]
+	s.oldSlot = growSlots(s.oldSlot, int(hi-lo))
+	s.newSlot = growSlots(s.newSlot, len(s.ids))
+	rowStart := int64(len(np.nbrID))
+
+	k, m := lo, 0
+	for {
+		for k < hi && moved[old.nbrID[k]] {
+			k++
+		}
+		oldOK, newOK := k < hi, m < len(s.perm)
+		if !oldOK && !newOK {
+			break
+		}
+		useOld := oldOK
+		if oldOK && newOK {
+			kn := s.perm[m]
+			if old.nbrDBm[k] != s.dbm[kn] {
+				useOld = old.nbrDBm[k] > s.dbm[kn]
+			} else {
+				useOld = old.nbrID[k] < s.ids[kn]
+			}
+		}
+		slot := int32(int64(len(np.nbrID)) - rowStart)
+		if useOld {
+			np.nbrID = append(np.nbrID, old.nbrID[k])
+			np.nbrDBm = append(np.nbrDBm, old.nbrDBm[k])
+			np.nbrDist = append(np.nbrDist, old.nbrDist[k])
+			np.nbrPD = append(np.nbrPD, old.nbrPD[k])
+			s.oldSlot[k-lo] = slot
+			k++
+		} else {
+			kn := s.perm[m]
+			np.nbrID = append(np.nbrID, s.ids[kn])
+			np.nbrDBm = append(np.nbrDBm, s.dbm[kn])
+			np.nbrDist = append(np.nbrDist, s.dist[kn])
+			np.nbrPD = append(np.nbrPD, propDelay(s.dist[kn]))
+			s.newSlot[kn] = slot
+			m++
+		}
+	}
+
+	ti, mi := lo, 0
+	for {
+		for ti < hi && moved[old.lookID[ti]] {
+			ti++
+		}
+		oldOK, newOK := ti < hi, mi < len(s.ids)
+		if !oldOK && !newOK {
+			break
+		}
+		if oldOK && (!newOK || old.lookID[ti] < s.ids[mi]) {
+			np.lookID = append(np.lookID, old.lookID[ti])
+			np.lookSlot = append(np.lookSlot, s.oldSlot[old.lookSlot[ti]])
+			ti++
+		} else {
+			np.lookID = append(np.lookID, s.ids[mi])
+			np.lookSlot = append(np.lookSlot, s.newSlot[mi])
+			mi++
+		}
+	}
+	np.off[i+1] = int64(len(np.nbrID))
+}
+
+// growSlots resizes a scratch slot-map to n entries, reusing its backing
+// array when it is large enough (values are fully rewritten each row).
+func growSlots(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// Positions returns the station positions the plan was built over. The
+// returned slice aliases the plan's immutable storage: callers must treat
+// it as read-only.
+func (pl *LinkPlan) Positions() []Pos { return pl.positions }
+
+// Pos returns station i's position.
+func (pl *LinkPlan) Pos(i int) Pos { return pl.positions[i] }

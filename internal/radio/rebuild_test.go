@@ -1,0 +1,150 @@
+package radio
+
+import (
+	"slices"
+	"testing"
+
+	"ripple/internal/phys"
+	"ripple/internal/sim"
+)
+
+// plansEqual diffs every CSR array of two plans; any mismatch fails the
+// test with the first differing row.
+func plansEqual(t *testing.T, want, got *LinkPlan) {
+	t.Helper()
+	if want.n != got.n || want.pruned != got.pruned || want.pruneCutoff != got.pruneCutoff {
+		t.Fatalf("plan headers differ: n %d/%d pruned %v/%v cutoff %g/%g",
+			want.n, got.n, want.pruned, got.pruned, want.pruneCutoff, got.pruneCutoff)
+	}
+	if !slices.Equal(want.positions, got.positions) {
+		t.Fatal("positions differ")
+	}
+	if !slices.Equal(want.off, got.off) {
+		t.Fatal("row offsets differ")
+	}
+	if !slices.Equal(want.nbrID, got.nbrID) {
+		t.Fatal("neighbor IDs differ")
+	}
+	if !slices.Equal(want.nbrDBm, got.nbrDBm) {
+		t.Fatal("neighbor powers differ")
+	}
+	if !slices.Equal(want.nbrDist, got.nbrDist) {
+		t.Fatal("neighbor distances differ")
+	}
+	if !slices.Equal(want.nbrPD, got.nbrPD) {
+		t.Fatal("propagation delays differ")
+	}
+	if !slices.Equal(want.lookID, got.lookID) {
+		t.Fatal("lookup IDs differ")
+	}
+	if !slices.Equal(want.lookSlot, got.lookSlot) {
+		t.Fatal("lookup slots differ")
+	}
+}
+
+// mobileCity builds a pruned scattered layout and a deterministic sequence
+// of perturbed position sets, moving a given fraction of stations per
+// epoch by up to maxStep metres (plus occasional long hops so rows gain
+// and lose whole neighborhoods).
+func mobileCity(n int, side float64, seed uint64) (Config, []Pos, func(epoch int, frac float64) []Pos) {
+	cfg := DefaultConfig()
+	cfg.PruneSigma = 3
+	rng := sim.NewRNG(seed, 0)
+	initial := make([]Pos, n)
+	for i := range initial {
+		initial[i] = Pos{X: rng.Float64() * side, Y: rng.Float64() * side}
+	}
+	cur := append([]Pos(nil), initial...)
+	step := func(epoch int, frac float64) []Pos {
+		next := append([]Pos(nil), cur...)
+		for i := range next {
+			if rng.Float64() >= frac {
+				continue
+			}
+			if rng.Float64() < 0.2 {
+				// Long hop: teleport anywhere, churning whole rows.
+				next[i] = Pos{X: rng.Float64() * side, Y: rng.Float64() * side}
+			} else {
+				next[i].X += (2*rng.Float64() - 1) * 120
+				next[i].Y += (2*rng.Float64() - 1) * 120
+			}
+		}
+		cur = next
+		return next
+	}
+	return cfg, initial, step
+}
+
+// TestRebuildMatchesFromScratch is the bit-equivalence property of the
+// incremental epoch rebuild: across many epochs of random motion, at
+// several motion fractions (including ones above the full-rebuild
+// fallback threshold), Rebuild must produce exactly the plan a fresh
+// NewLinkPlan builds over the same positions.
+func TestRebuildMatchesFromScratch(t *testing.T) {
+	for _, frac := range []float64{0.02, 0.15, 0.6} {
+		cfg, initial, step := mobileCity(400, 2500, 77)
+		pl := NewLinkPlan(cfg, initial)
+		for epoch := 0; epoch < 8; epoch++ {
+			positions := step(epoch, frac)
+			pl = pl.Rebuild(positions)
+			plansEqual(t, NewLinkPlan(cfg, positions), pl)
+		}
+	}
+}
+
+// TestRebuildNoMotionReturnsSamePlan checks the degenerate epoch: when no
+// station moved, Rebuild hands back the identical (immutable) plan.
+func TestRebuildNoMotionReturnsSamePlan(t *testing.T) {
+	cfg, initial, _ := mobileCity(100, 1000, 5)
+	pl := NewLinkPlan(cfg, initial)
+	if pl.Rebuild(append([]Pos(nil), initial...)) != pl {
+		t.Fatal("Rebuild over identical positions should return the receiver")
+	}
+}
+
+// TestRebuildUnprunedFallsBack checks dense plans rebuild fully and still
+// match from scratch.
+func TestRebuildUnprunedFallsBack(t *testing.T) {
+	cfg, initial, step := mobileCity(60, 400, 9)
+	cfg.PruneSigma = 0
+	pl := NewLinkPlan(cfg, initial)
+	positions := step(0, 0.1)
+	got := pl.Rebuild(positions)
+	if got == pl {
+		t.Fatal("Rebuild returned the old plan despite motion")
+	}
+	plansEqual(t, NewLinkPlan(cfg, positions), got)
+}
+
+// TestRebuildLeavesOldPlanIntact guards the immutability contract: the
+// epoch e plan must stay byte-stable while epoch e+1 is derived from it
+// (runs on epoch e are still reading it).
+func TestRebuildLeavesOldPlanIntact(t *testing.T) {
+	cfg, initial, step := mobileCity(200, 1500, 13)
+	pl := NewLinkPlan(cfg, initial)
+	snapshot := NewLinkPlan(cfg, initial)
+	pl.Rebuild(step(0, 0.1))
+	plansEqual(t, snapshot, pl)
+}
+
+// TestSetPlanSwapsPositions checks the medium adopts the new plan's
+// geometry for subsequent queries.
+func TestSetPlanSwapsPositions(t *testing.T) {
+	cfg, initial, step := mobileCity(50, 600, 21)
+	eng := sim.NewEngine()
+	pl := NewLinkPlan(cfg, initial)
+	m := NewMediumOn(eng, pl, phys.Default(), sim.NewRNG(1, 1))
+	next := pl.Rebuild(step(0, 0.5))
+	m.SetPlan(next)
+	if m.Plan() != next {
+		t.Fatal("Plan() did not swap")
+	}
+	for i := range initial {
+		if m.stations[i].pos != next.positions[i] {
+			t.Fatalf("station %d position not updated by SetPlan", i)
+		}
+	}
+	if got, want := m.Distance(0, 1), Dist(next.positions[0], next.positions[1]); got != want {
+		t.Fatalf("Distance after swap = %g, want %g", got, want)
+	}
+}

@@ -81,6 +81,93 @@ func NewSparseTableSym(n int, links func(a pkt.NodeID, yield func(b int32, p flo
 	return t
 }
 
+// RebuildSparseTableSym derives the sparse symmetric table of a changed
+// world from its predecessor — the epoch step of a time-varying world.
+// moved flags the stations whose position changed since prev was built;
+// links must enumerate the NEW candidate graph (ascending ID order, link
+// distance attached, e.g. the rebuilt radio plan's EachAscNeighbor), and
+// prob maps a distance to the symmetric delivery probability.
+//
+// unchanged (optional, nil for none) flags stations whose candidate row —
+// neighbor set and distances — is identical in the old and new graphs
+// (radio.LinkPlan.RowEqual); their table rows are copied outright without
+// enumerating the graph at all, which on a high-stay world is nearly all
+// of them. Rows of the remaining unmoved stations are patched: an unmoved
+// pair's distance — hence probability, ETX and minProb verdict — is
+// unchanged, so its stored values are copied from prev and only pairs
+// with a moved endpoint pay a probability evaluation. The result is
+// exactly NewSparseTableSym over the new graph, bit for bit (the rebuild
+// equivalence test enforces it); prev is read-only throughout, so runs
+// still executing on the previous epoch are undisturbed.
+func RebuildSparseTableSym(prev *Table, moved, unchanged []bool, links func(a pkt.NodeID, yield func(b int32, d float64)), prob func(d float64) float64, minProb float64) *Table {
+	if !prev.sparse {
+		panic("routing: RebuildSparseTableSym needs a sparse predecessor")
+	}
+	n := prev.n
+	t := &Table{n: n, sparse: true, off: make([]int64, n+1)}
+	t.adjID = make([]int32, 0, len(prev.adjID)+64)
+	t.adjETX = make([]float64, 0, len(prev.adjID)+64)
+	t.adjProb = make([]float64, 0, len(prev.adjID)+64)
+	for a := 0; a < n; a++ {
+		if unchanged != nil && unchanged[a] && !moved[a] {
+			lo, hi := prev.off[a], prev.off[a+1]
+			t.adjID = append(t.adjID, prev.adjID[lo:hi]...)
+			t.adjETX = append(t.adjETX, prev.adjETX[lo:hi]...)
+			t.adjProb = append(t.adjProb, prev.adjProb[lo:hi]...)
+			t.off[a+1] = int64(len(t.adjID))
+			continue
+		}
+		if moved[a] {
+			// Every pair of a moved row changed distance: full recompute.
+			links(pkt.NodeID(a), func(b int32, d float64) {
+				if int(b) == a {
+					return
+				}
+				p := prob(d)
+				if p < minProb {
+					return
+				}
+				t.adjID = append(t.adjID, b)
+				t.adjETX = append(t.adjETX, ETX(p, p))
+				t.adjProb = append(t.adjProb, p)
+			})
+			t.off[a+1] = int64(len(t.adjID))
+			continue
+		}
+		// Unmoved row: lockstep walk. prev's row and the new candidate
+		// stream are both ascending, and an unmoved pair offered now was
+		// offered before (same geometry), so "stored in prev" already
+		// encodes the minProb verdict — no probability evaluation needed.
+		k, hi := int(prev.off[a]), int(prev.off[a+1])
+		links(pkt.NodeID(a), func(b int32, d float64) {
+			if int(b) == a {
+				return
+			}
+			if moved[b] {
+				p := prob(d)
+				if p < minProb {
+					return
+				}
+				t.adjID = append(t.adjID, b)
+				t.adjETX = append(t.adjETX, ETX(p, p))
+				t.adjProb = append(t.adjProb, p)
+				return
+			}
+			for k < hi && prev.adjID[k] < b {
+				k++
+			}
+			if k < hi && prev.adjID[k] == b {
+				t.adjID = append(t.adjID, b)
+				t.adjETX = append(t.adjETX, prev.adjETX[k])
+				t.adjProb = append(t.adjProb, prev.adjProb[k])
+				k++
+			}
+		})
+		t.off[a+1] = int64(len(t.adjID))
+	}
+	return t
+}
+
 // Links returns the number of usable directed links the table stores
 // (sparse layout only; 0 for dense tables, which store all pairs).
 func (t *Table) Links() int { return len(t.adjID) }

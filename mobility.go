@@ -1,0 +1,145 @@
+package ripple
+
+import (
+	"fmt"
+	"strings"
+
+	"ripple/internal/network"
+	"ripple/internal/sim"
+)
+
+// Mobility selects how stations move during a run, mirroring the Routing
+// pattern: named models plus chainable options. The zero value is
+// StaticMobility(): stations stay at their declared positions and the
+// world never changes — bit-identical to a scenario that predates the
+// knob.
+//
+//	ripple.WaypointMobility()                            // random waypoint, 5–15 m/s
+//	ripple.WaypointMobility().WithSpeed(1, 3)            // pedestrian
+//	ripple.WaypointMobility().WithPause(2 * ripple.Second)
+//	ripple.MarkovMobility()                              // place transitions, 90% stay
+//	ripple.MarkovMobility().WithStay(0.8).WithPlaces(12)
+//	ripple.MarkovMobility().WithEpoch(time250ms).WithSeed(7)
+//
+// Positions change only at epoch boundaries (default every 500 ms of
+// simulated time): the run executes on a precomputed sequence of
+// immutable epoch worlds, so results stay bit-identical at any seed-pool
+// width or distributed worker count. Trajectories draw from the
+// mobility seed (WithSeed, default 1), never from the scenario's run
+// seeds, so every seed-run of a scenario sees the same motion.
+type Mobility struct {
+	kind               network.MobilityKind
+	epoch              Time
+	seed               uint64
+	minSpeed, maxSpeed float64
+	pause              Time
+	places             int
+	stay               float64
+}
+
+// StaticMobility returns the default: no motion. Equivalent to the zero
+// Mobility value.
+func StaticMobility() Mobility { return Mobility{} }
+
+// WaypointMobility returns the classic random waypoint model: each station
+// repeatedly draws a uniform target inside the topology's bounding box and
+// a uniform speed (default 5–15 m/s; see WithSpeed), travels there in a
+// straight line, optionally pauses (WithPause), and repeats.
+func WaypointMobility() Mobility { return Mobility{kind: network.MobilityWaypoint} }
+
+// MarkovMobility returns place-transition mobility: stations hop between a
+// fixed set of gathering places (default ≈√N; see WithPlaces) under a
+// symmetric Markov chain, staying put each epoch with probability Stay
+// (default 0.9; see WithStay). Stations that stay keep bit-identical
+// coordinates, which keeps the incremental epoch-world rebuild cheap.
+func MarkovMobility() Mobility { return Mobility{kind: network.MobilityMarkov} }
+
+// WithEpoch returns a copy with the epoch length set (default 500 ms):
+// the interval between world snapshots, at which positions, link tables
+// and routes change.
+func (m Mobility) WithEpoch(epoch Time) Mobility {
+	m.epoch = epoch
+	return m
+}
+
+// WithSeed returns a copy with the trajectory seed set (default 1). It is
+// independent of Scenario.Seeds on purpose: motion is part of the world,
+// shared by every seed-run.
+func (m Mobility) WithSeed(seed uint64) Mobility {
+	m.seed = seed
+	return m
+}
+
+// WithSpeed returns a copy with the waypoint leg-speed range set, in m/s.
+// Only meaningful for WaypointMobility.
+func (m Mobility) WithSpeed(min, max float64) Mobility {
+	m.minSpeed, m.maxSpeed = min, max
+	return m
+}
+
+// WithPause returns a copy with the waypoint post-arrival pause set. Only
+// meaningful for WaypointMobility.
+func (m Mobility) WithPause(pause Time) Mobility {
+	m.pause = pause
+	return m
+}
+
+// WithPlaces returns a copy with the Markov place count set. Only
+// meaningful for MarkovMobility.
+func (m Mobility) WithPlaces(n int) Mobility {
+	m.places = n
+	return m
+}
+
+// WithStay returns a copy with the Markov per-epoch stay probability set
+// (0 < stay < 1). Only meaningful for MarkovMobility.
+func (m Mobility) WithStay(stay float64) Mobility {
+	m.stay = stay
+	return m
+}
+
+// Active reports whether the mobility makes the world time-varying.
+func (m Mobility) Active() bool { return m.kind != network.MobilityStatic }
+
+// String names the mobility configuration for sweep labels, e.g.
+// "waypoint(speed=1-3,pause=2s)" or "markov(stay=0.8,epoch=250ms)".
+func (m Mobility) String() string {
+	name := m.kind.String()
+	var opts []string
+	if m.minSpeed > 0 || m.maxSpeed > 0 {
+		opts = append(opts, fmt.Sprintf("speed=%g-%g", m.minSpeed, m.maxSpeed))
+	}
+	if m.pause > 0 {
+		opts = append(opts, fmt.Sprintf("pause=%v", m.pause))
+	}
+	if m.places > 0 {
+		opts = append(opts, fmt.Sprintf("places=%d", m.places))
+	}
+	if m.stay > 0 {
+		opts = append(opts, fmt.Sprintf("stay=%g", m.stay))
+	}
+	if m.epoch > 0 {
+		opts = append(opts, fmt.Sprintf("epoch=%v", m.epoch))
+	}
+	if m.seed > 0 {
+		opts = append(opts, fmt.Sprintf("seed=%d", m.seed))
+	}
+	if len(opts) == 0 {
+		return name
+	}
+	return name + "(" + strings.Join(opts, ",") + ")"
+}
+
+// spec resolves the public options into the simulator's mobility spec.
+func (m Mobility) spec() network.MobilitySpec {
+	return network.MobilitySpec{
+		Kind:     m.kind,
+		Epoch:    sim.Time(m.epoch),
+		Seed:     m.seed,
+		MinSpeed: m.minSpeed,
+		MaxSpeed: m.maxSpeed,
+		Pause:    sim.Time(m.pause),
+		Places:   m.places,
+		Stay:     m.stay,
+	}
+}

@@ -1,0 +1,67 @@
+package ripple_test
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"ripple"
+)
+
+// mobileDistCampaign is the mobile analogue of distCampaign: both
+// scenarios run on epoch worlds (waypoint and Markov motion) with ETX
+// routes recomputed at each boundary, so distributing it exercises the
+// full time-varying path across worker processes.
+func mobileDistCampaign() ripple.Campaign {
+	mk := func(m ripple.Mobility) ripple.Scenario {
+		top, path := ripple.LineTopology(3)
+		return ripple.Scenario{
+			Topology: top,
+			Scheme:   ripple.SchemeRIPPLE,
+			Flows:    []ripple.Flow{{ID: 1, Path: path, Traffic: ripple.FTP{}}},
+			Seeds:    []uint64{1, 2},
+			Duration: 300 * ripple.Millisecond,
+			Routing:  ripple.ETXRouting(),
+			Mobility: m,
+		}
+	}
+	return ripple.Campaign{Scenarios: []ripple.Scenario{
+		mk(ripple.WaypointMobility().WithEpoch(50*ripple.Millisecond).WithSpeed(5, 30)),
+		mk(ripple.MarkovMobility().WithEpoch(50 * ripple.Millisecond)),
+	}}
+}
+
+// TestDistributeMobileWorkerHelper is the re-exec helper for
+// TestDistributeMobileCampaign (see TestDistributeWorkerHelper).
+func TestDistributeMobileWorkerHelper(t *testing.T) {
+	if os.Getenv(ripple.WorkerEnv) == "" {
+		t.Skip("helper process for TestDistributeMobileCampaign")
+	}
+	mobileDistCampaign().Distribute(ripple.DistributeOptions{}) // never returns
+}
+
+// TestDistributeMobileCampaign: epoch worlds are rebuilt independently in
+// every worker process, so distributing a mobile campaign over two
+// workers must be bit-identical to RunBatch in-process — the distributed
+// leg of the mobility determinism contract.
+func TestDistributeMobileCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	c := mobileDistCampaign()
+	want, err := ripple.RunBatch(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Distribute(ripple.DistributeOptions{
+		Workers:    2,
+		WorkerArgs: []string{"-test.run=TestDistributeMobileWorkerHelper"},
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("distributed mobile results differ from RunBatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}

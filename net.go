@@ -22,6 +22,9 @@ type Net struct {
 	// Routing is the route policy prefilled into scenarios built with
 	// Scenario (zero = StaticRouting(); set with WithRouting).
 	Routing Routing
+	// Mobility is the motion model prefilled into scenarios built with
+	// Scenario (zero = StaticMobility(); set with WithMobility).
+	Mobility Mobility
 
 	router *Router
 }
@@ -51,6 +54,18 @@ func (n *Net) WithRouting(r Routing) *Net {
 	return n
 }
 
+// WithMobility sets the motion model scenarios built from this net will
+// use and returns the net for chaining:
+//
+//	sc := net.WithMobility(ripple.WaypointMobility()).Scenario(...)
+//
+// FlowTo still declares flows over the initial topology's minimum-ETX
+// path; under motion the run swaps routes at each epoch boundary.
+func (n *Net) WithMobility(m Mobility) *Net {
+	n.Mobility = m
+	return n
+}
+
 // FlowTo declares a flow from src to dst carrying the given traffic, with
 // the minimum-ETX path as its forwarder list. A route-discovery failure
 // (unreachable destination, station outside the topology) is carried
@@ -75,6 +90,7 @@ func (n *Net) Scenario(scheme Scheme, flows ...Flow) Scenario {
 		Topology: n.Topology,
 		Radio:    n.Radio,
 		Routing:  n.Routing,
+		Mobility: n.Mobility,
 		Scheme:   scheme,
 		Flows:    flows,
 	}

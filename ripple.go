@@ -111,8 +111,12 @@ type Scenario struct {
 	Radio Radio
 	// Routing selects the route policy; the zero value is StaticRouting()
 	// (declared flow paths, used as given). See ETXRouting,
-	// CongestionRouting and the WithForwarders sizing option.
+	// CongestionRouting, GeoRouting and the WithForwarders sizing option.
 	Routing Routing
+	// Mobility makes stations move during the run; the zero value is
+	// StaticMobility() (no motion). See WaypointMobility and
+	// MarkovMobility.
+	Mobility Mobility
 	// MaxForwarders caps forwarder lists (default 5, paper Remark 4).
 	MaxForwarders int
 	// MaxAggregation caps packets per frame for RIPPLE and AFR
@@ -242,6 +246,7 @@ func (s Scenario) toConfig() (*network.Config, error) {
 		Duration:      s.Duration,
 		MaxForwarders: s.MaxForwarders,
 		Routing:       s.Routing.spec(),
+		Mobility:      s.Mobility.spec(),
 	}
 	if s.Radio.lowRate {
 		cfg.Phy = phys.LowRate()

@@ -63,6 +63,13 @@ func ETXRouting() Routing { return Routing{kind: network.RouteETX} }
 // (default 500 ms; see WithEpoch, WithAlpha).
 func CongestionRouting() Routing { return Routing{kind: network.RouteCongestion} }
 
+// GeoRouting selects each relay by greedy geographic progress (Li et al.):
+// from every hop, the next forwarder is the usable neighbor closest to the
+// destination, with minimum-ETX recovery when greed stalls in a void. Under
+// mobility the policy is rebuilt each epoch over that epoch's positions,
+// which makes it the natural partner of WaypointMobility/MarkovMobility.
+func GeoRouting() Routing { return Routing{kind: network.RouteGeo} }
+
 // WithAlpha returns a copy with the congestion backlog weight set, in ETX
 // units per queued packet (default 0.25). Only meaningful for
 // CongestionRouting.

@@ -7,11 +7,14 @@
 # (CampaignSuitePooled), sparse city-scale world construction
 # (WorldBuildCity; its dense O(N²) twin WorldBuildCityDense costs ~25 s per
 # iteration and is not part of the routine set — run it by hand for a
-# before/after pair, as BENCH_3.json records), and the distributed
+# before/after pair, as BENCH_3.json records), the distributed
 # campaign path (CampaignSingleProcess vs CampaignDistributed, the same
 # 48-run campaign through RunBatch and through 4 spawned workers; on a
 # multi-core machine the second approaches min(4, cores)× the first,
-# on one core it measures the spawn + framing overhead).
+# on one core it measures the spawn + framing overhead), and the mobile
+# epoch-world path (EpochRebuildCity's speedup_x is the per-epoch
+# incremental rebuild vs from-scratch ratio at N=5k; EpochWorldMobile1k's
+# B/op guards against a dense fallback sneaking into epoch derivation).
 #
 # Usage:
 #   scripts/bench.sh [-short] [-count N] [-label LABEL] [-out FILE] [-enforce]
@@ -54,7 +57,7 @@ if [ -z "$OUT" ]; then
   OUT="BENCH_$n.json"
 fi
 
-PAT='^(BenchmarkEngineThroughput|BenchmarkFig3|BenchmarkFig6b|BenchmarkCampaignSuitePooled|BenchmarkWorldBuildCity|BenchmarkCampaignSingleProcess|BenchmarkCampaignDistributed)$'
+PAT='^(BenchmarkEngineThroughput|BenchmarkFig3|BenchmarkFig6b|BenchmarkCampaignSuitePooled|BenchmarkWorldBuildCity|BenchmarkCampaignSingleProcess|BenchmarkCampaignDistributed|BenchmarkEpochRebuildCity|BenchmarkEpochWorldMobile1k)$'
 
 echo "bench: pattern=$PAT count=$COUNT label=$LABEL out=$OUT ${SHORT:+(short)}" >&2
 # Buffer through a temp file rather than a pipe: POSIX sh has no pipefail,
