@@ -131,9 +131,11 @@ func RunBatch(c Campaign) ([]*Result, error) {
 // confidence half-width, min, max and sample count.
 func foldResult(cfg *network.Config, results []*network.Result, rec *trace.Recorder) *Result {
 	out := &Result{
-		Total:    foldMetric(results, func(r *network.Result) float64 { return r.TotalMbps }),
-		Fairness: foldMetric(results, func(r *network.Result) float64 { return r.Fairness }),
-		Events:   foldMetric(results, func(r *network.Result) float64 { return float64(r.Events) }),
+		Total:       foldMetric(results, func(r *network.Result) float64 { return r.TotalMbps }),
+		Fairness:    foldMetric(results, func(r *network.Result) float64 { return r.Fairness }),
+		Events:      foldMetric(results, func(r *network.Result) float64 { return float64(r.Events) }),
+		RouteStale:  foldMetric(results, func(r *network.Result) float64 { return float64(r.RouteStale) }),
+		Unreachable: foldMetric(results, func(r *network.Result) float64 { return float64(r.Unreachable) }),
 	}
 	if rec != nil {
 		dur := cfg.Duration
@@ -148,14 +150,15 @@ func foldResult(cfg *network.Config, results []*network.Result, rec *trace.Recor
 	}
 	for i, f := range results[0].Flows {
 		out.Flows = append(out.Flows, FlowResult{
-			ID:         f.ID,
-			Throughput: foldFlowMetric(results, i, func(f network.FlowResult) float64 { return f.ThroughputMbps }),
-			Delay:      foldFlowMetric(results, i, func(f network.FlowResult) float64 { return f.MeanDelay.Milliseconds() }),
-			Reorder:    foldFlowMetric(results, i, func(f network.FlowResult) float64 { return f.ReorderRate }),
-			Delivered:  foldFlowMetric(results, i, func(f network.FlowResult) float64 { return float64(f.PktsDelivered) }),
-			Transfers:  foldFlowMetric(results, i, func(f network.FlowResult) float64 { return float64(f.Transfers) }),
-			MoS:        foldFlowMetric(results, i, func(f network.FlowResult) float64 { return f.MoS }),
-			Loss:       foldFlowMetric(results, i, func(f network.FlowResult) float64 { return f.LossRate }),
+			ID:          f.ID,
+			Throughput:  foldFlowMetric(results, i, func(f network.FlowResult) float64 { return f.ThroughputMbps }),
+			Delay:       foldFlowMetric(results, i, func(f network.FlowResult) float64 { return f.MeanDelay.Milliseconds() }),
+			Reorder:     foldFlowMetric(results, i, func(f network.FlowResult) float64 { return f.ReorderRate }),
+			Delivered:   foldFlowMetric(results, i, func(f network.FlowResult) float64 { return float64(f.PktsDelivered) }),
+			Transfers:   foldFlowMetric(results, i, func(f network.FlowResult) float64 { return float64(f.Transfers) }),
+			MoS:         foldFlowMetric(results, i, func(f network.FlowResult) float64 { return f.MoS }),
+			Loss:        foldFlowMetric(results, i, func(f network.FlowResult) float64 { return f.LossRate }),
+			Unreachable: foldFlowMetric(results, i, func(f network.FlowResult) float64 { return float64(f.Unreachable) }),
 		})
 	}
 	return out

@@ -72,6 +72,7 @@ func run() int {
 		leaseTimeout = flag.Duration("lease-timeout", 0, "reclaim a lease after this long without progress (0 = 2m)")
 		workerMode   = flag.Bool("worker", false, "worker mode: serve leased cells over stdin/stdout (spawned by -workers)")
 		connect      = flag.String("connect", "", "worker mode: serve leased cells to the coordinator at this TCP address")
+		reconnect    = flag.Int("reconnect", 3, "with -connect: dials tried per connection outage, capped exponential backoff (1 = fail on first error)")
 	)
 	flag.Parse()
 
@@ -128,12 +129,15 @@ func run() int {
 		}{os.Stdin, os.Stdout}
 		var closeConn func()
 		if *connect != "" {
-			w, closer, err := dist.Dial(*connect, name)
+			w, err := dist.DialReconnect(*connect, name, dist.RedialOptions{
+				Attempts: *reconnect,
+				Logf:     func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				return 1
 			}
-			closeConn = func() { closer.Close() }
+			closeConn = func() { w.Close() }
 			opt.RunGrid = dist.WorkerRunGrid(w, nil)
 		} else {
 			// Stdout carries the protocol stream, so nothing else in this

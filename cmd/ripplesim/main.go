@@ -56,6 +56,10 @@ func run() int {
 		parallel  = flag.Int("parallel", 0, "worker pool size for seed runs (0 = GOMAXPROCS)")
 		progress  = flag.Bool("progress", false, "report per-seed progress on stderr")
 		workers   = flag.Int("workers", 0, "distribute seed runs across n spawned worker processes")
+		faults    = flag.String("faults", "", "comma list of fault processes: flaps=N|noise=N|partition=AT+DUR (ms)")
+		mtbf      = flag.Float64("mtbf", 0, "station churn mean time between failures in seconds (0 = off)")
+		mttr      = flag.Float64("mttr", 0, "station churn mean repair time in seconds (0 = default 1)")
+		faultSeed = flag.Uint64("faultseed", 0, "fault-schedule seed (0 = default 1; independent of run seeds)")
 	)
 	flag.Parse()
 
@@ -163,6 +167,55 @@ func run() int {
 			return 2
 		}
 		sc.Mobility = sc.Mobility.WithSeed(*mobSeed)
+	}
+	// Fault injection: -mtbf enables station churn; -faults adds link
+	// flaps, noise bursts and a partition window. Inert-knob discipline as
+	// above: a fault option without a fault process is an error.
+	if *mtbf > 0 {
+		sc.Faults = sc.Faults.WithStationMTBF(
+			ripple.Time(*mtbf*float64(ripple.Second)),
+			ripple.Time(*mttr*float64(ripple.Second)))
+	} else if *mttr > 0 {
+		fmt.Fprintf(os.Stderr, "-mttr only applies together with -mtbf\n")
+		return 2
+	}
+	if *faults != "" {
+		for _, part := range strings.Split(*faults, ",") {
+			key, val, _ := strings.Cut(strings.TrimSpace(part), "=")
+			var err error
+			switch key {
+			case "flaps":
+				var n int
+				if _, err = fmt.Sscanf(val, "%d", &n); err == nil {
+					sc.Faults = sc.Faults.WithLinkFlaps(n)
+				}
+			case "noise":
+				var n int
+				if _, err = fmt.Sscanf(val, "%d", &n); err == nil {
+					sc.Faults = sc.Faults.WithNoiseBursts(n)
+				}
+			case "partition":
+				var atMs, durMs float64
+				if _, err = fmt.Sscanf(val, "%g+%g", &atMs, &durMs); err == nil {
+					sc.Faults = sc.Faults.WithPartition(
+						ripple.Time(atMs*float64(ripple.Millisecond)),
+						ripple.Time(durMs*float64(ripple.Millisecond)))
+				}
+			default:
+				err = fmt.Errorf("unknown process (want flaps=N, noise=N or partition=AT+DUR)")
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-faults %q: %v\n", part, err)
+				return 2
+			}
+		}
+	}
+	if *faultSeed > 0 {
+		if !sc.Faults.Active() {
+			fmt.Fprintf(os.Stderr, "-faultseed needs a fault process (-mtbf or -faults)\n")
+			return 2
+		}
+		sc.Faults = sc.Faults.WithSeed(*faultSeed)
 	}
 	for s := 1; s <= *seeds; s++ {
 		sc.Seeds = append(sc.Seeds, uint64(s))
@@ -334,6 +387,9 @@ func run() int {
 	if ms := sc.Mobility.String(); ms != "static" {
 		header += " mobility=" + ms
 	}
+	if sc.Faults.Active() {
+		header += " " + sc.Faults.String()
+	}
 	fmt.Printf("%s dur=%.0fs seeds=%d\n", header, *durSec, *seeds)
 	for _, f := range res.Flows {
 		line := fmt.Sprintf("flow %2d: %8.3f Mbps  delay %8.2fms  reorder %5.2f%%",
@@ -342,6 +398,10 @@ func run() int {
 			line += fmt.Sprintf("  MoS %.2f loss %.1f%%", f.MoS.Mean, 100*f.Loss.Mean)
 		}
 		fmt.Println(line)
+	}
+	if res.Unreachable.Mean > 0 || res.RouteStale.Mean > 0 {
+		fmt.Printf("degradation: %.0f unreachable drops, %.0f stale-route epochs\n",
+			res.Unreachable.Mean, res.RouteStale.Mean)
 	}
 	if res.Total.N >= 2 {
 		fmt.Printf("total: %.3f ±%.3f Mbps (95%% CI over %d seeds)\n",

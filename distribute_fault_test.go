@@ -1,0 +1,70 @@
+package ripple_test
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"ripple"
+)
+
+// faultyCampaign exercises every fault mode across a distributed run: one
+// scenario under station churn, one under a partition plus link flaps.
+// Fault schedules draw from the fault seed, not the run seeds, so worker
+// processes must reconstruct the exact same failure timeline from the
+// campaign spec alone.
+func faultyCampaign() ripple.Campaign {
+	top, path := ripple.LineTopology(4)
+	mk := func(f ripple.Faults) ripple.Scenario {
+		return ripple.Scenario{
+			Topology: top,
+			Scheme:   ripple.SchemeRIPPLE,
+			Flows:    []ripple.Flow{{ID: 1, Path: path, Traffic: ripple.FTP{}}},
+			Seeds:    []uint64{1, 2},
+			Duration: 500 * ripple.Millisecond,
+			Faults:   f,
+		}
+	}
+	return ripple.Campaign{Scenarios: []ripple.Scenario{
+		mk(ripple.StationChurn(200*ripple.Millisecond, 100*ripple.Millisecond).
+			WithEpoch(50 * ripple.Millisecond)),
+		mk(ripple.LinkFlaps(2).
+			WithPartition(100*ripple.Millisecond, 200*ripple.Millisecond).
+			WithEpoch(50 * ripple.Millisecond).
+			WithSeed(7)),
+	}}
+}
+
+// TestDistributeFaultyWorkerHelper is the re-exec'd worker program for
+// TestDistributeFaultyCampaign (see TestDistributeWorkerHelper).
+func TestDistributeFaultyWorkerHelper(t *testing.T) {
+	if os.Getenv(ripple.WorkerEnv) == "" {
+		t.Skip("helper process for TestDistributeFaultyCampaign")
+	}
+	faultyCampaign().Distribute(ripple.DistributeOptions{}) // never returns
+}
+
+// TestDistributeFaultyCampaign pins the distributed-equals-local bar with
+// fault injection on: leased runs on two worker processes must return
+// results deeply equal to RunBatch in-process, crash timelines included.
+func TestDistributeFaultyCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	c := faultyCampaign()
+	want, err := ripple.RunBatch(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Distribute(ripple.DistributeOptions{
+		Workers:    2,
+		WorkerArgs: []string{"-test.run=TestDistributeFaultyWorkerHelper"},
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("distributed faulty results differ from RunBatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}

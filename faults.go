@@ -1,0 +1,200 @@
+package ripple
+
+import (
+	"fmt"
+	"strings"
+
+	"ripple/internal/fault"
+	"ripple/internal/sim"
+)
+
+// Faults selects deterministic fault injection for a scenario, mirroring
+// the Mobility pattern: a constructor plus chainable options. The zero
+// value is NoFaults(): nothing fails and the run is bit-identical to one
+// that predates the knob.
+//
+//	ripple.Faults{}                                        // inert
+//	ripple.StationChurn(4*ripple.Second, ripple.Second)    // crash/recover
+//	ripple.StationChurn(4*ripple.Second, 0).
+//		WithLinkFlaps(3).
+//		WithNoiseBursts(2).
+//		WithPartition(2*ripple.Second, 500*ripple.Millisecond)
+//	ripple.LinkFlaps(5).WithSeed(7)
+//
+// Faults materialise two ways, both inside the deterministic event loop:
+// as epoch-world overlays (dead stations and blocked links are removed
+// from the epoch's link table and routes, noise penalties raise its
+// effective decode threshold) and as in-engine events between epoch
+// boundaries (frames to or from a crashed station are not delivered; a
+// crashing station releases every packet in its custody). Fault schedules
+// draw from the fault seed (WithSeed, default 1), never from the
+// scenario's run seeds, so every seed-run of a scenario fails the same
+// way — and results stay bit-identical at any seed-pool width or
+// distributed worker count.
+//
+// Graceful degradation rides along whenever faults are active: after a
+// configurable number of consecutive failed exchanges (WithThreshold,
+// default 3) a flow's preferred forwarder is blacklisted until the next
+// epoch's route refresh, and flows whose destination is cut off drop at
+// the source, surfaced as Result.Unreachable rather than burnt airtime.
+type Faults struct {
+	mtbf, mttr     Time
+	flapLinks      int
+	flapUp         Time
+	flapDown       Time
+	noiseBursts    int
+	noisePenaltyDB float64
+	noiseRadius    float64
+	partitionAt    Time
+	partitionDur   Time
+	threshold      int
+	epoch          Time
+	seed           uint64
+}
+
+// NoFaults returns the default: no fault injection. Equivalent to the
+// zero Faults value.
+func NoFaults() Faults { return Faults{} }
+
+// StationChurn returns fault injection with station crash/recover churn:
+// every station that is not a flow endpoint alternates Exp(mtbf) up-time
+// and Exp(mttr) down-time (mttr 0 selects 1 s). Flow sources and
+// destinations are exempt, so degradation measures relay failures rather
+// than trivial endpoint death.
+func StationChurn(mtbf, mttr Time) Faults { return Faults{mtbf: mtbf, mttr: mttr} }
+
+// LinkFlaps returns fault injection with n flapping links (see
+// WithLinkFlaps).
+func LinkFlaps(n int) Faults { return Faults{flapLinks: n} }
+
+// NoiseBursts returns fault injection with n regional noise sources (see
+// WithNoiseBursts).
+func NoiseBursts(n int) Faults { return Faults{noiseBursts: n} }
+
+// WithStationMTBF returns a copy with station churn enabled: Exp(mtbf)
+// up-time, Exp(mttr) down-time per non-endpoint station (mttr 0 selects
+// 1 s).
+func (f Faults) WithStationMTBF(mtbf, mttr Time) Faults {
+	f.mtbf, f.mttr = mtbf, mttr
+	return f
+}
+
+// WithLinkFlaps returns a copy that picks n links of the initial neighbor
+// graph to flap — Exp(1 s) usable, Exp(250 ms) blocked, repeating. A
+// blocked link delivers nothing in either direction but leaves both
+// endpoints alive.
+func (f Faults) WithLinkFlaps(n int) Faults {
+	f.flapLinks = n
+	return f
+}
+
+// WithFlapTimes returns a copy with the mean link up/down durations set
+// (0 keeps the 1 s / 250 ms defaults).
+func (f Faults) WithFlapTimes(up, down Time) Faults {
+	f.flapUp, f.flapDown = up, down
+	return f
+}
+
+// WithNoiseBursts returns a copy with n independent regional noise
+// sources: each picks a fixed random center, waits Exp(1 s), then
+// degrades every reception within 250 m by 20 dB for 200 ms, repeating.
+// Tune with WithNoisePenalty.
+func (f Faults) WithNoiseBursts(n int) Faults {
+	f.noiseBursts = n
+	return f
+}
+
+// WithNoisePenalty returns a copy with the burst SNR penalty (dB) and
+// coverage radius (metres) set (0 keeps the 20 dB / 250 m defaults).
+func (f Faults) WithNoisePenalty(db, radius float64) Faults {
+	f.noisePenaltyDB, f.noiseRadius = db, radius
+	return f
+}
+
+// WithPartition returns a copy that blocks every link crossing the
+// topology's median-x split during [at, at+dur) — a transient area
+// partition.
+func (f Faults) WithPartition(at, dur Time) Faults {
+	f.partitionAt, f.partitionDur = at, dur
+	return f
+}
+
+// WithThreshold returns a copy with the failure-detection threshold set:
+// that many consecutive failed exchanges blacklist a flow's preferred
+// forwarder until the next epoch (default 3).
+func (f Faults) WithThreshold(n int) Faults {
+	f.threshold = n
+	return f
+}
+
+// WithEpoch returns a copy with the fault-overlay epoch length set
+// (default 500 ms). When mobility is active its epoch length wins — fault
+// overlays ride the same boundaries.
+func (f Faults) WithEpoch(epoch Time) Faults {
+	f.epoch = epoch
+	return f
+}
+
+// WithSeed returns a copy with the fault-schedule seed set (default 1).
+// It is independent of Scenario.Seeds on purpose: the failure timeline is
+// part of the world, shared by every seed-run.
+func (f Faults) WithSeed(seed uint64) Faults {
+	f.seed = seed
+	return f
+}
+
+// Active reports whether the configuration injects any fault at all.
+func (f Faults) Active() bool { return f.spec().Active() }
+
+// String names the fault configuration for sweep labels, e.g.
+// "faults(mtbf=4s,flaps=3,seed=7)"; the inert value prints "none".
+func (f Faults) String() string {
+	var opts []string
+	if f.mtbf > 0 {
+		opts = append(opts, fmt.Sprintf("mtbf=%v", f.mtbf))
+		if f.mttr > 0 {
+			opts = append(opts, fmt.Sprintf("mttr=%v", f.mttr))
+		}
+	}
+	if f.flapLinks > 0 {
+		opts = append(opts, fmt.Sprintf("flaps=%d", f.flapLinks))
+	}
+	if f.noiseBursts > 0 {
+		opts = append(opts, fmt.Sprintf("noise=%d", f.noiseBursts))
+	}
+	if f.partitionDur > 0 {
+		opts = append(opts, fmt.Sprintf("partition=%v+%v", f.partitionAt, f.partitionDur))
+	}
+	if f.threshold > 0 {
+		opts = append(opts, fmt.Sprintf("threshold=%d", f.threshold))
+	}
+	if f.epoch > 0 {
+		opts = append(opts, fmt.Sprintf("epoch=%v", f.epoch))
+	}
+	if f.seed > 0 {
+		opts = append(opts, fmt.Sprintf("seed=%d", f.seed))
+	}
+	if len(opts) == 0 {
+		return "none"
+	}
+	return "faults(" + strings.Join(opts, ",") + ")"
+}
+
+// spec resolves the public options into the simulator's fault spec.
+func (f Faults) spec() fault.Spec {
+	return fault.Spec{
+		Seed:             f.seed,
+		Epoch:            sim.Time(f.epoch),
+		MTBF:             sim.Time(f.mtbf),
+		MTTR:             sim.Time(f.mttr),
+		FlapLinks:        f.flapLinks,
+		FlapUp:           sim.Time(f.flapUp),
+		FlapDown:         sim.Time(f.flapDown),
+		NoiseBursts:      f.noiseBursts,
+		NoisePenaltyDB:   f.noisePenaltyDB,
+		NoiseRadius:      f.noiseRadius,
+		PartitionAt:      sim.Time(f.partitionAt),
+		PartitionDur:     sim.Time(f.partitionDur),
+		FailureThreshold: f.threshold,
+	}
+}

@@ -119,6 +119,10 @@ type Ripple struct {
 	okScratch  []*pkt.Packet
 	freeRelays []*pendingRelay
 	freeTx     *delayedTx
+
+	// down marks the station crashed (fault injection): every MAC upcall
+	// and local send is ignored until Recover.
+	down bool
 }
 
 type streamKey struct {
@@ -150,6 +154,19 @@ func New(env forward.Env, opt Options) *Ripple {
 // Send implements forward.Scheme: a locally originated packet enters Sq
 // and is stamped with its MAC-stream sequence number (what Rq orders by).
 func (r *Ripple) Send(p *pkt.Packet) bool {
+	if r.down {
+		r.env.C.CrashDrops++
+		p.Release() // station is crashed: terminal drop point
+		return false
+	}
+	if r.env.Routes.Unreachable(p.FlowID) {
+		// The destination is known unreachable this epoch: drop at the
+		// source instead of burning airtime on doomed retries.
+		r.env.C.Unreachable++
+		r.env.Routes.NoteUnreachableDrop(p.FlowID)
+		p.Release()
+		return false
+	}
 	p.EnqueuedAt = r.env.Eng.Now()
 	key := streamKey{flow: p.FlowID, src: p.Src}
 	if !r.queue.Push(p) {
@@ -204,9 +221,17 @@ func (r *Ripple) onGrant() {
 	}
 	fwd := r.env.Routes.FwdList(r.svcFlow, r.env.ID, r.svcDst)
 	if len(fwd) == 0 {
-		r.env.C.MACDrops += uint64(len(r.inService))
-		for _, p := range r.inService {
-			p.Release()
+		if r.env.Routes.Unreachable(r.svcFlow) {
+			r.env.C.Unreachable += uint64(len(r.inService))
+			for _, p := range r.inService {
+				r.env.Routes.NoteUnreachableDrop(r.svcFlow)
+				p.Release()
+			}
+		} else {
+			r.env.C.MACDrops += uint64(len(r.inService))
+			for _, p := range r.inService {
+				p.Release()
+			}
 		}
 		r.inService = r.inService[:0]
 		r.maybeRequest()
@@ -260,7 +285,7 @@ func (r *Ripple) ackDuration(fwdEntries int) sim.Time {
 // TxDone implements radio.MAC: after the source's own data frame ends, arm
 // the end-to-end ACK timeout covering the worst-case mTXOP duration.
 func (r *Ripple) TxDone(f *pkt.Frame) {
-	if f.Kind != pkt.Data || f.Origin != r.env.ID || f.TxopID != r.curTxop || !r.exchanging {
+	if r.down || f.Kind != pkt.Data || f.Origin != r.env.ID || f.TxopID != r.curTxop || !r.exchanging {
 		return
 	}
 	m := len(f.FwdList) - 1 // forwarders (list includes the destination)
@@ -278,7 +303,13 @@ func (r *Ripple) onAckTimeout() {
 	r.exchanging = false
 	r.attempts++
 	r.env.C.AckTimeouts++
-	r.dropExpired()
+	if r.dropExpired() {
+		// Failure detection (fault injection): only abandoned packets —
+		// retry budget exhausted, not single mTXOP timeouts, which are
+		// routine on a lossy channel — feed forwarder blacklisting. No-op
+		// unless RouteBook.EnableFailureDetection was called.
+		r.env.Routes.NoteTxFailure(r.svcFlow, r.env.ID, r.svcDst)
+	}
 	if len(r.inService) == 0 {
 		r.attempts = 0
 		r.cont.Success()
@@ -288,22 +319,29 @@ func (r *Ripple) onAckTimeout() {
 	r.maybeRequest()
 }
 
-// dropExpired discards in-service packets past the retry limit.
-func (r *Ripple) dropExpired() {
+// dropExpired discards in-service packets past the retry limit and
+// reports whether any packet was abandoned.
+func (r *Ripple) dropExpired() bool {
 	kept := r.inService[:0]
+	dropped := false
 	for _, p := range r.inService {
 		if p.Retries > r.env.P.RetryLimit {
 			r.env.C.MACDrops++
+			dropped = true
 			p.Release() // abandoned by the source: terminal drop point
 			continue
 		}
 		kept = append(kept, p)
 	}
 	r.inService = kept
+	return dropped
 }
 
 // FrameReceived implements radio.MAC.
 func (r *Ripple) FrameReceived(f *pkt.Frame, pktOK []bool) {
+	if r.down {
+		return // reception completed after the crash: the station is gone
+	}
 	switch f.Kind {
 	case pkt.Ack:
 		r.handleAck(f)
@@ -348,6 +386,7 @@ func (r *Ripple) handleAck(f *pkt.Frame) {
 			r.env.Eng.Cancel(r.ackTimer)
 			r.exchanging = false
 			r.attempts = 0
+			r.env.Routes.NoteTxSuccess(r.svcFlow, r.env.ID)
 			r.cont.Success()
 			r.maybeRequest()
 		}
@@ -577,7 +616,7 @@ func (a *delayedTx) Run() {
 	a.f = nil
 	a.next = r.freeTx
 	r.freeTx = a
-	if r.env.Med.Transmitting(r.env.ID) {
+	if r.down || r.env.Med.Transmitting(r.env.ID) {
 		return
 	}
 	r.env.C.TxFrames++
@@ -741,17 +780,109 @@ func (r *Ripple) suppressRelay(key uint64, coveringRank int) {
 }
 
 // FrameCorrupted implements radio.MAC.
-func (r *Ripple) FrameCorrupted() { r.cont.NoteCorrupted() }
+func (r *Ripple) FrameCorrupted() {
+	if r.down {
+		return
+	}
+	r.cont.NoteCorrupted()
+}
 
 // ChannelBusy implements radio.MAC: carrier pauses (or, in strict mode,
 // discards) pending relays and freezes the contender.
 func (r *Ripple) ChannelBusy() {
+	if r.down {
+		return
+	}
 	r.onCarrierBusy()
 	r.cont.OnBusy()
 }
 
 // ChannelIdle implements radio.MAC: deferred relays restart their wait.
 func (r *Ripple) ChannelIdle() {
+	if r.down {
+		return
+	}
 	r.onCarrierIdle()
 	r.cont.OnIdle()
+}
+
+// Crash implements forward.Scheme: the station dies. Every packet it holds
+// custody of — the in-service batch, the send queue, armed relay buffers,
+// piggybacked packets awaiting a bitmap ACK and the resequencing buffers —
+// is released back to the pool so the pool-balance invariant survives the
+// crash, and all pending timers are withdrawn. Receptions the medium
+// already scheduled still run their bookkeeping but the down guards ignore
+// them. macSeq deliberately survives: restarting stream sequence numbers
+// at zero would make the destination's resequencer treat every
+// post-recovery packet as a stale duplicate.
+func (r *Ripple) Crash() {
+	if r.down {
+		return
+	}
+	r.down = true
+	var dropped uint64
+	// Source-side exchange state.
+	r.env.Eng.Cancel(r.ackTimer)
+	r.exchanging = false
+	r.attempts = 0
+	for _, p := range r.inService {
+		dropped++
+		p.Release()
+	}
+	r.inService = r.inService[:0]
+	// Send queue.
+	for {
+		p := r.queue.Pop()
+		if p == nil {
+			break
+		}
+		dropped++
+		p.Release()
+	}
+	// Armed relays: releaseRelay cancels each timer and drops the packet
+	// references.
+	for _, p := range r.relays {
+		dropped += uint64(len(p.pkts))
+		r.releaseRelay(p)
+	}
+	r.relays = r.relays[:0]
+	// Piggybacked custody; the reclaim timers find an empty map and return.
+	for txop, pending := range r.piggy {
+		for _, p := range pending {
+			dropped++
+			p.Release()
+		}
+		delete(r.piggy, txop)
+	}
+	// Destination-side resequencing buffers.
+	for key, q := range r.rq {
+		r.env.Eng.Cancel(q.holdEv)
+		for seq, p := range q.buf {
+			dropped++
+			p.Release()
+			delete(q.buf, seq)
+		}
+		delete(r.rq, key)
+	}
+	// Duplicate-suppression memory dies with the station.
+	clear(r.seenData)
+	clear(r.seenAck)
+	r.cont.Cancel()
+	r.env.C.CrashDrops += dropped
+}
+
+// Recover implements forward.Scheme: the station reboots with empty MAC
+// state. Carrier transitions during the outage were dropped by the down
+// guards, so the contender is realigned with the medium's current view.
+func (r *Ripple) Recover() {
+	if !r.down {
+		return
+	}
+	r.down = false
+	if r.env.Med.CarrierBusy(r.env.ID) {
+		r.cont.OnBusy()
+	} else {
+		r.cont.OnIdle()
+	}
+	r.maybeRequest()
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 
 	"ripple/internal/stats"
@@ -84,6 +85,14 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	if ck.doc.Grids == nil {
 		ck.doc.Grids = map[string]*gridCheckpoint{}
 	}
+	for fp, g := range ck.doc.Grids {
+		// A null grid entry or negative cell count parses as valid JSON but
+		// would panic in restore; reject it at load time with the rest of
+		// the corruption classes.
+		if g == nil || g.NumCells < 0 {
+			return nil, fmt.Errorf("dist: resume %s: grid %s: corrupt grid record", path, fp)
+		}
+	}
 	return ck, nil
 }
 
@@ -141,9 +150,12 @@ func (ck *Checkpoint) restore(fp string, numCells int) (done []bool, cells []cel
 	return done, cells, nil
 }
 
+// parseCellIndex accepts only the canonical decimal form: "01" or "1x"
+// would alias another key's index, letting a hostile document mark a cell
+// done while smuggling its record under a duplicate.
 func parseCellIndex(key string, numCells int) (int, error) {
-	var i int
-	if _, err := fmt.Sscanf(key, "%d", &i); err != nil || i < 0 || i >= numCells {
+	i, err := strconv.Atoi(key)
+	if err != nil || i < 0 || i >= numCells || strconv.Itoa(i) != key {
 		return 0, fmt.Errorf("bad cell index %q", key)
 	}
 	return i, nil

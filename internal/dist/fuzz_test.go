@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
+	"reflect"
 	"testing"
 )
 
@@ -58,6 +61,84 @@ func FuzzFrameDecode(f *testing.F) {
 			}
 			if !bytes.Equal(b1, b2) {
 				t.Fatalf("round trip changed frame:\nbefore %s\nafter  %s", b1, b2)
+			}
+		}
+	})
+}
+
+// FuzzCheckpointDecode throws arbitrary documents at LoadCheckpoint and
+// restore. The contract under corruption: never panic, never OOM on a
+// small input, and either reject the file with a descriptive error or
+// hand back internally consistent state — every done cell has exactly one
+// non-empty payload record, and a save→load round trip of that state
+// reproduces it exactly. The seeds cover the corruption classes resume
+// must survive: truncation, wrong version, null grid entries, negative
+// cell counts, bitmap/record mismatches, aliased and out-of-range cell
+// keys, empty payloads, and hostile Welford states.
+func FuzzCheckpointDecode(f *testing.F) {
+	valid := `{"version":1,"grids":{"fp":{"num_cells":3,"done":"Bw==",` +
+		`"cells":{"0":{"payload":[0]},"1":{"payload":[1]},"2":{"payload":[2]}}}}}`
+	f.Add([]byte(valid))
+	f.Add([]byte(valid[:len(valid)/2]))               // truncated JSON
+	f.Add([]byte(`{"version":99,"grids":{}}`))        // wrong version
+	f.Add([]byte(`{"version":1,"grids":{"x":null}}`)) // null grid entry
+	f.Add([]byte(`{"version":1,"grids":{"x":{"num_cells":-5,"done":"","cells":{}}}}`))
+	f.Add([]byte(`{"version":1,"grids":{"x":{"num_cells":3,"done":"!!!","cells":{}}}}`))
+	f.Add([]byte(`{"version":1,"grids":{"x":{"num_cells":3,"done":"Bw==","cells":{"0":{"payload":[0]}}}}}`))
+	f.Add([]byte(`{"version":1,"grids":{"x":{"num_cells":2,"done":"Aw==","cells":{"1":{"payload":[1]},"01":{"payload":[9]}}}}}`))
+	f.Add([]byte(`{"version":1,"grids":{"x":{"num_cells":2,"done":"AQ==","cells":{"7":{"payload":[0]}}}}}`))
+	f.Add([]byte(`{"version":1,"grids":{"x":{"num_cells":1,"done":"AQ==","cells":{"0":{}}}}}`))
+	f.Add([]byte(`{"version":1,"grids":{"x":{"num_cells":1,"done":"AQ==",` +
+		`"cells":{"0":{"payload":[0],"stats":{"v":{"n":-4,"mean":1e308,"m2":-1}}}}}}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "ckpt.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ck, err := LoadCheckpoint(path)
+		if err != nil {
+			return // diagnosed corruption
+		}
+		for fp, g := range ck.doc.Grids {
+			done, cells, err := ck.restore(fp, g.NumCells)
+			if err != nil {
+				continue // diagnosed inconsistency
+			}
+			n := 0
+			for i, ok := range done {
+				if ok {
+					n++
+					if len(cells[i].Payload) == 0 {
+						t.Fatalf("grid %s: done cell %d restored with empty payload", fp, i)
+					}
+				} else if cells[i].Payload != nil || cells[i].Stats != nil {
+					t.Fatalf("grid %s: undone cell %d restored with data", fp, i)
+				}
+			}
+			// Round trip: saving the restored state and restoring it again
+			// must reproduce it exactly. Save may fail on hostile stats
+			// (NaN does not marshal) — an error, never a panic.
+			rt := NewCheckpoint(filepath.Join(dir, "rt.json"))
+			if err := rt.save(fp, g.NumCells, done, cells); err != nil {
+				continue
+			}
+			rt2, err := LoadCheckpoint(rt.Path())
+			if err != nil {
+				t.Fatalf("grid %s: saved checkpoint does not reload: %v", fp, err)
+			}
+			done2, cells2, err := rt2.restore(fp, g.NumCells)
+			if err != nil {
+				t.Fatalf("grid %s: saved checkpoint does not restore: %v", fp, err)
+			}
+			if !reflect.DeepEqual(done, done2) {
+				t.Fatalf("grid %s: done bitmap changed across round trip", fp)
+			}
+			for i := range cells {
+				if !bytes.Equal(cells[i].Payload, cells2[i].Payload) {
+					t.Fatalf("grid %s: cell %d payload changed across round trip", fp, i)
+				}
 			}
 		}
 	})

@@ -69,8 +69,9 @@ func CoordinatorRunGrid(c *Coordinator) func(*campaign.Grid) (*campaign.Result, 
 // WorkerRunGrid is the worker-side RunGrid hook: the process runs the
 // same driver sequence as the coordinator, but each grid's cells execute
 // as leased and stream over the connection; the nil result tells the
-// driver there is no local table to fold.
-func WorkerRunGrid(w *Worker, pl *pool.Pool) func(*campaign.Grid) (*campaign.Result, error) {
+// driver there is no local table to fold. w is typically a Worker, or a
+// Redialer when the connection should survive coordinator outages.
+func WorkerRunGrid(w GridServer, pl *pool.Pool) func(*campaign.Grid) (*campaign.Result, error) {
 	return func(g *campaign.Grid) (*campaign.Result, error) {
 		plan, err := g.Plan()
 		if err != nil {

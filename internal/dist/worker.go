@@ -14,6 +14,12 @@ import (
 // sequence is over, an error if the worker still had grids to serve.
 var ErrShutdown = errors.New("dist: coordinator shut down")
 
+// ErrCell wraps deterministic cell-execution failures so transport-level
+// recovery (Redialer) can tell them apart from connection loss: a cell
+// that fails by construction fails identically on every retry, and the
+// coordinator has already been poisoned by the error report.
+var ErrCell = errors.New("dist: cell failed")
+
 // CellSet is the worker-side view of one grid: a deterministic, shardable
 // batch of cells. campaign.Plan satisfies it through GridCells; the
 // public API wraps batch scenarios the same way.
@@ -29,6 +35,13 @@ type CellSet interface {
 	// RunCell executes one cell, returning its payload (marshalled and
 	// shipped verbatim to the coordinator) and per-metric Welford states.
 	RunCell(c int) (payload any, st map[string]stats.State, err error)
+}
+
+// GridServer is anything that can work one grid's lease queue: a Worker
+// bound to a single connection, or a Redialer that survives connection
+// loss.
+type GridServer interface {
+	ServeGrid(src CellSet) error
 }
 
 // Worker executes leased cells over one coordinator connection. A worker
@@ -87,12 +100,12 @@ func (w *Worker) runCell(src CellSet, fp string, leaseID, cell int) error {
 	payload, st, err := src.RunCell(cell)
 	if err != nil {
 		w.conn.Send(&Message{Type: MsgError, Grid: fp, Err: err.Error()})
-		return err
+		return fmt.Errorf("%w: cell %d: %v", ErrCell, cell, err)
 	}
 	raw, err := json.Marshal(payload)
 	if err != nil {
 		w.conn.Send(&Message{Type: MsgError, Grid: fp, Err: err.Error()})
-		return fmt.Errorf("dist: marshal cell %d: %w", cell, err)
+		return fmt.Errorf("%w: marshal cell %d: %v", ErrCell, cell, err)
 	}
 	return w.conn.Send(&Message{
 		Type: MsgCell, Grid: fp, Lease: leaseID, Cell: cell,

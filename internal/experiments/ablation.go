@@ -275,5 +275,6 @@ func Ablations() []Runner {
 		{"ablation-etx", func(o Options) ([]*Table, error) { t, err := AblationETXRoutes(o); return wrap(t, err) }},
 		{"ablation-routepolicy", func(o Options) ([]*Table, error) { t, err := AblationRoutePolicy(o); return wrap(t, err) }},
 		{"ablation-mobility", func(o Options) ([]*Table, error) { t, err := AblationMobility(o); return wrap(t, err) }},
+		{"ablation-resilience", AblationResilience},
 	}
 }

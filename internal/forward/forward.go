@@ -26,6 +26,15 @@ type Scheme interface {
 	// QueueLen returns the current MAC send-queue depth, including any
 	// in-service (transmitted but unacknowledged) batch.
 	QueueLen() int
+	// Crash removes the station from the network: every queued, in-service
+	// and relay-custody packet is released back to its pool, pending
+	// timers are cancelled, and all MAC upcalls are ignored until Recover.
+	// Receptions already in flight at the medium finish their scheduled
+	// bookkeeping (so the pool stays balanced) but are not processed.
+	Crash()
+	// Recover brings a crashed station back with empty MAC state and
+	// resynchronises its carrier-sense view with the medium.
+	Recover()
 }
 
 // Counters tallies per-station MAC-level events for a run.
@@ -41,6 +50,8 @@ type Counters struct {
 	Relays       uint64 // opportunistic relays transmitted
 	RelayCancels uint64 // relay timers cancelled by sensed carrier
 	Duplicates   uint64 // duplicate receptions suppressed
+	Unreachable  uint64 // packets dropped because the flow's destination is unreachable
+	CrashDrops   uint64 // packets released from custody by a station crash
 }
 
 // RouteBook holds the per-flow routes for a run and answers the two
@@ -56,11 +67,36 @@ type RouteBook struct {
 	// route update replaces the entries, it never rewrites them — so
 	// frames may carry them by reference.
 	fwdCache map[fwdKey][]pkt.NodeID
+
+	// Failure-aware degradation, active only under fault injection.
+	// failThreshold gates everything: 0 (the default) makes every Note*
+	// call a no-op, so fault-free runs pay nothing. Streaks and blacklists
+	// are scoped per (flow, sender): a station that keeps abandoning
+	// packets suspects its *own* path next hop, and only its own forwarder
+	// list loses that hop — a flow-global blacklist would knock a live
+	// relay out of every other station's list. Entries last until the next
+	// route Update (the next epoch re-decides from the fault-masked
+	// table).
+	failThreshold int
+	consecFails   map[blKey]int
+	blacklist     map[blKey]map[pkt.NodeID]bool
+	// unreachable flags flows whose destination the current epoch world
+	// cannot reach; schemes drop such traffic at the source (counted as
+	// Counters.Unreachable) instead of burning retries. unreachDrops
+	// attributes those drops per flow for FlowResult.
+	unreachable  map[int]bool
+	unreachDrops map[int]int64
 }
 
 type fwdKey struct {
 	flow         int
 	from, toward pkt.NodeID
+}
+
+// blKey scopes failure streaks and blacklists to one sender of one flow.
+type blKey struct {
+	flow int
+	from pkt.NodeID
 }
 
 // NewRouteBook creates a route book; maxForwarders caps forwarder lists
@@ -80,6 +116,18 @@ func NewRouteBook(maxForwarders int) *RouteBook {
 func (b *RouteBook) Add(flow int, p routing.Path) {
 	b.paths[flow] = p.Limit(b.maxForwarders - 1)
 	b.invalidate(flow)
+	// A fresh route absolves the flow's blacklists and failure streaks: the
+	// route decision already accounts for the current fault overlay.
+	for k := range b.blacklist {
+		if k.flow == flow {
+			delete(b.blacklist, k)
+		}
+	}
+	for k := range b.consecFails {
+		if k.flow == flow {
+			delete(b.consecFails, k)
+		}
+	}
 }
 
 // invalidate drops a flow's cached forwarder lists (in-flight frames keep
@@ -105,13 +153,28 @@ func (b *RouteBook) Update(flow int, p routing.Path) { b.Add(flow, p) }
 func (b *RouteBook) Path(flow int) routing.Path { return b.paths[flow] }
 
 // NextHop returns the next hop for a packet of the given flow currently at
-// `from` and ultimately bound for endpoint `dst`.
+// `from` and ultimately bound for endpoint `dst`. Blacklisted forwarders
+// are skipped over — the packet is handed to the next station down the
+// path (never past dst, which is exempt from blacklisting).
 func (b *RouteBook) NextHop(flow int, from, dst pkt.NodeID) (pkt.NodeID, bool) {
 	p, ok := b.paths[flow]
 	if !ok {
 		return 0, false
 	}
-	return p.NextHop(from, dst)
+	hop, ok := p.NextHop(from, dst)
+	if !ok {
+		return hop, ok
+	}
+	if bl := b.blacklist[blKey{flow: flow, from: from}]; bl != nil {
+		for hop != dst && bl[hop] {
+			next, ok := p.NextHop(hop, dst)
+			if !ok {
+				return hop, false
+			}
+			hop = next
+		}
+	}
+	return hop, true
 }
 
 // FwdList returns the destination-first prioritised forwarder list for a
@@ -128,6 +191,16 @@ func (b *RouteBook) FwdList(flow int, from, dst pkt.NodeID) []pkt.NodeID {
 		return nil
 	}
 	list := p.FwdList(from, dst)
+	if bl := b.blacklist[blKey{flow: flow, from: from}]; len(bl) > 0 {
+		filtered := make([]pkt.NodeID, 0, len(list))
+		for _, n := range list {
+			if n != dst && bl[n] {
+				continue
+			}
+			filtered = append(filtered, n)
+		}
+		list = filtered
+	}
 	b.fwdCache[key] = list
 	return list
 }
@@ -137,6 +210,124 @@ func (b *RouteBook) OnPath(flow int, n pkt.NodeID) bool {
 	p, ok := b.paths[flow]
 	return ok && p.Contains(n)
 }
+
+// EnableFailureDetection turns on forwarder blacklisting: after
+// `threshold` consecutive abandoned packets on a flow (retry budget
+// exhausted, with no successful acknowledgement in between) the flow's
+// preferred forwarder is blacklisted until the next route update.
+// threshold <= 0 selects 3.
+// Left unenabled — the default — every failure-detection hook is a no-op.
+func (b *RouteBook) EnableFailureDetection(threshold int) {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	b.failThreshold = threshold
+}
+
+// NoteTxFailure records one abandoned packet by `from` for the flow —
+// MACs call it at the terminal drop, not per ACK timeout, because on a
+// lossy channel single timeouts are routine while a dead next hop
+// exhausts every packet's retry budget. When the sender's
+// consecutive-failure streak reaches the enabled threshold, the sender
+// blacklists its own path next hop — the station whose silence it has
+// been observing — from its own forwarder list, and the streak resets.
+// The sender must keep at least one other non-destination forwarder:
+// blacklisting the only relay would leave it transmitting straight at a
+// (likely out-of-range) destination, a guaranteed outage worse than
+// hammering a possibly dead forwarder — single-relay routes rely on the
+// next epoch's fault-masked route instead. No-op unless
+// EnableFailureDetection was called.
+func (b *RouteBook) NoteTxFailure(flow int, from, dst pkt.NodeID) {
+	if b.failThreshold == 0 {
+		return
+	}
+	key := blKey{flow: flow, from: from}
+	if b.consecFails == nil {
+		b.consecFails = make(map[blKey]int)
+	}
+	b.consecFails[key]++
+	if b.consecFails[key] < b.failThreshold {
+		return
+	}
+	b.consecFails[key] = 0
+	p, ok := b.paths[flow]
+	if !ok {
+		return
+	}
+	target, ok := p.NextHop(from, dst)
+	if !ok || target == dst {
+		return
+	}
+	relays := 0
+	for _, n := range b.FwdList(flow, from, dst) {
+		if n != dst && n != target {
+			relays++
+		}
+	}
+	if relays < 1 {
+		return
+	}
+	if b.blacklist == nil {
+		b.blacklist = make(map[blKey]map[pkt.NodeID]bool)
+	}
+	m := b.blacklist[key]
+	if m == nil {
+		m = make(map[pkt.NodeID]bool)
+		b.blacklist[key] = m
+	}
+	if !m[target] {
+		m[target] = true
+		b.invalidate(flow)
+	}
+}
+
+// NoteTxSuccess resets the sender's consecutive-failure streak for the
+// flow (an acknowledged exchange proves its forwarder set alive). No-op
+// unless failure detection is enabled.
+func (b *RouteBook) NoteTxSuccess(flow int, from pkt.NodeID) {
+	if b.failThreshold == 0 || b.consecFails == nil {
+		return
+	}
+	delete(b.consecFails, blKey{flow: flow, from: from})
+}
+
+// Blacklisted reports whether sender `from` currently blacklists station
+// n for the flow (tests and diagnostics).
+func (b *RouteBook) Blacklisted(flow int, from, n pkt.NodeID) bool {
+	return b.blacklist[blKey{flow: flow, from: from}][n]
+}
+
+// SetUnreachable flags or clears a flow whose destination the current
+// epoch world cannot reach. Schemes consult Unreachable at their send and
+// grant points and drop the flow's traffic immediately (counted as
+// Counters.Unreachable) instead of looping retries at the MAC.
+func (b *RouteBook) SetUnreachable(flow int, v bool) {
+	if !v {
+		if b.unreachable != nil {
+			delete(b.unreachable, flow)
+		}
+		return
+	}
+	if b.unreachable == nil {
+		b.unreachable = make(map[int]bool)
+	}
+	b.unreachable[flow] = true
+}
+
+// Unreachable reports whether the flow is currently flagged unreachable.
+func (b *RouteBook) Unreachable(flow int) bool { return b.unreachable[flow] }
+
+// NoteUnreachableDrop attributes one unreachable-destination drop to the
+// flow (surfaced as FlowResult.Unreachable).
+func (b *RouteBook) NoteUnreachableDrop(flow int) {
+	if b.unreachDrops == nil {
+		b.unreachDrops = make(map[int]int64)
+	}
+	b.unreachDrops[flow]++
+}
+
+// UnreachableDrops returns the flow's unreachable-destination drop count.
+func (b *RouteBook) UnreachableDrops(flow int) int64 { return b.unreachDrops[flow] }
 
 // Env bundles the per-station dependencies a scheme instance needs.
 type Env struct {

@@ -29,6 +29,10 @@ type MCExOR struct {
 
 	rxSeen *dedupe
 	pend   map[uint64]*mcRx
+
+	// down marks the station crashed (fault injection): every MAC upcall
+	// and local send is ignored until Recover.
+	down bool
 }
 
 type mcRx struct {
@@ -53,6 +57,19 @@ func NewMCExOR(env Env) *MCExOR {
 
 // Send implements Scheme.
 func (x *MCExOR) Send(p *pkt.Packet) bool {
+	if x.down {
+		x.env.C.CrashDrops++
+		p.Release() // station is crashed: terminal drop point
+		return false
+	}
+	if x.env.Routes.Unreachable(p.FlowID) {
+		// The destination is known unreachable this epoch: drop at the
+		// source instead of burning airtime on doomed retries.
+		x.env.C.Unreachable++
+		x.env.Routes.NoteUnreachableDrop(p.FlowID)
+		p.Release()
+		return false
+	}
 	p.EnqueuedAt = x.env.Eng.Now()
 	if !x.queue.Push(p) {
 		x.env.C.QueueDrops++
@@ -92,7 +109,12 @@ func (x *MCExOR) onGrant() {
 	}
 	fwd := x.env.Routes.FwdList(x.cur.FlowID, x.env.ID, x.cur.Dst)
 	if len(fwd) == 0 {
-		x.env.C.MACDrops++
+		if x.env.Routes.Unreachable(x.cur.FlowID) {
+			x.env.C.Unreachable++
+			x.env.Routes.NoteUnreachableDrop(x.cur.FlowID)
+		} else {
+			x.env.C.MACDrops++
+		}
 		x.cur.Release() // no route: terminal drop point
 		x.cur = nil
 		x.maybeRequest()
@@ -126,7 +148,7 @@ func (x *MCExOR) onGrant() {
 
 // TxDone implements radio.MAC.
 func (x *MCExOR) TxDone(f *pkt.Frame) {
-	if f.Kind != pkt.Data || f.TxopID != x.curTxop || !x.exchanging {
+	if x.down || f.Kind != pkt.Data || f.TxopID != x.curTxop || !x.exchanging {
 		return
 	}
 	// The compressed schedule: the last possible ACK starts after
@@ -144,6 +166,7 @@ func (x *MCExOR) collectDone() {
 	if x.heardAck {
 		// Custody transferred (or delivered): the acker holds its own
 		// reference, ours ends here.
+		x.env.Routes.NoteTxSuccess(x.cur.FlowID, x.env.ID)
 		x.cur.Release()
 		x.cur = nil
 		x.attempts = 0
@@ -152,6 +175,11 @@ func (x *MCExOR) collectDone() {
 		x.attempts++
 		x.env.C.AckTimeouts++
 		if x.attempts > x.env.P.RetryLimit {
+			// Only the terminal drop counts toward forwarder blacklisting: on
+			// a lossy channel single ACK timeouts are routine (relays often
+			// carry the packet even when the sender hears no ACK), but a dead
+			// preferred forwarder exhausts the retry budget on every packet.
+			x.env.Routes.NoteTxFailure(x.cur.FlowID, x.env.ID, x.cur.Dst)
 			x.env.C.MACDrops++
 			x.cur.Release() // abandoned: terminal drop point
 			x.cur = nil
@@ -166,6 +194,9 @@ func (x *MCExOR) collectDone() {
 
 // FrameReceived implements radio.MAC.
 func (x *MCExOR) FrameReceived(f *pkt.Frame, pktOK []bool) {
+	if x.down {
+		return // reception completed after the crash: the station is gone
+	}
 	switch f.Kind {
 	case pkt.Ack:
 		if x.exchanging && f.TxopID == x.curTxop {
@@ -199,6 +230,9 @@ func (x *MCExOR) handleData(f *pkt.Frame, pktOK []bool) {
 	// (any carrier) during the wait.
 	wait := sim.Time(rank+1) * x.env.P.SIFS
 	x.env.Eng.After(wait, func() {
+		if x.pend[f.TxopID] != rx {
+			return // crash released this custody already (see Crash)
+		}
 		delete(x.pend, f.TxopID)
 		if rx.suppressed || x.env.Med.CarrierBusy(x.env.ID) {
 			p.Release()
@@ -246,12 +280,20 @@ func (x *MCExOR) handleData(f *pkt.Frame, pktOK []bool) {
 }
 
 // FrameCorrupted implements radio.MAC.
-func (x *MCExOR) FrameCorrupted() { x.cont.NoteCorrupted() }
+func (x *MCExOR) FrameCorrupted() {
+	if x.down {
+		return
+	}
+	x.cont.NoteCorrupted()
+}
 
 // ChannelBusy implements radio.MAC. Any carrier detected during a
 // compressed-ACK wait suppresses the pending ACK ("if it detects an ACK
 // transmission during its waiting period, it will not transmit").
 func (x *MCExOR) ChannelBusy() {
+	if x.down {
+		return
+	}
 	for _, rx := range x.pend {
 		rx.suppressed = true
 	}
@@ -259,4 +301,59 @@ func (x *MCExOR) ChannelBusy() {
 }
 
 // ChannelIdle implements radio.MAC.
-func (x *MCExOR) ChannelIdle() { x.cont.OnIdle() }
+func (x *MCExOR) ChannelIdle() {
+	if x.down {
+		return
+	}
+	x.cont.OnIdle()
+}
+
+// Crash implements Scheme: release every held packet — the in-flight
+// custody packet, the send queue and pending compressed-ACK closures —
+// and withdraw timers. The un-cancellable ACK closures fire later, see
+// the identity check in handleData.
+func (x *MCExOR) Crash() {
+	if x.down {
+		return
+	}
+	x.down = true
+	var dropped uint64
+	x.env.Eng.Cancel(x.collectEv)
+	x.exchanging = false
+	if x.cur != nil {
+		dropped++
+		x.cur.Release()
+		x.cur = nil
+	}
+	x.attempts = 0
+	for {
+		p := x.queue.Pop()
+		if p == nil {
+			break
+		}
+		dropped++
+		p.Release()
+	}
+	for txop, rx := range x.pend {
+		dropped++
+		rx.packet.Release()
+		delete(x.pend, txop)
+	}
+	x.cont.Cancel()
+	x.env.C.CrashDrops += dropped
+}
+
+// Recover implements Scheme: reboot with empty MAC state and realign the
+// contender with the medium's current carrier view.
+func (x *MCExOR) Recover() {
+	if !x.down {
+		return
+	}
+	x.down = false
+	if x.env.Med.CarrierBusy(x.env.ID) {
+		x.cont.OnBusy()
+	} else {
+		x.cont.OnIdle()
+	}
+	x.maybeRequest()
+}

@@ -30,6 +30,10 @@ type PreExOR struct {
 
 	rxSeen *dedupe            // packet UIDs delivered or taken into custody
 	pend   map[uint64]*exorRx // pending receptions by TxopID
+
+	// down marks the station crashed (fault injection): every MAC upcall
+	// and local send is ignored until Recover.
+	down bool
 }
 
 type exorRx struct {
@@ -55,6 +59,19 @@ func NewPreExOR(env Env) *PreExOR {
 
 // Send implements Scheme.
 func (x *PreExOR) Send(p *pkt.Packet) bool {
+	if x.down {
+		x.env.C.CrashDrops++
+		p.Release() // station is crashed: terminal drop point
+		return false
+	}
+	if x.env.Routes.Unreachable(p.FlowID) {
+		// The destination is known unreachable this epoch: drop at the
+		// source instead of burning airtime on doomed retries.
+		x.env.C.Unreachable++
+		x.env.Routes.NoteUnreachableDrop(p.FlowID)
+		p.Release()
+		return false
+	}
 	p.EnqueuedAt = x.env.Eng.Now()
 	if !x.queue.Push(p) {
 		x.env.C.QueueDrops++
@@ -94,7 +111,12 @@ func (x *PreExOR) onGrant() {
 	}
 	fwd := x.env.Routes.FwdList(x.cur.FlowID, x.env.ID, x.cur.Dst)
 	if len(fwd) == 0 {
-		x.env.C.MACDrops++
+		if x.env.Routes.Unreachable(x.cur.FlowID) {
+			x.env.C.Unreachable++
+			x.env.Routes.NoteUnreachableDrop(x.cur.FlowID)
+		} else {
+			x.env.C.MACDrops++
+		}
 		x.cur.Release() // no route: terminal drop point
 		x.cur = nil
 		x.maybeRequest()
@@ -139,7 +161,7 @@ func (x *PreExOR) scheduleEnd(n int) sim.Time {
 
 // TxDone implements radio.MAC.
 func (x *PreExOR) TxDone(f *pkt.Frame) {
-	if f.Kind != pkt.Data || f.TxopID != x.curTxop || !x.exchanging {
+	if x.down || f.Kind != pkt.Data || f.TxopID != x.curTxop || !x.exchanging {
 		return
 	}
 	// Wait out the full sequential ACK schedule, shadowed slots included.
@@ -154,6 +176,7 @@ func (x *PreExOR) collectDone() {
 	if x.heardRank >= 0 {
 		// Custody transferred to a closer station (or delivered): the
 		// receiver holds its own reference, ours ends here.
+		x.env.Routes.NoteTxSuccess(x.cur.FlowID, x.env.ID)
 		x.cur.Release()
 		x.cur = nil
 		x.attempts = 0
@@ -162,6 +185,9 @@ func (x *PreExOR) collectDone() {
 		x.attempts++
 		x.env.C.AckTimeouts++
 		if x.attempts > x.env.P.RetryLimit {
+			// Terminal drops, not single ACK timeouts, feed blacklisting —
+			// see the MCExOR collectDone comment.
+			x.env.Routes.NoteTxFailure(x.cur.FlowID, x.env.ID, x.cur.Dst)
 			x.env.C.MACDrops++
 			x.cur.Release() // abandoned: terminal drop point
 			x.cur = nil
@@ -176,6 +202,9 @@ func (x *PreExOR) collectDone() {
 
 // FrameReceived implements radio.MAC.
 func (x *PreExOR) FrameReceived(f *pkt.Frame, pktOK []bool) {
+	if x.down {
+		return // reception completed after the crash: the station is gone
+	}
 	switch f.Kind {
 	case pkt.Ack:
 		x.handleAck(f)
@@ -224,7 +253,7 @@ func (x *PreExOR) handleData(f *pkt.Frame, pktOK []bool) {
 		Duration:  x.env.P.ACKTime(),
 	}
 	x.env.Eng.After(x.ackSlot(rank), func() {
-		if x.env.Med.Transmitting(x.env.ID) {
+		if x.down || x.env.Med.Transmitting(x.env.ID) {
 			return
 		}
 		x.env.C.TxFrames++
@@ -248,6 +277,9 @@ func (x *PreExOR) handleData(f *pkt.Frame, pktOK []bool) {
 	x.pend[f.TxopID] = rx
 	p.Ref()
 	x.env.Eng.After(x.scheduleEnd(len(f.FwdList)), func() {
+		if x.pend[f.TxopID] != rx {
+			return // crash released this custody already (see Crash)
+		}
 		delete(x.pend, f.TxopID)
 		if rx.heardHigher {
 			p.Release()
@@ -269,10 +301,75 @@ func (x *PreExOR) handleData(f *pkt.Frame, pktOK []bool) {
 }
 
 // FrameCorrupted implements radio.MAC.
-func (x *PreExOR) FrameCorrupted() { x.cont.NoteCorrupted() }
+func (x *PreExOR) FrameCorrupted() {
+	if x.down {
+		return
+	}
+	x.cont.NoteCorrupted()
+}
 
 // ChannelBusy implements radio.MAC.
-func (x *PreExOR) ChannelBusy() { x.cont.OnBusy() }
+func (x *PreExOR) ChannelBusy() {
+	if x.down {
+		return
+	}
+	x.cont.OnBusy()
+}
 
 // ChannelIdle implements radio.MAC.
-func (x *PreExOR) ChannelIdle() { x.cont.OnIdle() }
+func (x *PreExOR) ChannelIdle() {
+	if x.down {
+		return
+	}
+	x.cont.OnIdle()
+}
+
+// Crash implements Scheme: release every held packet — the in-flight
+// custody packet, the send queue and pending custody-decision closures —
+// and withdraw timers. The un-cancellable custody closures fire later,
+// see the identity check in handleData.
+func (x *PreExOR) Crash() {
+	if x.down {
+		return
+	}
+	x.down = true
+	var dropped uint64
+	x.env.Eng.Cancel(x.collectEv)
+	x.exchanging = false
+	if x.cur != nil {
+		dropped++
+		x.cur.Release()
+		x.cur = nil
+	}
+	x.attempts = 0
+	for {
+		p := x.queue.Pop()
+		if p == nil {
+			break
+		}
+		dropped++
+		p.Release()
+	}
+	for txop, rx := range x.pend {
+		dropped++
+		rx.packet.Release()
+		delete(x.pend, txop)
+	}
+	x.cont.Cancel()
+	x.env.C.CrashDrops += dropped
+}
+
+// Recover implements Scheme: reboot with empty MAC state and realign the
+// contender with the medium's current carrier view.
+func (x *PreExOR) Recover() {
+	if !x.down {
+		return
+	}
+	x.down = false
+	if x.env.Med.CarrierBusy(x.env.ID) {
+		x.cont.OnBusy()
+	} else {
+		x.cont.OnIdle()
+	}
+	x.maybeRequest()
+}

@@ -44,6 +44,10 @@ type Unicast struct {
 	rxSeen *dedupe
 	// freeTx recycles the SIFS-delayed transmit actions.
 	freeTx *uniDelayedTx
+
+	// down marks the station crashed (fault injection): every MAC upcall
+	// and local send is ignored until Recover.
+	down bool
 }
 
 // uniDelayedTx transmits a frame after SIFS unless the station is
@@ -62,7 +66,7 @@ func (a *uniDelayedTx) Run() {
 	a.f = nil
 	a.next = u.freeTx
 	u.freeTx = a
-	if need && !u.exchanging {
+	if u.down || (need && !u.exchanging) {
 		return
 	}
 	if u.env.Med.Transmitting(u.env.ID) {
@@ -118,6 +122,19 @@ func NewUnicastRTS(env Env, maxAgg, rtsThreshold int) *Unicast {
 
 // Send implements Scheme.
 func (u *Unicast) Send(p *pkt.Packet) bool {
+	if u.down {
+		u.env.C.CrashDrops++
+		p.Release() // station is crashed: terminal drop point
+		return false
+	}
+	if u.env.Routes.Unreachable(p.FlowID) {
+		// The destination is known unreachable this epoch: drop at the
+		// source instead of burning airtime on doomed retries.
+		u.env.C.Unreachable++
+		u.env.Routes.NoteUnreachableDrop(p.FlowID)
+		p.Release()
+		return false
+	}
 	p.EnqueuedAt = u.env.Eng.Now()
 	if !u.queue.Push(p) {
 		u.env.C.QueueDrops++
@@ -163,7 +180,12 @@ func (u *Unicast) buildBatch() {
 		if !ok {
 			// No route from here: drop and try the next packet.
 			u.queue.Pop()
-			u.env.C.MACDrops++
+			if u.env.Routes.Unreachable(head.FlowID) {
+				u.env.C.Unreachable++
+				u.env.Routes.NoteUnreachableDrop(head.FlowID)
+			} else {
+				u.env.C.MACDrops++
+			}
 			head.Release()
 			continue
 		}
@@ -244,7 +266,7 @@ func (u *Unicast) transmitData(f *pkt.Frame) {
 // TxDone implements radio.MAC: arm the CTS timeout after our RTS, or the
 // ACK timeout after our data frame; other transmissions need no follow-up.
 func (u *Unicast) TxDone(f *pkt.Frame) {
-	if f.TxopID != u.curTxop || !u.exchanging {
+	if u.down || f.TxopID != u.curTxop || !u.exchanging {
 		return
 	}
 	switch f.Kind {
@@ -289,6 +311,12 @@ func (u *Unicast) failExchange() {
 	u.attempts++
 	u.env.C.AckTimeouts++
 	if u.attempts > u.env.P.RetryLimit {
+		// Failure detection (fault injection): a streak of abandoned
+		// batches blacklists the suspected-dead next hop. Terminal drops,
+		// not single ACK timeouts, feed the streak — see the MCExOR
+		// collectDone comment. No-op unless
+		// RouteBook.EnableFailureDetection was called.
+		u.env.Routes.NoteTxFailure(u.svcFlow, u.env.ID, u.svcDst)
 		// Retry limit exceeded: drop the whole batch, reset the window.
 		u.env.C.MACDrops += uint64(len(u.inService))
 		for _, p := range u.inService {
@@ -305,6 +333,9 @@ func (u *Unicast) failExchange() {
 
 // FrameReceived implements radio.MAC.
 func (u *Unicast) FrameReceived(f *pkt.Frame, pktOK []bool) {
+	if u.down {
+		return // reception completed after the crash: the station is gone
+	}
 	switch f.Kind {
 	case pkt.Ack:
 		u.handleAck(f)
@@ -401,6 +432,7 @@ func (u *Unicast) handleAck(f *pkt.Frame) {
 	}
 	u.inService = remaining
 	u.attempts = 0
+	u.env.Routes.NoteTxSuccess(u.svcFlow, u.env.ID)
 	u.cont.Success()
 	u.maybeRequest()
 }
@@ -470,16 +502,78 @@ func (u *Unicast) handleData(f *pkt.Frame, pktOK []bool) {
 }
 
 // FrameCorrupted implements radio.MAC.
-func (u *Unicast) FrameCorrupted() { u.cont.NoteCorrupted() }
+func (u *Unicast) FrameCorrupted() {
+	if u.down {
+		return
+	}
+	u.cont.NoteCorrupted()
+}
 
 // ChannelBusy implements radio.MAC.
-func (u *Unicast) ChannelBusy() { u.cont.OnBusy() }
+func (u *Unicast) ChannelBusy() {
+	if u.down {
+		return
+	}
+	u.cont.OnBusy()
+}
 
 // ChannelIdle implements radio.MAC: a set NAV keeps the contender frozen
 // even when the physical channel goes quiet.
 func (u *Unicast) ChannelIdle() {
-	if u.navBusy {
+	if u.down || u.navBusy {
 		return
 	}
 	u.cont.OnIdle()
+}
+
+// Crash implements Scheme: the station dies. The in-service batch, the
+// send queue and the pending post-CTS data frame release their packet
+// references, timers are withdrawn and the NAV is forgotten. rxSeen
+// deliberately survives: forgetting delivered UIDs would let a hop-by-hop
+// retransmission duplicate packets into the upper layer after recovery.
+func (u *Unicast) Crash() {
+	if u.down {
+		return
+	}
+	u.down = true
+	var dropped uint64
+	u.env.Eng.Cancel(u.ackTimer)
+	u.env.Eng.Cancel(u.ctsTimer)
+	u.exchanging = false
+	u.awaitCTS = false
+	u.dataFrame = nil // shares the in-service packets, no refs of its own
+	u.attempts = 0
+	for _, p := range u.inService {
+		dropped++
+		p.Release()
+	}
+	u.inService = u.inService[:0]
+	for {
+		p := u.queue.Pop()
+		if p == nil {
+			break
+		}
+		dropped++
+		p.Release()
+	}
+	u.navBusy = false
+	u.navUntil = 0
+	u.cont.Cancel()
+	u.env.C.CrashDrops += dropped
+}
+
+// Recover implements Scheme: reboot with empty MAC state and realign the
+// contender with the medium's current carrier view (busy transitions
+// during the outage were dropped by the down guards).
+func (u *Unicast) Recover() {
+	if !u.down {
+		return
+	}
+	u.down = false
+	if u.env.Med.CarrierBusy(u.env.ID) {
+		u.cont.OnBusy()
+	} else {
+		u.cont.OnIdle()
+	}
+	u.maybeRequest()
 }

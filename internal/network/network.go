@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"ripple/internal/core"
+	"ripple/internal/fault"
 	"ripple/internal/forward"
 	"ripple/internal/phys"
 	"ripple/internal/pkt"
@@ -113,6 +114,11 @@ type Config struct {
 	// Mobility makes the world time-varying (see MobilitySpec). The zero
 	// value keeps every station parked at its declared position.
 	Mobility MobilitySpec
+	// Faults injects deterministic failures — station churn, link flaps,
+	// noise bursts, an area partition (see fault.Spec). The zero value
+	// injects nothing and leaves a run bit-identical to a fault-free one;
+	// schedules draw from FaultSpec.Seed, never Config.Seed.
+	Faults fault.Spec
 	// MultiRate enables the paper's §V future-work extension: per-link PHY
 	// rate selection.
 	MultiRate MultiRateSpec
@@ -300,6 +306,10 @@ type FlowResult struct {
 	Transfers      int64
 	MoS            float64 // VoIP flows only
 	LossRate       float64 // VoIP flows only
+	// Unreachable counts packets this flow dropped at the source because
+	// its destination was cut off by faults (always 0 without fault
+	// injection).
+	Unreachable int64
 }
 
 // Result is a completed run. A Result produced by Average carries the
@@ -318,6 +328,18 @@ type Result struct {
 	Duration     sim.Time
 	// Fairness is Jain's index over the per-flow throughputs.
 	Fairness float64
+	// RouteStale counts epoch boundaries at which a flow kept a stale
+	// route because its dynamic recompute failed (motion disconnected the
+	// endpoints); Unreachable counts packets dropped because the
+	// destination was cut off by faults (mirrors MAC.Unreachable). Both
+	// are 0 for static fault-free runs.
+	RouteStale  uint64
+	Unreachable uint64
+	// PoolInUse is the packet pool's outstanding count at end of run —
+	// packets legitimately parked in interface queues plus anything
+	// leaked. Bounded by total queue capacity in a healthy run; station
+	// crashes must release custody rather than inflate it.
+	PoolInUse int
 }
 
 // endpointKey routes delivered packets to the right transport endpoint.
@@ -369,6 +391,11 @@ func Run(cfg Config) (*Result, error) {
 	for i, f := range cfg.Flows {
 		routes.Add(f.ID, world.routes[i])
 	}
+	if world.faults != nil {
+		// Graceful degradation: consecutive delivery failures to a forwarder
+		// blacklist it until the next epoch's route update.
+		routes.EnableFailureDetection(world.faults.Threshold())
+	}
 
 	var rateOracle *rateadapt.OracleSelector
 	if cfg.MultiRate.Enabled {
@@ -417,6 +444,7 @@ func Run(cfg Config) (*Result, error) {
 		medium.Attach(id, schemes[i])
 	}
 
+	var routeStale uint64
 	if len(world.epochs) > 0 {
 		// Epoch-world swaps: at each boundary the medium adopts the epoch's
 		// link plan (in-flight receptions keep their precomputed attributes;
@@ -428,6 +456,11 @@ func Run(cfg Config) (*Result, error) {
 		// purpose: events at equal timestamps fire in scheduling order, so at
 		// a shared boundary the re-route already sees the new world.
 		next := 0
+		// With faults active, routes must be refreshed every epoch even under
+		// static routing: the epoch worlds carry crash-masked paths, and the
+		// Update also resets forwarder blacklists and consecutive-failure
+		// streaks ("blacklisted until the next epoch").
+		routeUpdates := cfg.Routing.active() || world.faults != nil
 		var swap func()
 		swap = func() {
 			ew := world.epochs[next]
@@ -437,9 +470,39 @@ func Run(cfg Config) (*Result, error) {
 					policy = pol
 				}
 			}
-			if cfg.Routing.active() {
+			if routeUpdates {
 				for i, f := range cfg.Flows {
 					routes.Update(f.ID, ew.routes[i])
+				}
+			}
+			if ew.stale != nil || ew.unreach != nil {
+				now := eng.Now()
+				for i, f := range cfg.Flows {
+					if ew.stale != nil && ew.stale[i] {
+						// No silent fallback: a kept stale route is counted
+						// and traced every epoch it persists.
+						routeStale++
+						if cfg.Trace != nil {
+							cfg.Trace(now, "route-stale", f.Path.Src(), &pkt.Frame{
+								Kind: pkt.Data, FlowID: f.ID,
+								Tx: f.Path.Src(), Origin: f.Path.Src(),
+								Rx: f.Path.Dst(), FinalDst: f.Path.Dst(),
+							})
+						}
+					}
+					if ew.unreach != nil {
+						un := ew.unreach[i]
+						if un != routes.Unreachable(f.ID) {
+							routes.SetUnreachable(f.ID, un)
+							if un && cfg.Trace != nil {
+								cfg.Trace(now, "unreachable", f.Path.Src(), &pkt.Frame{
+									Kind: pkt.Data, FlowID: f.ID,
+									Tx: f.Path.Src(), Origin: f.Path.Src(),
+									Rx: f.Path.Dst(), FinalDst: f.Path.Dst(),
+								})
+							}
+						}
+					}
 				}
 			}
 			next++
@@ -500,6 +563,60 @@ func Run(cfg Config) (*Result, error) {
 			eng.After(epoch, reroute)
 		}
 		eng.After(epoch, reroute)
+	}
+
+	if fs := world.faults; fs != nil {
+		// In-engine fault events: crashes and recoveries flip the medium's
+		// down mask and the scheme's state at their scheduled instants; noise
+		// bursts accumulate per-station SNR penalties. Link flaps and the
+		// partition have no events — the medium consults the schedule's
+		// time-indexed query per transmission. Everything runs inside the
+		// engine's single-threaded loop, so results stay bit-identical at any
+		// pool parallelism.
+		if fs.BlocksLinks() {
+			medium.SetLinkBlocked(func(tx, rx pkt.NodeID) bool {
+				return fs.LinkBlockedAt(tx, rx, eng.Now())
+			})
+		}
+		noiseNow := make([]float64, len(cfg.Positions))
+		bursts := fs.Bursts()
+		for _, ev := range fs.Events() {
+			if ev.At >= cfg.Duration {
+				continue
+			}
+			switch ev.Kind {
+			case fault.StationDown:
+				id := ev.Station
+				eng.At(ev.At, func() {
+					medium.SetDown(id, true)
+					schemes[id].Crash()
+					if cfg.Trace != nil {
+						cfg.Trace(eng.Now(), "station-down", id, &pkt.Frame{Tx: id, Origin: id})
+					}
+				})
+			case fault.StationUp:
+				id := ev.Station
+				eng.At(ev.At, func() {
+					medium.SetDown(id, false)
+					schemes[id].Recover()
+					if cfg.Trace != nil {
+						cfg.Trace(eng.Now(), "station-up", id, &pkt.Frame{Tx: id, Origin: id})
+					}
+				})
+			case fault.NoiseOn, fault.NoiseOff:
+				b := bursts[ev.Burst]
+				delta := b.PenaltyDB
+				if ev.Kind == fault.NoiseOff {
+					delta = -delta
+				}
+				eng.At(ev.At, func() {
+					for _, id := range b.Covered {
+						noiseNow[id] += delta
+						medium.SetNoiseDB(id, noiseNow[id])
+					}
+				})
+			}
+		}
 	}
 
 	// One packet pool per run: transports draw from it, and the MAC layer
@@ -566,6 +683,9 @@ func Run(cfg Config) (*Result, error) {
 	for i := range counters {
 		res.MAC = addCounters(res.MAC, counters[i])
 	}
+	res.RouteStale = routeStale
+	res.Unreachable = res.MAC.Unreachable
+	res.PoolInUse = pktPool.InUse()
 	tputs := make([]float64, 0, len(cfg.Flows))
 	for i, f := range cfg.Flows {
 		fs := flowStats[i]
@@ -577,6 +697,7 @@ func Run(cfg Config) (*Result, error) {
 			ReorderRate:    fs.ReorderRate(),
 			PktsDelivered:  fs.PktsDelivered,
 			Transfers:      fs.TransfersCompleted,
+			Unreachable:    routes.UnreachableDrops(f.ID),
 		}
 		if f.Kind == VoIPTraffic {
 			fr.LossRate = fs.VoIPLossRate()
@@ -662,5 +783,7 @@ func addCounters(a, b forward.Counters) forward.Counters {
 	a.Relays += b.Relays
 	a.RelayCancels += b.RelayCancels
 	a.Duplicates += b.Duplicates
+	a.Unreachable += b.Unreachable
+	a.CrashDrops += b.CrashDrops
 	return a
 }

@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 
+	"ripple/internal/fault"
 	"ripple/internal/pkt"
 	"ripple/internal/radio"
 	"ripple/internal/routing"
@@ -41,15 +42,30 @@ type World struct {
 	// K-sized) path; for policy specs it is the policy's unloaded route.
 	routes []routing.Path
 	flows  int
-	// Time-varying worlds (Config.Mobility active): epochLen is the epoch
-	// length and epochs[e] the world in effect from (e+1)·epochLen on, each
-	// derived incrementally from its predecessor (see buildEpochs). Epoch
-	// worlds are as immutable and seed-independent as the initial one —
-	// trajectories draw from MobilitySpec.Seed, never Config.Seed — so the
-	// whole sequence is shared across pool workers like any other World.
+	// Time-varying worlds (Config.Mobility or Config.Faults active):
+	// epochLen is the epoch length and epochs[e] the world in effect from
+	// (e+1)·epochLen on, each derived incrementally from its predecessor
+	// (see buildEpochs). Epoch worlds are as immutable and seed-independent
+	// as the initial one — trajectories draw from MobilitySpec.Seed, fault
+	// schedules from FaultSpec.Seed, never Config.Seed — so the whole
+	// sequence is shared across pool workers like any other World.
 	// A static world has epochLen 0 and no epochs.
 	epochLen sim.Time
 	epochs   []*World
+
+	// faults is the materialised fault timeline (root world only; nil
+	// without fault injection). Like everything else here it is immutable
+	// and seed-independent.
+	faults *fault.Schedule
+	// Per-flow route health of an epoch world, indexed like Config.Flows
+	// (nil on the initial world and on fault-free, policy-free epochs):
+	// stale flags flows whose route recompute failed this epoch (the
+	// previous route was kept), unreach flags flows whose destination is
+	// down or cut off by faults this epoch. masked records that the
+	// epoch's link table was built with the fault overlay applied.
+	stale   []bool
+	unreach []bool
+	masked  bool
 }
 
 // BuildWorld precomputes the seed-independent part of a scenario. The
@@ -90,12 +106,53 @@ func BuildWorld(cfg Config) (*World, error) {
 			w.routes[i] = f.Path
 		}
 	}
-	if cfg.Mobility.active() {
+	if cfg.Faults.Active() {
+		w.faults = fault.Build(cfg.Faults, cfg.Duration, cfg.Positions,
+			exemptEndpoints(&cfg), planLinks(w.plan))
+	}
+	if cfg.Mobility.active() || w.faults != nil {
 		if err := w.buildEpochs(&cfg); err != nil {
 			return nil, err
 		}
 	}
 	return w, nil
+}
+
+// exemptEndpoints flags every flow source and destination as immune to
+// station churn, so degradation curves measure relay failures rather than
+// trivial source or sink death. Partitions and link flaps can still make
+// a destination unreachable.
+func exemptEndpoints(cfg *Config) []bool {
+	ex := make([]bool, len(cfg.Positions))
+	for _, f := range cfg.Flows {
+		ex[f.Path.Src()] = true
+		ex[f.Path.Dst()] = true
+	}
+	return ex
+}
+
+// planLinks enumerates the plan's neighbor pairs (a < b), the candidate
+// set for link flaps.
+func planLinks(plan *radio.LinkPlan) [][2]pkt.NodeID {
+	var out [][2]pkt.NodeID
+	for a := 0; a < plan.Stations(); a++ {
+		plan.EachAscNeighbor(a, func(j int32, _ float64) {
+			if int(j) > a {
+				out = append(out, [2]pkt.NodeID{pkt.NodeID(a), pkt.NodeID(j)})
+			}
+		})
+	}
+	return out
+}
+
+// epochLenFor resolves the epoch length of a time-varying config: an
+// active mobility spec wins (fault overlays ride its boundaries), a
+// fault-only config uses the fault spec's epoch.
+func epochLenFor(cfg *Config) sim.Time {
+	if cfg.Mobility.active() {
+		return cfg.Mobility.epochLen()
+	}
+	return cfg.Faults.EpochLen()
 }
 
 // check cheaply verifies that the snapshot plausibly matches the run's
@@ -114,14 +171,18 @@ func (w *World) check(cfg *Config) error {
 	if w.table == nil && cfg.Routing.active() {
 		return fmt.Errorf("network: World built without a link table, config routing is active")
 	}
-	if (w.epochLen > 0) != cfg.Mobility.active() {
-		return fmt.Errorf("network: World mobility (epochLen %v) does not match config mobility (%s)",
-			w.epochLen, cfg.Mobility.Kind)
+	if (w.faults != nil) != cfg.Faults.Active() {
+		return fmt.Errorf("network: World fault schedule (%v) does not match config faults (%v)",
+			w.faults != nil, cfg.Faults.Active())
+	}
+	if (w.epochLen > 0) != (cfg.Mobility.active() || cfg.Faults.Active()) {
+		return fmt.Errorf("network: World time-variance (epochLen %v) does not match config (mobility %s, faults %v)",
+			w.epochLen, cfg.Mobility.Kind, cfg.Faults.Active())
 	}
 	if w.epochLen > 0 {
-		if w.epochLen != cfg.Mobility.epochLen() {
+		if want := epochLenFor(cfg); w.epochLen != want {
 			return fmt.Errorf("network: World built with epoch %v, config wants %v",
-				w.epochLen, cfg.Mobility.epochLen())
+				w.epochLen, want)
 		}
 		if want := int((cfg.Duration - 1) / w.epochLen); want != len(w.epochs) {
 			return fmt.Errorf("network: World holds %d epoch worlds, config duration %v needs %d",

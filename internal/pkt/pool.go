@@ -26,6 +26,10 @@ package pkt
 // paths need no ceremony.
 type Pool struct {
 	free []*Packet
+	// outstanding counts packets handed out by Get and not yet fully
+	// released — the pool-balance invariant the fault-injection tests
+	// assert after crashing stations mid-custody.
+	outstanding int
 }
 
 // Get returns a packet with every field zeroed and one reference held by
@@ -42,11 +46,17 @@ func (pl *Pool) Get() *Packet {
 	}
 	p.pool = pl
 	p.refs = 1
+	pl.outstanding++
 	return p
 }
 
 // Free reports how many packets are currently pooled (tests).
 func (pl *Pool) Free() int { return len(pl.free) }
+
+// InUse reports how many packets are currently out of the pool — Get
+// calls not yet balanced by a final Release. A quiescent network must
+// read 0 here, even after stations crashed while holding custody.
+func (pl *Pool) InUse() int { return pl.outstanding }
 
 // Ref notes an additional long-lived holder of the packet: call it when
 // retaining a received packet beyond the current callback (queueing it for
@@ -74,6 +84,7 @@ func (p *Packet) Release() {
 	pl := p.pool
 	*p = Packet{}
 	pl.free = append(pl.free, p)
+	pl.outstanding--
 }
 
 // BeginAir marks a data frame as in flight with n pending PHY completions

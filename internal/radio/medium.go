@@ -155,6 +155,16 @@ type Medium struct {
 	// trace.Recorder. node is the receiving station for rx/corrupt events
 	// and the transmitter for tx events.
 	Trace func(at sim.Time, event string, node pkt.NodeID, f *pkt.Frame)
+
+	// Fault-injection state, all inert by default: down stations receive
+	// no frames (and transmitting while down is a scheme bug), noiseDB is
+	// a per-receiver SNR penalty, and linkBlocked (when non-nil) vetoes
+	// individual transmitter→receiver deliveries. Without faults the hot
+	// path pays one nil check per hook, and the RNG draw sequence is
+	// untouched — bit-identical to a medium predating the hooks.
+	down        []bool
+	noiseDB     []float64
+	linkBlocked func(tx, rx pkt.NodeID) bool
 }
 
 // NewMedium creates a medium over the given station positions, building a
@@ -273,6 +283,39 @@ func (m *Medium) SetPlan(plan *LinkPlan) {
 // Config returns the radio configuration the medium was built with.
 func (m *Medium) Config() Config { return m.cfg }
 
+// SetDown marks a station crashed or recovered. A down station is
+// skipped as a receiver of every later transmission (no carrier, no
+// decode — it is off the air, not shadowed) and must not transmit; its
+// in-flight receptions at the moment of the crash still run to their
+// scheduled end so pool accounting stays balanced, they are simply
+// ignored by the crashed scheme.
+func (m *Medium) SetDown(id pkt.NodeID, down bool) {
+	if m.down == nil {
+		m.down = make([]bool, m.n)
+	}
+	m.down[id] = down
+}
+
+// Down reports whether a station is currently marked crashed.
+func (m *Medium) Down(id pkt.NodeID) bool { return m.down != nil && m.down[id] }
+
+// SetNoiseDB sets the cumulative SNR penalty in dB applied to every
+// subsequent reception at the station (0 restores the clean channel).
+// The penalty shifts the mean received power before the shadowing draw,
+// so the RNG consumption per transmission is unchanged.
+func (m *Medium) SetNoiseDB(id pkt.NodeID, db float64) {
+	if m.noiseDB == nil {
+		m.noiseDB = make([]float64, m.n)
+	}
+	m.noiseDB[id] = db
+}
+
+// SetLinkBlocked installs a per-delivery veto: a transmission from tx is
+// not scheduled at rx while the hook returns true (link flaps and
+// partitions). The hook runs inside Transmit for every candidate
+// receiver, so it must be cheap and must depend only on engine time.
+func (m *Medium) SetLinkBlocked(fn func(tx, rx pkt.NodeID) bool) { m.linkBlocked = fn }
+
 // intended reports whether dst is an addressed receiver of f — a
 // forwarder-list member or the unicast receiver — for shadowing-loss
 // accounting.
@@ -291,6 +334,9 @@ func (m *Medium) Transmit(f *pkt.Frame) sim.Time {
 	}
 	if src.txing {
 		panic(fmt.Sprintf("radio: station %d transmit while transmitting", f.Tx))
+	}
+	if m.down != nil && m.down[f.Tx] {
+		panic(fmt.Sprintf("radio: crashed station %d transmitting", f.Tx))
 	}
 	if f.Duration <= 0 {
 		panic("radio: frame duration not set")
@@ -329,7 +375,16 @@ func (m *Medium) Transmit(f *pkt.Frame) sim.Time {
 		if dst.mac == nil {
 			continue
 		}
+		if m.down != nil && m.down[j] {
+			continue // crashed receiver: off the air entirely
+		}
+		if m.linkBlocked != nil && m.linkBlocked(f.Tx, dst.id) {
+			continue // flapped or partitioned link
+		}
 		power := nbrDBm[k]
+		if m.noiseDB != nil {
+			power -= m.noiseDB[j]
+		}
 		if sigma > 0 {
 			power = m.rng.Norm(power, sigma)
 		}

@@ -25,6 +25,9 @@ type Net struct {
 	// Mobility is the motion model prefilled into scenarios built with
 	// Scenario (zero = StaticMobility(); set with WithMobility).
 	Mobility Mobility
+	// Faults is the fault injection prefilled into scenarios built with
+	// Scenario (zero = NoFaults(); set with WithFaults).
+	Faults Faults
 
 	router *Router
 }
@@ -66,6 +69,18 @@ func (n *Net) WithMobility(m Mobility) *Net {
 	return n
 }
 
+// WithFaults sets the fault injection scenarios built from this net will
+// use and returns the net for chaining:
+//
+//	sc := net.WithFaults(ripple.StationChurn(4*ripple.Second, 0)).Scenario(...)
+//
+// FlowTo still declares flows over the clean topology's minimum-ETX path;
+// the run degrades it as the fault schedule unfolds.
+func (n *Net) WithFaults(f Faults) *Net {
+	n.Faults = f
+	return n
+}
+
 // FlowTo declares a flow from src to dst carrying the given traffic, with
 // the minimum-ETX path as its forwarder list. A route-discovery failure
 // (unreachable destination, station outside the topology) is carried
@@ -91,6 +106,7 @@ func (n *Net) Scenario(scheme Scheme, flows ...Flow) Scenario {
 		Radio:    n.Radio,
 		Routing:  n.Routing,
 		Mobility: n.Mobility,
+		Faults:   n.Faults,
 		Scheme:   scheme,
 		Flows:    flows,
 	}

@@ -117,6 +117,10 @@ type Scenario struct {
 	// StaticMobility() (no motion). See WaypointMobility and
 	// MarkovMobility.
 	Mobility Mobility
+	// Faults injects deterministic failures — station churn, link flaps,
+	// noise bursts, an area partition; the zero value is NoFaults(). See
+	// StationChurn, LinkFlaps, NoiseBursts.
+	Faults Faults
 	// MaxForwarders caps forwarder lists (default 5, paper Remark 4).
 	MaxForwarders int
 	// MaxAggregation caps packets per frame for RIPPLE and AFR
@@ -155,6 +159,9 @@ type FlowResult struct {
 	// Loss is the fraction of packets lost or over delay budget (VoIP
 	// only).
 	Loss Metric
+	// Unreachable counts packets dropped at the source because the flow's
+	// destination was cut off by faults (0 without fault injection).
+	Unreachable Metric
 }
 
 // Result summarises a scenario, aggregated over its seeds.
@@ -166,6 +173,12 @@ type Result struct {
 	Fairness Metric
 	// Events counts simulation events processed per run.
 	Events Metric
+	// RouteStale counts epoch boundaries at which a flow kept a stale
+	// route because its recompute failed; Unreachable counts packets
+	// dropped because faults cut off their destination. Both are 0 for
+	// static fault-free scenarios.
+	RouteStale  Metric
+	Unreachable Metric
 	// AirtimePerNode and BusyFraction are populated when the scenario set
 	// TraceJSONL (measured on the first seed's run).
 	AirtimePerNode map[NodeID]Time
@@ -247,6 +260,7 @@ func (s Scenario) toConfig() (*network.Config, error) {
 		MaxForwarders: s.MaxForwarders,
 		Routing:       s.Routing.spec(),
 		Mobility:      s.Mobility.spec(),
+		Faults:        s.Faults.spec(),
 	}
 	if s.Radio.lowRate {
 		cfg.Phy = phys.LowRate()
