@@ -5,6 +5,7 @@
 //	experiments [-run name[,name...]] [-seeds n] [-dur seconds] [-quick]
 //	            [-parallel n] [-json] [-ablations] [-scaling]
 //	            [-workers n] [-listen addr] [-ckpt file | -resume file]
+//	            [-supervise] [-cell-timeout d]
 //	            [-worker | -connect addr]
 //
 // With no -run flag every experiment runs in paper order. Every scenario
@@ -19,17 +20,23 @@
 // worker processes and shards every grid across them; -listen also (or
 // instead) accepts remote workers started with -connect addr and the same
 // experiment flags. -ckpt writes a checkpoint file as cells complete;
-// -resume continues an interrupted campaign from one. The tables are
-// bit-identical to a single-process run in every mode. -worker is the
-// internal stdio worker mode -workers spawns.
+// -resume continues an interrupted campaign from one; alongside either,
+// a write-ahead journal (the checkpoint path + ".wal") records every
+// delivered cell the moment it arrives, so resume loses nothing between
+// checkpoint saves. -supervise re-execs the coordinator and auto-resumes
+// it after a crash; -cell-timeout races stalled cells on another worker.
+// The tables are bit-identical to a single-process run in every mode.
+// -worker is the internal stdio worker mode -workers spawns.
 package main
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"runtime"
 	"strconv"
 	"strings"
@@ -73,6 +80,8 @@ func run() int {
 		workerMode   = flag.Bool("worker", false, "worker mode: serve leased cells over stdin/stdout (spawned by -workers)")
 		connect      = flag.String("connect", "", "worker mode: serve leased cells to the coordinator at this TCP address")
 		reconnect    = flag.Int("reconnect", 3, "with -connect: dials tried per connection outage, capped exponential backoff (1 = fail on first error)")
+		supervise    = flag.Bool("supervise", false, "run the coordinator as a supervised child and auto-restart it with -resume after a crash (requires -ckpt or -resume)")
+		cellTimeout  = flag.Duration("cell-timeout", 0, "race a lease's remaining cells on another worker after this long without a delivery (0 = derive from observed cell durations)")
 	)
 	flag.Parse()
 
@@ -89,6 +98,21 @@ func run() int {
 	if *ckptPath != "" && *resumePath != "" {
 		fmt.Fprintln(os.Stderr, "-ckpt and -resume are mutually exclusive (resume keeps writing its file)")
 		return 2
+	}
+	if *supervise {
+		if isWorker {
+			fmt.Fprintln(os.Stderr, "-supervise and worker mode are mutually exclusive")
+			return 2
+		}
+		if *ckptPath == "" && *resumePath == "" {
+			fmt.Fprintln(os.Stderr, "-supervise requires -ckpt or -resume (the restart resumes from it)")
+			return 2
+		}
+		path := *ckptPath
+		if path == "" {
+			path = *resumePath
+		}
+		return superviseLoop(path)
 	}
 
 	all := experiments.All()
@@ -160,20 +184,36 @@ func run() int {
 	var workerSet *dist.WorkerSet
 	if isCoord {
 		var ck *dist.Checkpoint
+		var wal *dist.WAL
 		var err error
 		switch {
 		case *resumePath != "":
-			if ck, err = dist.LoadCheckpoint(*resumePath); err != nil {
+			if _, serr := os.Stat(*resumePath); os.IsNotExist(serr) {
+				// Resuming before the first checkpoint was ever saved (a
+				// supervised coordinator that crashed early): start fresh —
+				// the WAL replay still recovers any journalled cells.
+				ck = dist.NewCheckpoint(*resumePath)
+			} else if ck, err = dist.LoadCheckpoint(*resumePath); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			if wal, err = dist.OpenWAL(*resumePath + ".wal"); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				return 1
 			}
 		case *ckptPath != "":
 			ck = dist.NewCheckpoint(*ckptPath)
+			if wal, err = dist.CreateWAL(*ckptPath + ".wal"); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
 		}
 		coord = dist.NewCoordinator(dist.Options{
 			LeaseCells:   *leaseCells,
 			LeaseTimeout: *leaseTimeout,
 			Checkpoint:   ck,
+			WAL:          wal,
+			CellTimeout:  *cellTimeout,
 			Logf:         func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
 		})
 		opt.RunGrid = dist.CoordinatorRunGrid(coord)
@@ -311,8 +351,9 @@ func workerArgv(args []string, perWorker int) []string {
 		"workers": true, "listen": true, "ckpt": true, "resume": true,
 		"lease": true, "lease-timeout": true, "parallel": true,
 		"json": true, "worker": true, "connect": true,
+		"supervise": true, "cell-timeout": true,
 	}
-	isBool := map[string]bool{"json": true, "worker": true}
+	isBool := map[string]bool{"json": true, "worker": true, "supervise": true}
 	out := []string{args[0]}
 	for i := 1; i < len(args); i++ {
 		a := args[i]
@@ -334,4 +375,131 @@ func workerArgv(args []string, perWorker int) []string {
 		out = append(out, a)
 	}
 	return append(out, "-worker", "-parallel", strconv.Itoa(perWorker))
+}
+
+// superviseLoop re-execs this binary as a coordinator child (same argv
+// minus -supervise) and restarts it after a crash, rewriting -ckpt to
+// -resume so the restart picks up the checkpoint plus WAL instead of
+// starting over. ckptPath is the checkpoint file the restarts resume
+// from. The child's stdout (the result tables) is buffered to a temp file
+// and emitted only when the child finishes, so a crashed incarnation's
+// partial output never reaches the pipeline.
+//
+// Exit codes 0–2 propagate (done, deterministic failure, usage error —
+// none of which a restart can fix). Anything else is treated as a crash;
+// a progress gate over the checkpoint+WAL state hash gives up after two
+// consecutive restarts that recovered nothing new, so a crash loop
+// cannot spin forever.
+func superviseLoop(ckptPath string) int {
+	argv := superviseArgv(os.Args)
+	resumed := false
+	noProgress := 0
+	lastState := superviseStateHash(ckptPath)
+	for {
+		child := argv
+		if resumed {
+			child = rewriteCkptToResume(argv, ckptPath)
+		}
+		tmp, err := os.CreateTemp("", "experiments-stdout-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer os.Remove(tmp.Name())
+		cmd := exec.Command(child[0], child[1:]...)
+		cmd.Stdout = tmp
+		cmd.Stderr = os.Stderr
+		runErr := cmd.Run()
+		code := 0
+		if runErr != nil {
+			ee, ok := runErr.(*exec.ExitError)
+			if !ok {
+				fmt.Fprintln(os.Stderr, runErr)
+				return 1
+			}
+			code = ee.ExitCode()
+		}
+		if code >= 0 && code <= 2 {
+			if _, err := tmp.Seek(0, 0); err == nil {
+				io.Copy(os.Stdout, tmp)
+			}
+			tmp.Close()
+			return code
+		}
+		tmp.Close()
+		state := superviseStateHash(ckptPath)
+		if state == lastState {
+			noProgress++
+			if noProgress >= 2 {
+				fmt.Fprintf(os.Stderr,
+					"supervise: coordinator crashed (exit %d) with no progress %d times, giving up\n",
+					code, noProgress)
+				return 1
+			}
+		} else {
+			noProgress = 0
+			lastState = state
+		}
+		fmt.Fprintf(os.Stderr, "supervise: coordinator crashed (exit %d), restarting with -resume %s\n",
+			code, ckptPath)
+		resumed = true
+	}
+}
+
+// superviseArgv strips -supervise from the coordinator's argv.
+func superviseArgv(args []string) []string {
+	out := []string{args[0]}
+	for i := 1; i < len(args); i++ {
+		name := strings.TrimLeft(args[i], "-")
+		if eq := strings.IndexByte(name, '='); eq >= 0 {
+			name = name[:eq]
+		}
+		if len(args[i]) >= 2 && args[i][0] == '-' && name == "supervise" {
+			continue
+		}
+		out = append(out, args[i])
+	}
+	return out
+}
+
+// rewriteCkptToResume swaps a -ckpt flag for -resume so a restarted
+// coordinator continues the interrupted campaign. An argv already using
+// -resume is returned unchanged.
+func rewriteCkptToResume(args []string, ckptPath string) []string {
+	out := make([]string, 0, len(args))
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if len(a) >= 2 && a[0] == '-' {
+			name := strings.TrimLeft(a, "-")
+			hasValue := false
+			if eq := strings.IndexByte(name, '='); eq >= 0 {
+				name, hasValue = name[:eq], true
+			}
+			if name == "ckpt" {
+				if !hasValue && i+1 < len(args) {
+					i++ // the detached path value, replaced below
+				}
+				out = append(out, "-resume", ckptPath)
+				continue
+			}
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// superviseStateHash fingerprints the checkpoint and WAL contents; a
+// restart that changes neither recovered nothing, and two such restarts
+// in a row stop the supervisor.
+func superviseStateHash(ckptPath string) string {
+	h := sha256.New()
+	for _, p := range []string{ckptPath, ckptPath + ".wal"} {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			data = nil // missing file hashes as empty
+		}
+		fmt.Fprintf(h, "%d:", len(data))
+		h.Write(data)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
 }

@@ -60,6 +60,7 @@ func run() int {
 		mtbf      = flag.Float64("mtbf", 0, "station churn mean time between failures in seconds (0 = off)")
 		mttr      = flag.Float64("mttr", 0, "station churn mean repair time in seconds (0 = default 1)")
 		faultSeed = flag.Uint64("faultseed", 0, "fault-schedule seed (0 = default 1; independent of run seeds)")
+		auditOn   = flag.Bool("audit", false, "deep invariant auditing: re-validate conservation invariants after every engine event (slow)")
 	)
 	flag.Parse()
 
@@ -74,6 +75,7 @@ func run() int {
 		Duration:     ripple.Time(*durSec * float64(ripple.Second)),
 		MultiRate:    *multiRate,
 		RTSThreshold: *rts,
+		Audit:        *auditOn,
 	}
 	pol := strings.ToLower(*routing)
 	switch pol {

@@ -12,10 +12,37 @@
 package pool
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError reports a job that panicked. The pool recovers panics on
+// both caller and helper goroutines — a panic on a borrowed helper would
+// otherwise kill the whole process, skipping every deferred cleanup in
+// the caller's stack — and surfaces them as ordinary job errors carrying
+// the panic value and stack.
+type PanicError struct {
+	Index int
+	Value string
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pool: job %d panicked: %s\n%s", e.Index, e.Value, e.Stack)
+}
+
+// runJob executes one job under a recover guard.
+func runJob(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: fmt.Sprint(r), Stack: string(debug.Stack())}
+		}
+	}()
+	return fn(i)
+}
 
 // Pool runs batches of indexed jobs with bounded concurrency.
 type Pool struct {
@@ -61,7 +88,9 @@ func SetSharedWorkers(workers int) {
 // in the work, so Do never deadlocks even when fn itself calls Do on the
 // same pool; helper goroutines across all concurrent callers are bounded
 // by Workers()-1. On failure Do returns the error of the lowest-indexed
-// failing job, which is deterministic regardless of scheduling order.
+// failing job, which is deterministic regardless of scheduling order. A
+// job that panics fails with a *PanicError (value + stack) instead of
+// killing the process.
 func (p *Pool) Do(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -74,7 +103,7 @@ func (p *Pool) Do(n int, fn func(i int) error) error {
 			if i >= n {
 				return
 			}
-			errs[i] = fn(i)
+			errs[i] = runJob(fn, i)
 		}
 	}
 	var wg sync.WaitGroup

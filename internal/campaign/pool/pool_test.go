@@ -106,3 +106,46 @@ func TestSharedPoolResize(t *testing.T) {
 		t.Fatalf("resized shared pool workers = %d, want 3", got)
 	}
 }
+
+// TestDoRecoversPanic: a panicking job must not kill the process (a panic
+// on a borrowed helper goroutine otherwise would); it fails as an ordinary
+// job error carrying the panic value and stack, and every other job still
+// runs to completion.
+func TestDoRecoversPanic(t *testing.T) {
+	p := New(4)
+	var ran atomic.Int64
+	err := p.Do(8, func(i int) error {
+		if i == 3 {
+			panic("job exploded")
+		}
+		ran.Add(1)
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Do error = %v, want *PanicError", err)
+	}
+	if pe.Index != 3 || pe.Value != "job exploded" || pe.Stack == "" {
+		t.Errorf("PanicError = {Index:%d Value:%q Stack:%d bytes}, want job 3 with stack",
+			pe.Index, pe.Value, len(pe.Stack))
+	}
+	if n := ran.Load(); n != 7 {
+		t.Errorf("surviving jobs ran %d times, want 7", n)
+	}
+}
+
+// TestDoPanicReportsLowestIndex: like plain errors, concurrent panics
+// resolve deterministically to the lowest failing index.
+func TestDoPanicReportsLowestIndex(t *testing.T) {
+	p := New(4)
+	err := p.Do(16, func(i int) error {
+		if i%2 == 1 {
+			panic(i)
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 1 {
+		t.Fatalf("Do error = %v, want *PanicError for job 1", err)
+	}
+}

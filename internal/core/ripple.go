@@ -140,7 +140,7 @@ func New(env forward.Env, opt Options) *Ripple {
 	r := &Ripple{
 		env:      env,
 		opt:      opt,
-		queue:    mac.NewQueue(env.P.QueueLimit),
+		queue:    env.NewQueue(env.P.QueueLimit),
 		seenData: make(map[uint64]bool),
 		seenAck:  make(map[uint64]bool),
 		rq:       make(map[streamKey]*reseq),

@@ -29,6 +29,19 @@ type Options struct {
 	// happens when a grid completes.
 	Checkpoint      *Checkpoint
 	CheckpointEvery int
+	// WAL, when set, journals every delivered cell the moment it arrives
+	// (fsync'd), closing the window between checkpoint saves: a coordinator
+	// crash loses nothing that a worker already delivered. RunGrid replays
+	// the journal on top of the restored checkpoint, and each successful
+	// checkpoint save resets it.
+	WAL *WAL
+	// CellTimeout is a per-cell wall-clock deadline: a lease whose worker
+	// has not delivered a cell for this long is preemptively boosted — its
+	// remaining cells are copied back onto the queue so another worker can
+	// race it, first completion winning through the normal dedup. 0 derives
+	// the deadline from observed cell durations (8× a running average),
+	// falling back to no boost until the first cell completes.
+	CellTimeout time.Duration
 	// Logf reports worker churn (connects, losses, lease reclaims);
 	// nil discards.
 	Logf func(format string, args ...any)
@@ -43,6 +56,14 @@ const exitAfterEnv = "RIPPLE_DIST_EXIT_AFTER"
 
 // killExitCode is the exit code of the self-kill test hook above.
 const killExitCode = 42
+
+// crashAfterEnv is the harsher sibling of exitAfterEnv: the coordinator
+// hard-exits after recording that many cells WITHOUT saving a checkpoint
+// first, so the freshly recorded cells survive only in the WAL. The count
+// is per process, and the variable is inherited by supervised restarts —
+// each incarnation crashes again after that many more cells, exercising
+// repeated crash/replay cycles until the grid completes.
+const crashAfterEnv = "RIPPLE_DIST_CRASH_AFTER"
 
 // ErrClosed reports a coordinator shut down before the grid finished.
 var ErrClosed = errors.New("dist: coordinator closed")
@@ -62,8 +83,9 @@ type Coordinator struct {
 	closed    bool
 	failure   error // first fatal worker error, poisons the campaign
 
-	killAfter int // exitAfterEnv hook; 0 = disabled
-	recorded  int // cells recorded this process (not restored ones)
+	killAfter  int // exitAfterEnv hook; 0 = disabled
+	crashAfter int // crashAfterEnv hook; 0 = disabled
+	recorded   int // cells recorded this process (not restored ones)
 }
 
 // gridRun is the in-flight state of one grid.
@@ -79,6 +101,10 @@ type gridRun struct {
 	cells       []cellRecord // payload+stats per completed cell
 	sinceSave   int
 	progress    func(done, total int)
+	// cellEWMA is a running average of observed cell wall-clock durations
+	// (measured delivery-to-delivery per lease), feeding the stall
+	// detector's derived deadline when Options.CellTimeout is zero.
+	cellEWMA time.Duration
 }
 
 // lease is an outstanding assignment of cells to one connection.
@@ -87,6 +113,8 @@ type lease struct {
 	cells   []int // not yet delivered
 	owner   *Conn
 	expires time.Time
+	lastAt  time.Time // grant or most recent delivery, for stall detection
+	boosted bool      // remaining cells already copied back to the queue
 }
 
 // GridOutput is a completed grid: one raw payload per cell, exactly as
@@ -111,6 +139,11 @@ func NewCoordinator(opt Options) *Coordinator {
 	if v := os.Getenv(exitAfterEnv); v != "" {
 		if n, err := strconv.Atoi(v); err == nil && n > 0 {
 			c.killAfter = n
+		}
+	}
+	if v := os.Getenv(crashAfterEnv); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			c.crashAfter = n
 		}
 	}
 	return c
@@ -179,6 +212,28 @@ func (c *Coordinator) RunGrid(spec GridSpec) (*GridOutput, error) {
 				spec.Fingerprint, gr.doneCount, spec.NumCells)
 		}
 	}
+	if c.opt.WAL != nil {
+		// Replay journal entries on top of the checkpoint: cells delivered
+		// after the last save but before a crash. The WAL may hold records
+		// already covered by the checkpoint (a save that raced the crash);
+		// the done bitmap dedupes them.
+		replayed := 0
+		for _, r := range c.opt.WAL.Restored() {
+			if r.Grid != spec.Fingerprint || r.Cell < 0 || r.Cell >= spec.NumCells {
+				continue
+			}
+			if gr.done[r.Cell] || len(r.Payload) == 0 {
+				continue
+			}
+			gr.done[r.Cell] = true
+			gr.cells[r.Cell] = cellRecord{Payload: r.Payload, Stats: r.Stats}
+			gr.doneCount++
+			replayed++
+		}
+		if replayed > 0 {
+			c.logf("dist: grid %s: replayed %d cells from WAL", spec.Fingerprint, replayed)
+		}
+	}
 	for i := 0; i < spec.NumCells; i++ {
 		if !gr.done[i] {
 			gr.queue = append(gr.queue, i)
@@ -242,22 +297,37 @@ func (c *Coordinator) finalizeLocked(gr *gridRun) *GridOutput {
 
 // saveLocked writes the checkpoint if one is configured. Save failures
 // are logged, not fatal: the campaign's in-memory state is intact, only
-// resumability is degraded.
+// resumability is degraded. After a successful save the WAL drops this
+// grid's records — the snapshot now covers them — but keeps other grids'
+// (a shared journal may hold a later grid's progress from a previous
+// incarnation).
 func (c *Coordinator) saveLocked(gr *gridRun) {
 	if c.opt.Checkpoint == nil {
 		return
 	}
 	if err := c.opt.Checkpoint.save(gr.fp, gr.numCells, gr.done, gr.cells); err != nil {
 		c.logf("dist: %v", err)
+	} else if c.opt.WAL != nil {
+		if err := c.opt.WAL.Compact(gr.fp); err != nil {
+			c.logf("dist: %v", err)
+		}
 	}
 	gr.sinceSave = 0
 }
 
-// reclaimLoop expires stalled leases for one grid until stop closes.
+// reclaimLoop expires stalled leases for one grid until stop closes. Two
+// watchdogs run on the same ticker: the lease timeout (worker presumed
+// dead — cells requeued, lease dropped) and the faster per-cell stall
+// detector (worker presumed wedged on one cell — remaining cells are
+// copied back to the queue so another worker can race it, but the lease
+// survives in case the original worker eventually delivers).
 func (c *Coordinator) reclaimLoop(gr *gridRun, stop chan struct{}) {
 	tick := c.opt.LeaseTimeout / 4
-	if tick < 20*time.Millisecond {
-		tick = 20 * time.Millisecond
+	if ct := c.opt.CellTimeout; ct > 0 && ct/4 < tick {
+		tick = ct / 4
+	}
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
 	}
 	if tick > 5*time.Second {
 		tick = 5 * time.Second
@@ -276,12 +346,40 @@ func (c *Coordinator) reclaimLoop(gr *gridRun, stop chan struct{}) {
 						c.logf("dist: grid %s: lease %d timed out, requeueing %d cells",
 							gr.fp, id, len(l.cells))
 						c.requeueLocked(gr, id)
+						continue
+					}
+					if !l.boosted && len(l.cells) > 0 {
+						if stall := c.stallDeadline(gr); stall > 0 && now.Sub(l.lastAt) > stall {
+							c.logf("dist: grid %s: lease %d stalled for %v, racing %d cells",
+								gr.fp, id, now.Sub(l.lastAt).Round(time.Millisecond), len(l.cells))
+							l.boosted = true
+							gr.queue = append(gr.queue, l.cells...)
+							c.cond.Broadcast()
+						}
 					}
 				}
 			}
 			c.mu.Unlock()
 		}
 	}
+}
+
+// stallDeadline is how long a lease may go without delivering a cell
+// before its remaining cells are raced: the configured CellTimeout, or
+// 8× the observed average cell duration (floored so fast grids don't
+// thrash), or 0 — no stall detection — before any cell has completed.
+func (c *Coordinator) stallDeadline(gr *gridRun) time.Duration {
+	if c.opt.CellTimeout > 0 {
+		return c.opt.CellTimeout
+	}
+	if gr.cellEWMA <= 0 {
+		return 0
+	}
+	d := 8 * gr.cellEWMA
+	if d < 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	return d
 }
 
 // requeueLocked returns a lease's undelivered cells to the queue.
@@ -323,8 +421,8 @@ func (c *Coordinator) Serve(conn *Conn) error {
 		return fmt.Errorf("dist: worker handshake: %w", err)
 	}
 	if hello.Type != MsgHello || hello.Proto != ProtoVersion {
-		return fmt.Errorf("dist: worker handshake: got %s proto %d, want %s proto %d",
-			hello.Type, hello.Proto, MsgHello, ProtoVersion)
+		return &ProtocolError{Detail: fmt.Sprintf("worker handshake: got %s proto %d, want %s proto %d",
+			hello.Type, hello.Proto, MsgHello, ProtoVersion)}
 	}
 	name := hello.Worker
 	if name == "" {
@@ -359,12 +457,22 @@ func (c *Coordinator) Serve(conn *Conn) error {
 		case MsgCell:
 			c.record(conn, m)
 		case MsgError:
+			// A reported cell failure is deterministic: poison the campaign
+			// with a typed error so callers can errors.Is/As on it. Panics
+			// carry the worker-side stack for the report.
+			var ferr error
+			if m.Panic {
+				ferr = &CellPanicError{Cell: m.Cell, Value: m.Err, Stack: m.Stack}
+				c.logf("dist: %s: cell %d panicked: %s\n%s", name, m.Cell, m.Err, m.Stack)
+			} else {
+				ferr = &CellError{Cell: m.Cell, Err: fmt.Errorf("%s: %s", name, m.Err)}
+			}
 			c.mu.Lock()
-			c.failLocked(fmt.Errorf("dist: %s: %s", name, m.Err))
+			c.failLocked(ferr)
 			c.mu.Unlock()
-			return fmt.Errorf("dist: %s reported: %s", name, m.Err)
+			return ferr
 		default:
-			return fmt.Errorf("dist: %s: unexpected %q message", name, m.Type)
+			return &ProtocolError{Detail: fmt.Sprintf("%s: unexpected %q message", name, m.Type)}
 		}
 	}
 }
@@ -411,20 +519,31 @@ func (c *Coordinator) nextLease(conn *Conn, fp string) *Message {
 					n = 16
 				}
 			}
-			if n > len(gr.queue) {
-				n = len(gr.queue)
+			// Pop cells off the queue, skipping any that completed while
+			// queued (a boosted cell whose original owner delivered first).
+			var cells []int
+			for len(gr.queue) > 0 && len(cells) < n {
+				cell := gr.queue[0]
+				gr.queue = gr.queue[1:]
+				if !gr.done[cell] {
+					cells = append(cells, cell)
+				}
 			}
-			l := &lease{
-				id:      gr.nextLease,
-				cells:   append([]int(nil), gr.queue[:n]...),
-				owner:   conn,
-				expires: time.Now().Add(c.opt.LeaseTimeout),
+			if len(cells) > 0 {
+				now := time.Now()
+				l := &lease{
+					id:      gr.nextLease,
+					cells:   cells,
+					owner:   conn,
+					expires: now.Add(c.opt.LeaseTimeout),
+					lastAt:  now,
+				}
+				gr.nextLease++
+				gr.leases[l.id] = l
+				return &Message{Type: MsgLease, Grid: fp, Lease: l.id,
+					Cells: append([]int(nil), l.cells...)}
 			}
-			gr.nextLease++
-			gr.queue = gr.queue[n:]
-			gr.leases[l.id] = l
-			return &Message{Type: MsgLease, Grid: fp, Lease: l.id,
-				Cells: append([]int(nil), l.cells...)}
+			// Every queued cell was already done; fall through and wait.
 		}
 		// Either the coordinator hasn't reached this grid yet, or all
 		// remaining cells are leased out (we may still inherit them if a
@@ -445,7 +564,18 @@ func (c *Coordinator) record(conn *Conn, m *Message) {
 		return // stale delivery from a previous grid or reassigned lease
 	}
 	if l, ok := gr.leases[m.Lease]; ok && l.owner == conn {
-		l.expires = time.Now().Add(c.opt.LeaseTimeout) // the worker is alive
+		now := time.Now()
+		l.expires = now.Add(c.opt.LeaseTimeout) // the worker is alive
+		if dur := now.Sub(l.lastAt); dur > 0 {
+			// Delivery-to-delivery duration feeds the stall detector's
+			// derived deadline; the EWMA smooths over cell-size variance.
+			if gr.cellEWMA <= 0 {
+				gr.cellEWMA = dur
+			} else {
+				gr.cellEWMA = (3*gr.cellEWMA + dur) / 4
+			}
+		}
+		l.lastAt = now
 		for i, cell := range l.cells {
 			if cell == m.Cell {
 				l.cells = append(l.cells[:i], l.cells[i+1:]...)
@@ -458,6 +588,13 @@ func (c *Coordinator) record(conn *Conn, m *Message) {
 	}
 	if gr.done[m.Cell] {
 		return
+	}
+	if c.opt.WAL != nil {
+		// Journal before acknowledging: once this returns, the cell
+		// survives a coordinator crash even if no checkpoint ever runs.
+		if err := c.opt.WAL.Append(m.Grid, m.Cell, m.Payload, m.Stats); err != nil {
+			c.logf("dist: %v", err)
+		}
 	}
 	gr.done[m.Cell] = true
 	gr.cells[m.Cell] = cellRecord{Payload: m.Payload, Stats: m.Stats}
@@ -473,6 +610,12 @@ func (c *Coordinator) record(conn *Conn, m *Message) {
 	if c.killAfter > 0 && c.recorded >= c.killAfter {
 		c.saveLocked(gr)
 		fmt.Fprintf(os.Stderr, "dist: %s=%d reached, exiting\n", exitAfterEnv, c.killAfter)
+		os.Exit(killExitCode)
+	}
+	if c.crashAfter > 0 && c.recorded >= c.crashAfter {
+		// Simulated hard crash: no checkpoint save, no cleanup. The cells
+		// recorded since the last save survive only in the WAL.
+		fmt.Fprintf(os.Stderr, "dist: %s=%d reached, crashing\n", crashAfterEnv, c.crashAfter)
 		os.Exit(killExitCode)
 	}
 	if gr.doneCount == gr.numCells {

@@ -1,0 +1,112 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The error taxonomy of the distributed layer. Every error crossing a
+// package boundary matches exactly one sentinel via errors.Is, and the
+// coordinator's requeue-vs-poison decision reads directly off it:
+//
+//   - ErrTransport: the byte stream failed (connection loss, truncation,
+//     stream corruption). The work itself is untainted — the coordinator
+//     requeues the connection's leases and a Redialer retries.
+//   - ErrProtocol: the peer spoke the protocol wrong (version mismatch,
+//     unexpected message type). Deterministic; never retried.
+//   - ErrCell: a cell failed by construction (config error, marshal
+//     failure). Deterministic, poisons the campaign; never retried.
+//   - ErrCellPanic: a cell panicked. A sub-case of ErrCell (same
+//     poison/no-retry handling) that additionally carries the stack.
+//
+// ErrShutdown stays outside the taxonomy: it is the normal end-of-campaign
+// signal, not a failure.
+
+// ErrShutdown reports that the coordinator ended the campaign while this
+// worker was asking for more cells — normal when the coordinator's grid
+// sequence is over, an error if the worker still had grids to serve.
+var ErrShutdown = errors.New("dist: coordinator shut down")
+
+// ErrCell matches deterministic cell-execution failures so transport-level
+// recovery (Redialer) can tell them apart from connection loss: a cell
+// that fails by construction fails identically on every retry, and the
+// coordinator has already been poisoned by the error report.
+var ErrCell = errors.New("dist: cell failed")
+
+// ErrCellPanic matches cells that panicked rather than returned an error.
+// Every ErrCellPanic also matches ErrCell (panics are deterministic cell
+// failures too); the concrete *CellPanicError carries the stack.
+var ErrCellPanic = errors.New("dist: cell panicked")
+
+// ErrTransport matches byte-stream failures: io errors, truncation, frame
+// corruption. Transport errors are the retryable class — the work is
+// untainted, only the connection is.
+var ErrTransport = errors.New("dist: transport failed")
+
+// ErrProtocol matches semantic protocol violations: a handshake version
+// mismatch or an unexpected message type. Deterministic; retrying would
+// fail identically.
+var ErrProtocol = errors.New("dist: protocol violation")
+
+// CellError is a deterministic cell-execution failure, carrying the flat
+// cell index for the coordinator's report.
+type CellError struct {
+	Cell int
+	Err  error
+}
+
+func (e *CellError) Error() string {
+	return fmt.Sprintf("dist: cell %d failed: %v", e.Cell, e.Err)
+}
+
+func (e *CellError) Unwrap() error { return e.Err }
+
+// Is matches ErrCell.
+func (e *CellError) Is(target error) bool { return target == ErrCell }
+
+// CellPanicError is a cell that panicked; Value is the panic value's
+// string form and Stack the goroutine stack at the point of the panic.
+// The panic is confined to the cell: the worker process survives and its
+// lease is resolved through the normal error report, not orphaned.
+type CellPanicError struct {
+	Cell  int
+	Value string
+	Stack string
+}
+
+func (e *CellPanicError) Error() string {
+	return fmt.Sprintf("dist: cell %d panicked: %s", e.Cell, e.Value)
+}
+
+// Is matches both ErrCellPanic and ErrCell: a panic is handled as a
+// deterministic cell failure everywhere retry decisions are made.
+func (e *CellPanicError) Is(target error) bool {
+	return target == ErrCellPanic || target == ErrCell
+}
+
+// TransportError is a byte-stream failure during Op ("send", "recv",
+// "hello", ...). It wraps the underlying io error, so callers can still
+// reach io.ErrUnexpectedEOF and friends through errors.Is.
+type TransportError struct {
+	Op  string
+	Err error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("dist: %s: %v", e.Op, e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// Is matches ErrTransport.
+func (e *TransportError) Is(target error) bool { return target == ErrTransport }
+
+// ProtocolError is a semantic protocol violation.
+type ProtocolError struct {
+	Detail string
+}
+
+func (e *ProtocolError) Error() string { return "dist: protocol: " + e.Detail }
+
+// Is matches ErrProtocol.
+func (e *ProtocolError) Is(target error) bool { return target == ErrProtocol }

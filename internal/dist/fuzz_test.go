@@ -3,6 +3,7 @@ package dist
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -61,6 +62,50 @@ func FuzzFrameDecode(f *testing.F) {
 			}
 			if !bytes.Equal(b1, b2) {
 				t.Fatalf("round trip changed frame:\nbefore %s\nafter  %s", b1, b2)
+			}
+		}
+	})
+}
+
+// FuzzWALDecode throws arbitrary journal images at decodeWAL. The crash
+// contract: a truncated tail is never an error (it is the expected shape
+// of a coordinator killed mid-append), the reported valid length never
+// exceeds the input, and the valid prefix is a fixed point — re-decoding
+// it reproduces exactly the same records and length. Everything else
+// malformed must be a diagnosed error, never a panic.
+func FuzzWALDecode(f *testing.F) {
+	rec := `{"grid":"g","cell":1,"payload":[1]}`
+	frame := []byte(fmt.Sprintf("%d\n%s\n", len(rec), rec))
+	f.Add([]byte(nil))
+	f.Add(frame)
+	f.Add(append(append([]byte{}, frame...), frame...))
+	f.Add(append(append([]byte{}, frame...), frame[:len(frame)/2]...)) // truncated tail
+	f.Add([]byte("12"))                                                // header cut short
+	f.Add([]byte("zap\n{}\n"))                                         // junk length
+	f.Add([]byte("-4\n{}\n"))                                          // negative length
+	f.Add([]byte("9999999999999\n{}\n"))                               // oversized length
+	f.Add([]byte("2\n{}X"))                                            // wrong terminator
+	f.Add([]byte("3\nnop\n"))                                          // invalid JSON
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, valid, err := decodeWAL(data)
+		if err != nil {
+			return // diagnosed corruption
+		}
+		if valid < 0 || valid > len(data) {
+			t.Fatalf("validLen %d outside input of %d bytes", valid, len(data))
+		}
+		recs2, valid2, err2 := decodeWAL(data[:valid])
+		if err2 != nil {
+			t.Fatalf("valid prefix does not re-decode: %v", err2)
+		}
+		if valid2 != valid || len(recs2) != len(recs) {
+			t.Fatalf("valid prefix not a fixed point: len %d→%d, records %d→%d",
+				valid, valid2, len(recs), len(recs2))
+		}
+		for i := range recs {
+			if !reflect.DeepEqual(recs[i], recs2[i]) {
+				t.Fatalf("record %d changed across re-decode", i)
 			}
 		}
 	})

@@ -29,7 +29,8 @@ import (
 
 // ProtoVersion is bumped whenever the message schema changes
 // incompatibly; coordinator and worker refuse to pair across versions.
-const ProtoVersion = 1
+// Version 2 added the panic/stack fields on error messages.
+const ProtoVersion = 2
 
 // Message types. The worker opens with hello, then loops: ready → (lease
 // | grid_done | shutdown), and streams one cell message per completed
@@ -61,6 +62,10 @@ type Message struct {
 	// summaries and cross-worker merging.
 	Stats map[string]stats.State `json:"stats,omitempty"`
 	Err   string                 `json:"err,omitempty"` // error
+	// Panic marks an error message as a recovered cell panic; Stack is the
+	// worker-side goroutine stack at the point of the panic.
+	Panic bool   `json:"panic,omitempty"` // error
+	Stack string `json:"stack,omitempty"` // error
 }
 
 // maxFrame bounds a single record; a frame length beyond this is treated
@@ -83,7 +88,9 @@ func NewConn(rw io.ReadWriter) *Conn {
 	return &Conn{r: bufio.NewReader(rw), w: bufio.NewWriter(rw)}
 }
 
-// Send marshals and writes one record, flushing the stream.
+// Send marshals and writes one record, flushing the stream. An io failure
+// is returned as a *TransportError (retryable); a marshal failure is not —
+// it is deterministic and would fail identically on a fresh connection.
 func (c *Conn) Send(m *Message) error {
 	b, err := json.Marshal(m)
 	if err != nil {
@@ -92,31 +99,39 @@ func (c *Conn) Send(m *Message) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	if _, err := fmt.Fprintf(c.w, "%d\n", len(b)); err != nil {
-		return err
+		return &TransportError{Op: "send", Err: err}
 	}
 	if _, err := c.w.Write(b); err != nil {
-		return err
+		return &TransportError{Op: "send", Err: err}
 	}
 	if err := c.w.WriteByte('\n'); err != nil {
-		return err
+		return &TransportError{Op: "send", Err: err}
 	}
-	return c.w.Flush()
+	if err := c.w.Flush(); err != nil {
+		return &TransportError{Op: "send", Err: err}
+	}
+	return nil
 }
 
 // Recv reads one record. A stream ending cleanly on a frame boundary
-// returns bare io.EOF (a worker that finished and exited); one ending
-// mid-frame returns a truncation error (a worker that died writing).
+// returns bare io.EOF (a worker that finished and exited); any failure
+// mid-frame returns a *TransportError. Truncation wraps
+// io.ErrUnexpectedEOF, never io.EOF — a peer that died writing must not
+// be classifiable as a clean disconnect.
 func (c *Conn) Recv() (*Message, error) {
 	line, err := c.r.ReadString('\n')
 	if err != nil {
-		if err == io.EOF && line == "" {
-			return nil, io.EOF
+		if err == io.EOF {
+			if line == "" {
+				return nil, io.EOF
+			}
+			err = io.ErrUnexpectedEOF
 		}
-		return nil, fmt.Errorf("dist: truncated frame header: %w", err)
+		return nil, &TransportError{Op: "recv", Err: fmt.Errorf("truncated frame header: %w", err)}
 	}
 	n, err := strconv.Atoi(strings.TrimSpace(line))
 	if err != nil || n < 0 || n > maxFrame {
-		return nil, fmt.Errorf("dist: bad frame length %q", strings.TrimSpace(line))
+		return nil, &TransportError{Op: "recv", Err: fmt.Errorf("bad frame length %q", strings.TrimSpace(line))}
 	}
 	// Grow the buffer as bytes actually arrive rather than trusting the
 	// header: a corrupt length must fail as truncation, not allocate a
@@ -124,15 +139,18 @@ func (c *Conn) Recv() (*Message, error) {
 	var buf bytes.Buffer
 	buf.Grow(min(n+1, 64<<10))
 	if _, err := io.CopyN(&buf, c.r, int64(n)+1); err != nil {
-		return nil, fmt.Errorf("dist: truncated frame (%d bytes expected): %w", n, err)
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, &TransportError{Op: "recv", Err: fmt.Errorf("truncated frame (%d bytes expected): %w", n, err)}
 	}
 	b := buf.Bytes()
 	if b[n] != '\n' {
-		return nil, fmt.Errorf("dist: frame missing terminator")
+		return nil, &TransportError{Op: "recv", Err: fmt.Errorf("frame missing terminator")}
 	}
 	m := new(Message)
 	if err := json.Unmarshal(b[:n], m); err != nil {
-		return nil, fmt.Errorf("dist: bad frame: %w", err)
+		return nil, &TransportError{Op: "recv", Err: fmt.Errorf("bad frame: %w", err)}
 	}
 	return m, nil
 }

@@ -64,16 +64,17 @@ func DialReconnect(addr, name string, opt RedialOptions) (*Redialer, error) {
 	return r, nil
 }
 
-// ServeGrid is Worker.ServeGrid with transport-level recovery: a
-// connection failure triggers a redial and the lease loop re-enters for
-// the same grid (a grid completed meanwhile answers grid_done on the
-// first ready). Campaign shutdown and deterministic cell failures pass
-// through — retrying a poisoned campaign or a cell that fails by
-// construction would loop forever.
+// ServeGrid is Worker.ServeGrid with transport-level recovery: only
+// errors matching ErrTransport — the connection failed, the work itself
+// is untainted — trigger a redial and re-enter the lease loop for the
+// same grid (a grid completed meanwhile answers grid_done on the first
+// ready). Everything else passes through: campaign shutdown, cell
+// failures and panics (ErrCell/ErrCellPanic), and protocol violations
+// are deterministic, so retrying would loop forever.
 func (r *Redialer) ServeGrid(src CellSet) error {
 	for {
 		err := r.w.ServeGrid(src)
-		if err == nil || errors.Is(err, ErrShutdown) || errors.Is(err, ErrCell) {
+		if err == nil || !errors.Is(err, ErrTransport) {
 			return err
 		}
 		if rerr := r.redial(err); rerr != nil {

@@ -1,0 +1,231 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ripple/internal/stats"
+)
+
+// WAL is the coordinator's result write-ahead journal. The checkpoint is
+// an atomic snapshot written every CheckpointEvery cells; the WAL closes
+// the window between snapshots by journalling every delivered cell the
+// moment it arrives, fsync'd before the coordinator proceeds. A resumed
+// run replays the journal on top of the restored checkpoint, so a
+// coordinator crash at any delivered-cell boundary loses nothing.
+//
+// Records use the same length-delimited JSON framing as the wire protocol
+// (decimal byte count, '\n', JSON, '\n'), appended to one flat file. The
+// append-only discipline gives the crash semantics: a coordinator killed
+// mid-append leaves a truncated tail frame, which Open treats as the
+// clean crash point — everything before it is intact — and trims. Frame
+// garbage anywhere else means corruption and is a loud error.
+type WAL struct {
+	mu       sync.Mutex
+	path     string
+	f        *os.File
+	restored []walRecord
+}
+
+// walRecord is one journalled cell: grid fingerprint, flat cell index,
+// the raw payload bytes exactly as the worker sent them, and the cell's
+// per-metric Welford states.
+type walRecord struct {
+	Grid    string                 `json:"grid"`
+	Cell    int                    `json:"cell"`
+	Payload json.RawMessage        `json:"payload"`
+	Stats   map[string]stats.State `json:"stats,omitempty"`
+}
+
+// CreateWAL starts a fresh journal at path, discarding any existing file.
+func CreateWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dist: wal: %w", err)
+	}
+	return &WAL{path: path, f: f}, nil
+}
+
+// OpenWAL opens the journal at path for resumption, decoding the records
+// already present. A missing file is an empty journal, not an error (a
+// campaign interrupted before its first delivery has written nothing). A
+// truncated tail frame — the coordinator died mid-append — marks the
+// crash point: it is trimmed and everything before it restored. Garbage
+// anywhere before the tail is corruption and fails loudly.
+func OpenWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dist: wal: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dist: wal: %w", err)
+	}
+	recs, valid, err := decodeWAL(data)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dist: wal %s: %w", path, err)
+	}
+	if valid < len(data) {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("dist: wal: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(valid), 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dist: wal: %w", err)
+	}
+	return &WAL{path: path, f: f, restored: recs}, nil
+}
+
+// Restored returns the records decoded at Open time, in append order.
+func (w *WAL) Restored() []walRecord {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.restored
+}
+
+// encodeFrame appends one record's wire frame to buf.
+func encodeFrame(buf *bytes.Buffer, r walRecord) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("dist: wal: %w", err)
+	}
+	fmt.Fprintf(buf, "%d\n", len(b))
+	buf.Write(b)
+	buf.WriteByte('\n')
+	return nil
+}
+
+// Append journals one delivered cell and fsyncs before returning: once
+// Append returns, the cell survives a crash.
+func (w *WAL) Append(grid string, cell int, payload json.RawMessage, st map[string]stats.State) error {
+	// One buffered write per record: a crash can truncate the tail frame
+	// but never interleave two partial frames.
+	var buf bytes.Buffer
+	if err := encodeFrame(&buf, walRecord{Grid: grid, Cell: cell, Payload: payload, Stats: st}); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("dist: wal: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("dist: wal: %w", err)
+	}
+	return nil
+}
+
+// Compact drops one grid's records from the journal. The coordinator
+// calls it after every successful checkpoint save of that grid: the
+// snapshot now covers them. Records of OTHER grids survive — a campaign's
+// grids share one journal, and a previous incarnation's progress on a
+// later grid must not be discarded when an earlier (fully restored) grid
+// re-saves its snapshot. The rewrite is atomic (temp file + rename), so a
+// crash mid-compaction leaves either the old journal or the new one,
+// never a torn file.
+func (w *WAL) Compact(grid string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var keep []walRecord
+	for _, r := range w.restored {
+		if r.Grid != grid {
+			keep = append(keep, r)
+		}
+	}
+	var buf bytes.Buffer
+	for _, r := range keep {
+		if err := encodeFrame(&buf, r); err != nil {
+			return err
+		}
+	}
+	return w.rewriteLocked(keep, buf.Bytes())
+}
+
+// Reset empties the journal entirely, discarding every grid's records.
+func (w *WAL) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.rewriteLocked(nil, nil)
+}
+
+// rewriteLocked atomically replaces the journal's contents and restored
+// view. Appends continue on the new file.
+func (w *WAL) rewriteLocked(recs []walRecord, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(w.path), ".wal-*")
+	if err != nil {
+		return fmt.Errorf("dist: wal: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("dist: wal: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("dist: wal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), w.path); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("dist: wal: %w", err)
+	}
+	w.f.Close()
+	w.f = tmp
+	w.restored = recs
+	return nil
+}
+
+// Close closes the journal file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// decodeWAL parses a journal image. It returns the complete records and
+// the byte length they span. A truncated tail — a header without its
+// newline at EOF, or a frame body shorter than its header promised — is
+// the expected shape of a crash mid-append: not an error, the records
+// before it are returned and validLen marks where the intact prefix ends.
+// Anything else malformed (junk where the length belongs, a complete
+// frame with a wrong terminator or invalid JSON) is corruption and
+// returns an error.
+func decodeWAL(data []byte) (recs []walRecord, validLen int, err error) {
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			return recs, off, nil // header cut short at EOF: crash point
+		}
+		header := strings.TrimSpace(string(data[off : off+nl]))
+		n, aerr := strconv.Atoi(header)
+		if aerr != nil || n < 0 || n > maxFrame {
+			return nil, 0, fmt.Errorf("bad frame length %q at offset %d", header, off)
+		}
+		body := off + nl + 1
+		if body+n+1 > len(data) {
+			return recs, off, nil // body cut short at EOF: crash point
+		}
+		if data[body+n] != '\n' {
+			return nil, 0, fmt.Errorf("frame at offset %d missing terminator", off)
+		}
+		var r walRecord
+		if uerr := json.Unmarshal(data[body:body+n], &r); uerr != nil {
+			return nil, 0, fmt.Errorf("bad frame at offset %d: %w", off, uerr)
+		}
+		recs = append(recs, r)
+		off = body + n + 1
+	}
+	return recs, off, nil
+}

@@ -1,0 +1,367 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"ripple/internal/campaign/pool"
+	"ripple/internal/stats"
+)
+
+// TestWALAppendOpenRestore covers the journal's happy path: appended
+// records come back byte-identical through Open, appending continues an
+// opened journal, and Reset empties it.
+func TestWALAppendOpenRestore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.wal")
+	w, err := CreateWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wf stats.Welford
+	wf.Add(3.5)
+	recs := []walRecord{
+		{Grid: "fp-a", Cell: 0, Payload: json.RawMessage(`[0]`)},
+		{Grid: "fp-a", Cell: 2, Payload: json.RawMessage(`{"x":[1,2]}`),
+			Stats: map[string]stats.State{"v": wf.State()}},
+		{Grid: "fp-b", Cell: 1, Payload: json.RawMessage(`"s"`)},
+	}
+	for _, r := range recs {
+		if err := w.Append(r.Grid, r.Cell, r.Payload, r.Stats); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Restored(); !reflect.DeepEqual(got, recs) {
+		t.Fatalf("restored records differ:\ngot  %+v\nwant %+v", got, recs)
+	}
+	// Appending to an opened journal continues it.
+	if err := r.Append("fp-b", 9, json.RawMessage(`[9]`), nil); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Restored(); len(got) != 4 || got[3].Cell != 9 {
+		t.Fatalf("after append-to-opened: %d records, want 4 ending in cell 9", len(got))
+	}
+	// Reset empties the journal and its restored view.
+	if err := r2.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Restored(); len(got) != 0 {
+		t.Fatalf("Restored after Reset = %d records, want 0", len(got))
+	}
+	r2.Close()
+	if fi, err := os.Stat(path); err != nil || fi.Size() != 0 {
+		t.Fatalf("journal after Reset: size %d, err %v, want empty file", fi.Size(), err)
+	}
+}
+
+// TestWALCompactKeepsOtherGrids guards the multi-grid campaign case: a
+// checkpoint save of one grid compacts only that grid's records out of
+// the shared journal — a previous incarnation's progress on a later grid
+// must survive, or every supervised restart of a multi-grid campaign
+// would rediscover the later grids from zero.
+func TestWALCompactKeepsOtherGrids(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.wal")
+	w, err := CreateWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append("fp-a", 0, json.RawMessage(`[0]`), nil)
+	w.Append("fp-b", 1, json.RawMessage(`[1]`), nil)
+	w.Append("fp-a", 2, json.RawMessage(`[2]`), nil)
+	w.Close()
+
+	r, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Compact("fp-a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Restored(); len(got) != 1 || got[0].Grid != "fp-b" || got[0].Cell != 1 {
+		t.Fatalf("after Compact(fp-a): restored = %+v, want only fp-b cell 1", got)
+	}
+	// Appends continue cleanly on the compacted journal.
+	if err := r.Append("fp-b", 3, json.RawMessage(`[3]`), nil); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	got := r2.Restored()
+	if len(got) != 2 || got[0].Cell != 1 || got[1].Cell != 3 {
+		t.Fatalf("reopened journal = %+v, want fp-b cells 1 and 3", got)
+	}
+}
+
+// TestWALOpenMissingFile: a campaign interrupted before its first delivery
+// has no journal; Open must treat that as empty, not an error.
+func TestWALOpenMissingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "absent.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if got := w.Restored(); len(got) != 0 {
+		t.Fatalf("Restored = %d records, want 0", len(got))
+	}
+	if err := w.Append("fp", 0, json.RawMessage(`[0]`), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALTruncatedTailTrimmed: a coordinator killed mid-append leaves a
+// partial tail frame. Open must restore everything before it and trim the
+// file back to the intact prefix so future appends extend cleanly.
+func TestWALTruncatedTailTrimmed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.wal")
+	w, err := CreateWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append("fp", 0, json.RawMessage(`[0]`), nil)
+	w.Append("fp", 1, json.RawMessage(`[1]`), nil)
+	w.Close()
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-append: complete header promising more bytes than follow.
+	fmt.Fprintf(f, "64\n{\"grid\":\"fp\",\"ce")
+	f.Close()
+
+	r, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Restored(); len(got) != 2 || got[1].Cell != 1 {
+		t.Fatalf("restored %d records, want the 2 intact ones", len(got))
+	}
+	// The partial frame is gone; a new append lands on the intact prefix.
+	if err := r.Append("fp", 2, json.RawMessage(`[2]`), nil); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), string(intact)) {
+		t.Fatal("trimmed journal lost its intact prefix")
+	}
+	r2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if got := r2.Restored(); len(got) != 3 || got[2].Cell != 2 {
+		t.Fatalf("after trim+append: %d records, want 3 ending in cell 2", len(got))
+	}
+}
+
+// TestDecodeWALTruncationAtEveryOffset is the crash-semantics sweep: a
+// journal cut at ANY byte offset must decode without error to a prefix of
+// the full record sequence, and the reported valid length must be a fixed
+// point (re-decoding data[:validLen] reproduces exactly the same records
+// and length). That is what makes SIGKILL at an arbitrary moment safe.
+func TestDecodeWALTruncationAtEveryOffset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.wal")
+	w, err := CreateWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wf stats.Welford
+	wf.Add(1)
+	wf.Add(2)
+	for i := 0; i < 4; i++ {
+		payload, _ := json.Marshal([]int{i, i * 10})
+		if err := w.Append(fmt.Sprintf("fp-%d", i%2), i, payload,
+			map[string]stats.State{"v": wf.State()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, n, err := decodeWAL(data)
+	if err != nil || n != len(data) || len(full) != 4 {
+		t.Fatalf("full image: %d records, validLen %d/%d, err %v", len(full), n, len(data), err)
+	}
+
+	for i := 0; i <= len(data); i++ {
+		recs, valid, err := decodeWAL(data[:i])
+		if err != nil {
+			t.Fatalf("prefix %d: unexpected error %v", i, err)
+		}
+		if valid > i {
+			t.Fatalf("prefix %d: validLen %d exceeds input", i, valid)
+		}
+		if len(recs) > len(full) {
+			t.Fatalf("prefix %d: %d records from a %d-record image", i, len(recs), len(full))
+		}
+		for j := range recs {
+			if !reflect.DeepEqual(recs[j], full[j]) {
+				t.Fatalf("prefix %d: record %d differs from full decode", i, j)
+			}
+		}
+		recs2, valid2, err2 := decodeWAL(data[:valid])
+		if err2 != nil || valid2 != valid || len(recs2) != len(recs) {
+			t.Fatalf("prefix %d: valid prefix not a fixed point: len %d→%d, err %v",
+				i, valid, valid2, err2)
+		}
+	}
+}
+
+// TestDecodeWALRejectsGarbage: anything malformed other than a truncated
+// tail is corruption and must fail loudly, including garbage after valid
+// records.
+func TestDecodeWALRejectsGarbage(t *testing.T) {
+	rec := `{"grid":"fp","cell":0,"payload":1}`
+	valid := fmt.Sprintf("%d\n%s\n", len(rec), rec)
+	if recs, n, err := decodeWAL([]byte(valid)); err != nil || len(recs) != 1 || n != len(valid) {
+		t.Fatalf("sanity: valid image did not decode: %d records, %v", len(recs), err)
+	}
+	for name, image := range map[string]string{
+		"junk length":        "zap\n{}\n",
+		"negative length":    "-4\n{}\n",
+		"oversized length":   "9999999999999\n{}\n",
+		"wrong terminator":   "2\n{}X",
+		"invalid json":       "3\nnop\n",
+		"garbage after tail": valid + "zap\n{}\n",
+	} {
+		if _, _, err := decodeWAL([]byte(image)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// OpenWAL propagates corruption rather than silently starting over.
+	path := filepath.Join(t.TempDir(), "bad.wal")
+	if err := os.WriteFile(path, []byte("zap\n{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWAL(path); err == nil {
+		t.Error("corrupt journal opened")
+	}
+}
+
+// TestResumeFromWALOnly is the tentpole's crash bar at the dist layer: a
+// coordinator that NEVER saved a checkpoint (save interval effectively
+// infinite) dies after two cells were journalled; a fresh coordinator
+// resuming from the WAL alone must not re-execute them and must assemble
+// a result deeply equal to an uninterrupted run.
+func TestResumeFromWALOnly(t *testing.T) {
+	g := testGrid([]uint64{1, 2})
+	want, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := g.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	ckptPath := filepath.Join(dir, "ckpt.json")
+	walPath := ckptPath + ".wal"
+
+	// Phase 1: journal two cells, then crash with no checkpoint ever saved.
+	wal1, err := CreateWAL(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := NewCoordinator(Options{
+		LeaseCells: 1, Checkpoint: NewCheckpoint(ckptPath),
+		CheckpointEvery: 1 << 30, WAL: wal1,
+	})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := ExecuteGrid(c1, &g)
+		errc <- err
+	}()
+	dead := flakyWorker(t, c1, &g, 2)
+	<-dead
+	// Appends happen on the serve goroutine; wait for both to be durable.
+	waitFor(t, func() bool {
+		data, err := os.ReadFile(walPath)
+		if err != nil {
+			return false
+		}
+		recs, _, err := decodeWAL(data)
+		return err == nil && len(recs) == 2
+	})
+	c1.Close()
+	if err := <-errc; err == nil {
+		t.Fatal("aborted campaign did not fail")
+	}
+	wal1.Close()
+	if _, err := os.Stat(ckptPath); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint file exists (%v); the test needs a WAL-only resume", err)
+	}
+
+	// Phase 2: resume from the journal alone.
+	wal2, err := OpenWAL(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wal2.Restored(); len(got) != 2 {
+		t.Fatalf("journal restored %d records, want 2", len(got))
+	}
+	c2 := NewCoordinator(Options{
+		LeaseCells: 1, Checkpoint: NewCheckpoint(ckptPath), WAL: wal2, Logf: t.Logf,
+	})
+	var ran int32
+	wdone := make(chan error, 1)
+	cli, srv := net.Pipe()
+	go c2.Serve(NewConn(srv))
+	go func() {
+		defer cli.Close()
+		w, err := NewWorker(cli, "resumer")
+		if err != nil {
+			wdone <- err
+			return
+		}
+		wdone <- w.ServeGrid(countingCells{GridCells{Plan: plan, Pool: pool.New(1)}, &ran})
+	}()
+	got, err := ExecuteGrid(c2, &g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-wdone; err != nil {
+		t.Fatalf("resuming worker: %v", err)
+	}
+	c2.Close()
+	wal2.Close()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("WAL-resumed result differs:\ngot  %+v\nwant %+v", got, want)
+	}
+	if n := atomic.LoadInt32(&ran); int(n) != plan.NumCells()-2 {
+		t.Errorf("resume re-executed journalled cells: worker ran %d, want %d",
+			n, plan.NumCells()-2)
+	}
+}

@@ -5,20 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime/debug"
 
+	"ripple/internal/campaign/pool"
 	"ripple/internal/stats"
 )
-
-// ErrShutdown reports that the coordinator ended the campaign while this
-// worker was asking for more cells — normal when the coordinator's grid
-// sequence is over, an error if the worker still had grids to serve.
-var ErrShutdown = errors.New("dist: coordinator shut down")
-
-// ErrCell wraps deterministic cell-execution failures so transport-level
-// recovery (Redialer) can tell them apart from connection loss: a cell
-// that fails by construction fails identically on every retry, and the
-// coordinator has already been poisoned by the error report.
-var ErrCell = errors.New("dist: cell failed")
 
 // CellSet is the worker-side view of one grid: a deterministic, shardable
 // batch of cells. campaign.Plan satisfies it through GridCells; the
@@ -57,7 +48,10 @@ func NewWorker(rw io.ReadWriter, name string) (*Worker, error) {
 	w := &Worker{conn: NewConn(rw), name: name}
 	err := w.conn.Send(&Message{Type: MsgHello, Proto: ProtoVersion, Worker: name})
 	if err != nil {
-		return nil, fmt.Errorf("dist: hello: %w", err)
+		if errors.Is(err, ErrTransport) {
+			return nil, err
+		}
+		return nil, &TransportError{Op: "hello", Err: err}
 	}
 	return w, nil
 }
@@ -73,7 +67,9 @@ func (w *Worker) ServeGrid(src CellSet) error {
 		}
 		m, err := w.conn.Recv()
 		if err != nil {
-			return fmt.Errorf("dist: waiting for lease: %w", err)
+			// A clean EOF here is still a transport failure for the worker:
+			// it was promised a lease or a grid_done and got neither.
+			return &TransportError{Op: "waiting for lease", Err: err}
 		}
 		switch m.Type {
 		case MsgGridDone:
@@ -87,28 +83,54 @@ func (w *Worker) ServeGrid(src CellSet) error {
 				}
 			}
 		default:
-			return fmt.Errorf("dist: unexpected %q message awaiting lease", m.Type)
+			return &ProtocolError{Detail: fmt.Sprintf("unexpected %q message awaiting lease", m.Type)}
 		}
 	}
 }
 
-// runCell executes one cell and streams the result. Execution errors are
-// reported to the coordinator (poisoning the campaign — cell failures
-// are deterministic config errors, not transient faults) before being
-// returned.
+// runCell executes one cell and streams the result. Execution errors and
+// panics are reported to the coordinator (poisoning the campaign — cell
+// failures are deterministic, not transient faults) before being returned
+// as typed errors. A panic is confined to the cell: the worker process
+// survives, the connection stays usable, and the lease is resolved
+// through the error report rather than orphaned until timeout.
 func (w *Worker) runCell(src CellSet, fp string, leaseID, cell int) error {
-	payload, st, err := src.RunCell(cell)
+	payload, st, err := runCellGuarded(src, cell)
 	if err != nil {
-		w.conn.Send(&Message{Type: MsgError, Grid: fp, Err: err.Error()})
-		return fmt.Errorf("%w: cell %d: %v", ErrCell, cell, err)
+		var pe *CellPanicError
+		if errors.As(err, &pe) {
+			w.conn.Send(&Message{Type: MsgError, Grid: fp, Cell: cell,
+				Err: pe.Value, Panic: true, Stack: pe.Stack})
+			return pe
+		}
+		w.conn.Send(&Message{Type: MsgError, Grid: fp, Cell: cell, Err: err.Error()})
+		return &CellError{Cell: cell, Err: err}
 	}
 	raw, err := json.Marshal(payload)
 	if err != nil {
-		w.conn.Send(&Message{Type: MsgError, Grid: fp, Err: err.Error()})
-		return fmt.Errorf("%w: marshal cell %d: %v", ErrCell, cell, err)
+		w.conn.Send(&Message{Type: MsgError, Grid: fp, Cell: cell, Err: err.Error()})
+		return &CellError{Cell: cell, Err: fmt.Errorf("marshal: %w", err)}
 	}
 	return w.conn.Send(&Message{
 		Type: MsgCell, Grid: fp, Lease: leaseID, Cell: cell,
 		Payload: raw, Stats: st,
 	})
+}
+
+// runCellGuarded executes one cell under a recover guard. A panic inside
+// RunCell — directly, or recovered by the campaign pool on a helper
+// goroutine and surfaced as a *pool.PanicError — is normalized to a
+// *CellPanicError carrying the cell index and stack.
+func runCellGuarded(src CellSet, cell int) (payload any, st map[string]stats.State, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &CellPanicError{Cell: cell, Value: fmt.Sprint(r), Stack: string(debug.Stack())}
+		}
+	}()
+	payload, st, err = src.RunCell(cell)
+	var pp *pool.PanicError
+	if errors.As(err, &pp) {
+		err = &CellPanicError{Cell: cell, Value: pp.Value, Stack: pp.Stack}
+	}
+	return payload, st, err
 }

@@ -7,6 +7,7 @@
 package forward
 
 import (
+	"ripple/internal/audit"
 	"ripple/internal/mac"
 	"ripple/internal/phys"
 	"ripple/internal/pkt"
@@ -342,6 +343,18 @@ type Env struct {
 	// RateFor, when non-nil, enables the multi-rate extension: it returns
 	// the PHY data rate to use toward a receiver (paper §V future work).
 	RateFor func(to pkt.NodeID) float64
+	// Audit is the deep-audit plane's auditor, nil unless the run enabled
+	// deep auditing. Schemes create their MAC queues through NewQueue so
+	// the queue is tapped when an auditor is present.
+	Audit *audit.Auditor
+}
+
+// NewQueue builds this station's MAC send queue, registering it with the
+// deep-audit plane when one is active (Audit nil-checks internally).
+func (e *Env) NewQueue(limit int) *mac.Queue {
+	q := mac.NewQueue(limit)
+	q.SetAudit(e.Audit.RegisterQueue(int(e.ID), limit, q.Len))
+	return q
 }
 
 // Rate returns the PHY rate toward `to`, or 0 (base rate) when the

@@ -47,7 +47,7 @@ var _ Scheme = (*MCExOR)(nil)
 func NewMCExOR(env Env) *MCExOR {
 	x := &MCExOR{
 		env:    env,
-		queue:  mac.NewQueue(env.P.QueueLimit),
+		queue:  env.NewQueue(env.P.QueueLimit),
 		rxSeen: newDedupe(4096),
 		pend:   make(map[uint64]*mcRx),
 	}

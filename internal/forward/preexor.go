@@ -49,7 +49,7 @@ var _ Scheme = (*PreExOR)(nil)
 func NewPreExOR(env Env) *PreExOR {
 	x := &PreExOR{
 		env:    env,
-		queue:  mac.NewQueue(env.P.QueueLimit),
+		queue:  env.NewQueue(env.P.QueueLimit),
 		rxSeen: newDedupe(4096),
 		pend:   make(map[uint64]*exorRx),
 	}

@@ -113,7 +113,7 @@ func NewUnicastRTS(env Env, maxAgg, rtsThreshold int) *Unicast {
 		env:       env,
 		maxAgg:    maxAgg,
 		rtsThresh: rtsThreshold,
-		queue:     mac.NewQueue(env.P.QueueLimit),
+		queue:     env.NewQueue(env.P.QueueLimit),
 		rxSeen:    newDedupe(4096),
 	}
 	u.cont = env.NewContender(u.onGrant)

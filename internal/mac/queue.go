@@ -1,6 +1,9 @@
 package mac
 
-import "ripple/internal/pkt"
+import (
+	"ripple/internal/audit"
+	"ripple/internal/pkt"
+)
 
 // Queue is the drop-tail MAC interface queue (Sq in the paper). The zero
 // value is unusable; create with NewQueue.
@@ -17,7 +20,15 @@ type Queue struct {
 	count   int
 	drops   uint64
 	maxSeen int
+	// tap mirrors enqueues/dequeues into the deep-audit plane; nil (the
+	// default) costs one predicted branch per operation.
+	tap *audit.QueueTap
 }
+
+// SetAudit attaches a deep-audit tap; every enqueue and dequeue is
+// mirrored into it so the auditor can cross-check custody after each
+// engine event. A nil tap (auditing off) is the default.
+func (q *Queue) SetAudit(t *audit.QueueTap) { q.tap = t }
 
 // NewQueue creates a queue holding at most limit packets. (Front
 // reinsertion may transiently exceed the limit; the ring grows on demand.)
@@ -54,6 +65,7 @@ func (q *Queue) Push(p *pkt.Packet) bool {
 	if q.count > q.maxSeen {
 		q.maxSeen = q.count
 	}
+	q.tap.Enq()
 	return true
 }
 
@@ -67,6 +79,7 @@ func (q *Queue) PushFront(p *pkt.Packet) {
 	q.head = (q.head - 1) & (len(q.buf) - 1)
 	q.buf[q.head] = p
 	q.count++
+	q.tap.Enq()
 }
 
 // Pop removes and returns the head packet, or nil when empty.
@@ -78,6 +91,7 @@ func (q *Queue) Pop() *pkt.Packet {
 	q.buf[q.head] = nil
 	q.head = (q.head + 1) & (len(q.buf) - 1)
 	q.count--
+	q.tap.Deq()
 	return p
 }
 
@@ -126,6 +140,7 @@ func (q *Queue) PopNWhereInto(dst []*pkt.Packet, n int, keep func(*pkt.Packet) b
 		if taken < n && keep(p) {
 			dst = append(dst, p)
 			taken++
+			q.tap.Deq()
 			continue
 		}
 		q.buf[(q.head+w)&mask] = p

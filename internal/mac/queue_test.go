@@ -3,6 +3,7 @@ package mac
 import (
 	"testing"
 
+	"ripple/internal/audit"
 	"ripple/internal/pkt"
 )
 
@@ -162,4 +163,44 @@ func TestQueueZeroAllocSteadyState(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("steady-state queue ops allocated %.1f times per run", allocs)
 	}
+}
+
+func TestQueueAuditTapMirrorsEveryPath(t *testing.T) {
+	// Every mutation path — Push, PushFront, Pop, PopN/PopNInto,
+	// PopNWhere/PopNWhereInto, and rejected pushes — must keep the audit
+	// tap's mirror equal to Len(); Event panics on the first divergence.
+	a := audit.New()
+	q := NewQueue(4)
+	q.SetAudit(a.RegisterQueue(1, 4, q.Len))
+	ps := mk(1, 2, 3, 4, 5, 6)
+
+	q.Push(ps[0])
+	q.Push(ps[1])
+	q.Push(ps[2])
+	a.Event(1)
+	q.Pop()
+	q.PushFront(ps[3])
+	a.Event(2)
+	q.PopNInto(nil, 2)
+	a.Event(3)
+	q.Push(ps[4])
+	q.PopNWhereInto(nil, 2, func(p *pkt.Packet) bool { return p.UID%2 == 0 })
+	a.Event(4)
+	q.PopN(q.Len())
+	a.AtDrain()
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after draining", q.Len())
+	}
+
+	// A rejected push (queue full) is a drop, not custody: the tap must
+	// not count it.
+	q2 := NewQueue(1)
+	q2.SetAudit(a.RegisterQueue(2, 1, q2.Len))
+	q2.Push(ps[0])
+	if q2.Push(ps[5]) {
+		t.Fatal("push over limit succeeded")
+	}
+	a.Event(5)
+	q2.Pop()
+	a.AtDrain()
 }

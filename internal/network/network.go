@@ -6,7 +6,10 @@ package network
 
 import (
 	"fmt"
+	"os"
+	"sync"
 
+	"ripple/internal/audit"
 	"ripple/internal/core"
 	"ripple/internal/fault"
 	"ripple/internal/forward"
@@ -142,7 +145,21 @@ type Config struct {
 	// share one snapshot. Nil makes Run build a private snapshot — the
 	// results are bit-identical either way.
 	World *World
+	// Audit enables the deep invariant-audit plane (internal/audit): the
+	// full catalogue — queue custody, queue bounds, crashed-station
+	// custody, event-time monotonicity — is re-validated after every
+	// engine event, panicking with a structured report on the first
+	// violation. Expensive; meant for debugging and CI sweeps. The
+	// RIPPLE_AUDIT environment variable (any non-empty value) enables it
+	// process-wide without touching configs. The cheap conservation checks
+	// (packet-pool accounting at drain) run regardless.
+	Audit bool
 }
+
+// auditEnv reports whether RIPPLE_AUDIT enables deep auditing process-wide.
+var auditEnv = sync.OnceValue(func() bool {
+	return os.Getenv("RIPPLE_AUDIT") != ""
+})
 
 // RoutePolicyKind selects a built-in route policy.
 type RoutePolicyKind int
@@ -416,6 +433,15 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	// Deep audit: attach an auditor and re-validate the invariant
+	// catalogue after every engine event. aud stays nil when off — every
+	// hook nil-checks, so the fast path pays only predictable branches.
+	var aud *audit.Auditor
+	if cfg.Audit || auditEnv() {
+		aud = audit.New()
+		eng.SetCheck(func() { aud.Event(int64(eng.Now())) })
+	}
+
 	endpoints := make(map[endpointKey]receiver)
 	counters := make([]forward.Counters, len(cfg.Positions))
 	schemes := make([]forward.Scheme, len(cfg.Positions))
@@ -429,6 +455,7 @@ func Run(cfg Config) (*Result, error) {
 			RNG:    sim.NewRNG(cfg.Seed, 100+uint64(i)),
 			Routes: routes,
 			C:      &counters[i],
+			Audit:  aud,
 		}
 		if rateOracle != nil {
 			env.RateFor = func(to pkt.NodeID) float64 {
@@ -437,6 +464,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		env.Deliver = func(p *pkt.Packet) {
 			if ep, ok := endpoints[endpointKey{flow: p.FlowID, node: id}]; ok {
+				p.MarkDelivered()
 				ep.Receive(id, p)
 			}
 		}
@@ -590,6 +618,7 @@ func Run(cfg Config) (*Result, error) {
 				eng.At(ev.At, func() {
 					medium.SetDown(id, true)
 					schemes[id].Crash()
+					aud.StationDown(int(id))
 					if cfg.Trace != nil {
 						cfg.Trace(eng.Now(), "station-down", id, &pkt.Frame{Tx: id, Origin: id})
 					}
@@ -599,6 +628,7 @@ func Run(cfg Config) (*Result, error) {
 				eng.At(ev.At, func() {
 					medium.SetDown(id, false)
 					schemes[id].Recover()
+					aud.StationUp(int(id))
 					if cfg.Trace != nil {
 						cfg.Trace(eng.Now(), "station-up", id, &pkt.Frame{Tx: id, Origin: id})
 					}
@@ -677,6 +707,13 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	eng.Run(cfg.Duration)
+
+	// End-of-run audit: the deep catalogue once more at quiescence, and
+	// the always-on packet conservation identity — every allocation must
+	// be delivered, dropped, or still held by a live reference.
+	aud.AtDrain()
+	gets, delivered, dropped := pktPool.Counters()
+	audit.CheckPoolConservation(gets, delivered, dropped, pktPool.InUse())
 
 	res := &Result{Duration: cfg.Duration, Events: eng.Processed(),
 		PendingAtEnd: eng.Pending(), Medium: medium.Counters}

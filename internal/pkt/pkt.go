@@ -53,6 +53,19 @@ type Packet struct {
 	// Ref/Release no-ops.
 	pool *Pool
 	refs int32
+	// delivered marks a packet that reached its endpoint, so the final
+	// Release can classify it for the pool's conservation counters.
+	delivered bool
+}
+
+// MarkDelivered flags the packet as having reached its endpoint. The
+// final Release classifies it as delivered rather than dropped in the
+// pool's conservation counters (see Pool.Counters). Idempotent; a no-op
+// for packets created outside a pool.
+func (p *Packet) MarkDelivered() {
+	if p.pool != nil {
+		p.delivered = true
+	}
 }
 
 func (p *Packet) String() string {

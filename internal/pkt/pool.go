@@ -30,6 +30,14 @@ type Pool struct {
 	// released — the pool-balance invariant the fault-injection tests
 	// assert after crashing stations mid-custody.
 	outstanding int
+	// Always-on conservation counters (see audit.CheckPoolConservation):
+	// gets counts allocations, and every final Release classifies its
+	// packet as delivered (MarkDelivered was called) or dropped. The
+	// identity gets == recDelivered + recDropped + outstanding holds at
+	// every instant.
+	gets         int
+	recDelivered int
+	recDropped   int
 }
 
 // Get returns a packet with every field zeroed and one reference held by
@@ -47,6 +55,7 @@ func (pl *Pool) Get() *Packet {
 	p.pool = pl
 	p.refs = 1
 	pl.outstanding++
+	pl.gets++
 	return p
 }
 
@@ -81,10 +90,23 @@ func (p *Packet) Release() {
 	if p.refs > 0 {
 		return
 	}
+	// Classify before the reset wipes the flag.
 	pl := p.pool
+	if p.delivered {
+		pl.recDelivered++
+	} else {
+		pl.recDropped++
+	}
 	*p = Packet{}
 	pl.free = append(pl.free, p)
 	pl.outstanding--
+}
+
+// Counters returns the pool's conservation counters: total allocations,
+// and final releases classified as delivered or dropped. At any instant
+// gets == delivered + dropped + InUse().
+func (pl *Pool) Counters() (gets, delivered, dropped int) {
+	return pl.gets, pl.recDelivered, pl.recDropped
 }
 
 // BeginAir marks a data frame as in flight with n pending PHY completions

@@ -91,3 +91,49 @@ func TestFrameAirHoldSkipsControlFrames(t *testing.T) {
 	f.BeginAir(2)
 	f.AirDone() // must not underflow or panic without packets
 }
+
+func TestPoolConservationCounters(t *testing.T) {
+	// The always-on identity: gets == delivered + dropped + InUse at every
+	// instant, with classification happening only at the final release.
+	var pl Pool
+	check := func(wantGets, wantDel, wantDrop, wantUse int) {
+		t.Helper()
+		gets, del, drop := pl.Counters()
+		if gets != wantGets || del != wantDel || drop != wantDrop || pl.InUse() != wantUse {
+			t.Fatalf("counters = (gets %d, delivered %d, dropped %d, in-use %d), want (%d, %d, %d, %d)",
+				gets, del, drop, pl.InUse(), wantGets, wantDel, wantDrop, wantUse)
+		}
+		if gets != del+drop+pl.InUse() {
+			t.Fatalf("conservation identity broken: %d != %d+%d+%d", gets, del, drop, pl.InUse())
+		}
+	}
+
+	a, b, c := pl.Get(), pl.Get(), pl.Get()
+	check(3, 0, 0, 3)
+	a.MarkDelivered()
+	a.Release()
+	check(3, 1, 0, 2)
+	b.Release() // never marked: dropped
+	check(3, 1, 1, 1)
+
+	// A referenced packet classifies once, at its final release.
+	c.Ref()
+	c.MarkDelivered()
+	c.Release()
+	check(3, 1, 1, 1)
+	c.Release()
+	check(3, 2, 1, 0)
+
+	// A recycled packet starts unclassified: the delivered flag must not
+	// leak across lifetimes.
+	d := pl.Get()
+	check(4, 2, 1, 1)
+	d.Release()
+	check(4, 2, 2, 0)
+}
+
+func TestMarkDeliveredPoolLessNoop(t *testing.T) {
+	p := &Packet{}
+	p.MarkDelivered() // must not panic or set state on a pool-less packet
+	p.Release()
+}

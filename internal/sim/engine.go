@@ -161,7 +161,14 @@ type Engine struct {
 	// free holds recycled Do-scheduled events. Only events whose handle
 	// never escaped (Do returns nothing) are pushed here; see Event.
 	free []*Event
+	// check, when set, runs after every fired event (deep-audit hook).
+	check func()
 }
+
+// SetCheck installs a hook invoked after every event fires, with the
+// clock at that event's time. The deep-audit plane uses it to re-validate
+// invariants per event; nil (the default) costs one branch per event.
+func (e *Engine) SetCheck(fn func()) { e.check = fn }
 
 // NewEngine returns an empty engine positioned at time zero.
 func NewEngine() *Engine { return &Engine{} }
@@ -272,6 +279,9 @@ func (e *Engine) Run(until Time) {
 			act.Run()
 		} else {
 			next.fn()
+		}
+		if e.check != nil {
+			e.check()
 		}
 	}
 	if e.now < until {

@@ -340,3 +340,50 @@ func TestTimeString(t *testing.T) {
 		}
 	}
 }
+
+func TestEngineSetCheckRunsAfterEveryEvent(t *testing.T) {
+	// The audit hook must fire once per processed event — closure and
+	// pooled (Do) paths alike — after the event's effects, with Now at the
+	// event's time.
+	e := NewEngine()
+	var checks int
+	var times []Time
+	var fired int
+	e.SetCheck(func() {
+		checks++
+		times = append(times, e.Now())
+		if checks != fired {
+			t.Fatalf("check %d ran with %d events fired", checks, fired)
+		}
+	})
+	for i := 1; i <= 3; i++ {
+		tm := Time(i) * Microsecond
+		e.At(tm, func() { fired++ })
+	}
+	e.Do(4*Microsecond, &checkedAction{&fired})
+	e.Run(Second)
+	if checks != 4 {
+		t.Fatalf("check ran %d times, want 4", checks)
+	}
+	for i, at := range times {
+		if at != Time(i+1)*Microsecond {
+			t.Fatalf("check %d ran at %v, want %v", i, at, Time(i+1)*Microsecond)
+		}
+	}
+}
+
+type checkedAction struct{ fired *int }
+
+func (a *checkedAction) Run() { *a.fired++ }
+
+func TestEngineSetCheckNilIsOff(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.SetCheck(func() { n++ })
+	e.SetCheck(nil)
+	e.At(Microsecond, func() {})
+	e.Run(Second)
+	if n != 0 {
+		t.Fatalf("cleared check still ran %d times", n)
+	}
+}

@@ -138,6 +138,14 @@ type Scenario struct {
 	// (transmissions, receptions, corruptions) from the first seed's run,
 	// and enables airtime accounting in the Result.
 	TraceJSONL io.Writer
+	// Audit enables the deep invariant-audit plane for every run of the
+	// scenario: conservation invariants (queue custody, queue bounds,
+	// crashed-station custody, event-time monotonicity) are re-validated
+	// after every engine event and violations panic with a structured
+	// report. Expensive — meant for debugging and CI, not sweeps. The
+	// RIPPLE_AUDIT environment variable enables the same checks
+	// process-wide.
+	Audit bool
 }
 
 // FlowResult summarises one flow of a run. Every field is aggregated over
@@ -261,6 +269,7 @@ func (s Scenario) toConfig() (*network.Config, error) {
 		Routing:       s.Routing.spec(),
 		Mobility:      s.Mobility.spec(),
 		Faults:        s.Faults.spec(),
+		Audit:         s.Audit,
 	}
 	if s.Radio.lowRate {
 		cfg.Phy = phys.LowRate()
